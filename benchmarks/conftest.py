@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it computes
+the same rows/series, prints them (visible with ``-s``), writes a copy
+under ``benchmarks/out/`` and *asserts the shape claims* (who wins, by
+roughly what factor, where the peaks fall).  Timings come from
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import (
+    NasaConfig,
+    SmdConfig,
+    UcrSimConfig,
+    make_nasa,
+    make_numenta,
+    make_smd,
+    make_ucr,
+    make_yahoo,
+)
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a named report to benchmarks/out/ and echo it."""
+
+    def _emit(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def yahoo_archive():
+    return make_yahoo()
+
+
+@pytest.fixture(scope="session")
+def numenta_archive():
+    return make_numenta()
+
+
+@pytest.fixture(scope="session")
+def nasa_archive():
+    return make_nasa(NasaConfig())
+
+
+@pytest.fixture(scope="session")
+def smd_machines():
+    return make_smd(SmdConfig(length=28_000))
+
+
+@pytest.fixture(scope="session")
+def ucr_archive():
+    # 40 datasets keeps the detector shoot-out under a few minutes
+    return make_ucr(UcrSimConfig(size=40))
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run a heavy computation exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""§2.3 — unrealistic anomaly density across NASA, SMD and Yahoo.
+
+Regenerates the section's inventory: NASA D-2/M-1/M-2 with more than
+half the test data one labeled anomaly, "another dozen or so" past 1/3,
+SMD machine-2-5 with 21 separate anomalies, and Fig 3's sandwich.
+"""
+
+from conftest import once
+
+from repro.flaws import audit_density, density_stats
+from repro.types import Archive
+
+
+def test_density_audit(benchmark, emit, nasa_archive, smd_machines, yahoo_archive):
+    def run_audit():
+        return audit_density(nasa_archive)
+
+    nasa_audit = once(benchmark, run_audit)
+
+    machine_2_5 = smd_machines["machine-2-5"]
+    smd_stats = density_stats(machine_2_5.dimension(0))
+    sandwich = density_stats(yahoo_archive["yahoo_A1_1"])
+
+    lines = [
+        nasa_audit.format(),
+        "",
+        f"SMD {machine_2_5.name}: {smd_stats.num_regions} separate labeled "
+        f"anomalies (paper: 21)",
+        f"Yahoo A1-Real1: {sandwich.num_sandwiched_points} normal point(s) "
+        f"sandwiched between anomalies (paper Fig 3)",
+    ]
+    emit("density_audit", "\n".join(lines))
+
+    over_half = {s.name for s in nasa_audit.over_half}
+    assert {"SMAP_D-2", "MSL_M-1", "MSL_M-2"} <= over_half
+    assert len(nasa_audit.over_third) >= 12  # "another dozen or so"
+    assert smd_stats.num_regions == 21
+    assert sandwich.num_sandwiched_points >= 1

@@ -1,0 +1,26 @@
+"""Fig 2 — Numenta art_increase_spike_density and ``movstd(AISD,5) > 10``."""
+
+from conftest import once
+
+from repro.oneliner import MovstdOneLiner, solves
+from repro.viz import ascii_plot
+
+
+def test_fig02_aisd_oneliner(benchmark, emit, numenta_archive):
+    series = numenta_archive["art_increase_spike_density"]
+    liner = MovstdOneLiner(k=5, b=10.0)
+
+    report = once(benchmark, solves, liner, series, 4)
+
+    lines = [
+        ascii_plot(series.values, series.labels, title="art_increase_spike_density"),
+        "",
+        f"one-liner: {liner.code}",
+        f"solved={report.solved} flags={report.num_flags} "
+        f"false_positives={report.false_positives}",
+        "",
+        "paper: this one-liner solves the problem",
+    ]
+    emit("fig02_numenta_oneliner", "\n".join(lines))
+    assert report.solved
+    assert report.false_positives == 0

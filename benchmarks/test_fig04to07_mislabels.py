@@ -1,0 +1,70 @@
+"""Figs 4-7 — mislabeled ground truth in the Yahoo archive.
+
+Four exhibits, each planted in the simulated A1 and each *recovered* by
+the corresponding candidate-finder in :mod:`repro.flaws.mislabeling`:
+
+* Fig 4 (A1-Real32): a label boundary cutting through a constant run;
+* Fig 5 (A1-Real46): an identical but unlabeled twin dropout;
+* Fig 7 (A1-Real67): over-precise anomaly/normal toggling;
+* §2.4 text: the duplicated pair (A1-Real13 / A1-Real15).
+
+(Fig 6's "statistically unremarkable label" is the planted
+``unremarkable_label`` hard series; we show its one-liner unsolvability.)
+"""
+
+from conftest import once
+
+from repro.flaws import (
+    find_duplicate_series,
+    find_partially_labeled_constant_runs,
+    find_toggling_labels,
+    find_unlabeled_twins,
+)
+from repro.oneliner import SearchConfig, search_series
+
+
+def test_fig04to07_mislabel_finders(benchmark, emit, yahoo_archive):
+    constant = yahoo_archive["yahoo_A1_51"]
+    twin = yahoo_archive["yahoo_A1_52"]
+    toggling = yahoo_archive["yahoo_A1_53"]
+
+    def run_finders():
+        return {
+            "constant_runs": find_partially_labeled_constant_runs(constant),
+            "twins": find_unlabeled_twins(twin),
+            "toggles": find_toggling_labels(toggling),
+            "duplicates": find_duplicate_series(yahoo_archive),
+        }
+
+    found = once(benchmark, run_finders)
+
+    unremarkable = next(
+        s
+        for s in yahoo_archive.series
+        if s.meta.get("anomaly_kind") == "unremarkable_label"
+    )
+    unremarkable_result = search_series(unremarkable, SearchConfig(), (3, 4))
+
+    lines = [
+        "Fig 4 (constant region, partial label):",
+        f"  {constant.name}: labeled {constant.labels.regions[0]}, "
+        f"offending constant runs {found['constant_runs']}",
+        "Fig 5 (unlabeled twin dropout):",
+        f"  {twin.name}: labeled {twin.labels.regions[0]}, twins at "
+        f"{[(m.twin_start, round(m.distance, 3)) for m in found['twins']]}",
+        "Fig 6 (statistically unremarkable label):",
+        f"  {unremarkable.name}: one-liner solvable = "
+        f"{unremarkable_result.solved} (nothing separates the label)",
+        "Fig 7 (over-precise toggling labels):",
+        f"  {toggling.name}: {toggling.labels.num_regions} regions, "
+        f"toggling spans {found['toggles']}",
+        "duplicate pair (Real13/Real15):",
+        f"  {found['duplicates']}",
+    ]
+    emit("fig04to07_mislabels", "\n".join(lines))
+
+    assert len(found["constant_runs"]) >= 1
+    assert len(found["twins"]) >= 1
+    assert len(found["toggles"]) >= 1
+    assert ("yahoo_A1_54", "yahoo_A1_55") in found["duplicates"]
+    assert not unremarkable_result.solved

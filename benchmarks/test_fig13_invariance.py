@@ -1,0 +1,54 @@
+"""Fig 13 — Telemanom vs. time series discord on a one-minute ECG,
+clean and with added noise.
+
+The paper's reading: on the clean signal both methods peak at the PVC
+(discords with visibly more discrimination); after adding significant
+Gaussian noise, the discord still peaks in the right place while
+Telemanom peaks in the wrong location.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis import AddNoise, Identity, run_invariance
+from repro.datasets import make_e0509m
+from repro.detectors import MatrixProfileDetector, TelemanomDetector
+from repro.viz import label_ruler, sparkline
+
+
+def test_fig13_noise_invariance(benchmark, emit):
+    series = make_e0509m()
+    detectors = [TelemanomDetector(lags=60), MatrixProfileDetector(w=280)]
+    transforms = (Identity(), AddNoise(1.0))
+
+    study = once(
+        benchmark, run_invariance, series, detectors, transforms, 0, 300
+    )
+
+    clean_tele = study.cell("Telemanom(lags=60)", "Identity")
+    clean_discord = study.cell("MatrixProfile(w=280)", "Identity")
+    noisy_tele = study.cell("Telemanom(lags=60)", "AddNoise(1σ)")
+    noisy_discord = study.cell("MatrixProfile(w=280)", "AddNoise(1σ)")
+
+    region = series.labels.regions[0]
+    lines = [
+        f"E0509m-like ECG, n={series.n}, PVC at [{region.start}, {region.end})",
+        f"series: {sparkline(series.values)}",
+        f"labels: {label_ruler(series.labels)}",
+        "",
+        study.format(),
+        "",
+        "paper's Fig 13 claims:",
+        f"  clean: both correct (telemanom@{clean_tele.location}, "
+        f"discord@{clean_discord.location})",
+        f"  +noise: telemanom peaks at {noisy_tele.location} (WRONG), "
+        f"discord at {noisy_discord.location} (still right)",
+    ]
+    emit("fig13_invariance", "\n".join(lines))
+
+    # clean signal: both methods peak at the anomaly
+    assert clean_tele.correct
+    assert clean_discord.correct
+    # noisy signal: the forecaster is misled, the discord survives
+    assert not noisy_tele.correct
+    assert noisy_discord.correct

@@ -1,0 +1,40 @@
+"""§2.6 — the combined flaw report for every simulated benchmark.
+
+The archive-level version of the paper's summary: the classic archives
+come out "irretrievably flawed", while the UCR-style archive passes.
+"""
+
+from conftest import once
+
+from repro.flaws import audit_archive
+from repro.oneliner import SearchConfig
+from repro.oneliner.report import YAHOO_FAMILY_POLICY
+
+
+def test_flaw_report_summary(benchmark, emit, yahoo_archive, nasa_archive, ucr_archive):
+    def yahoo_families(series):
+        return YAHOO_FAMILY_POLICY[series.meta["dataset"]]
+
+    def run_all():
+        return {
+            "yahoo": audit_archive(yahoo_archive, families_for=yahoo_families),
+            "nasa": audit_archive(nasa_archive, check_duplicates=False),
+            "ucr": audit_archive(ucr_archive, check_duplicates=False),
+        }
+
+    reports = once(benchmark, run_all)
+
+    text = "\n\n".join(report.format() for report in reports.values())
+    emit("flaw_report_summary", text)
+
+    assert "flawed" in reports["yahoo"].verdict
+    assert "mostly trivial" in reports["yahoo"].verdict
+    assert "run-to-failure" in reports["yahoo"].verdict
+    assert reports["yahoo"].duplicate_pairs  # Real13/Real15
+
+    assert "unrealistic density" in reports["nasa"].verdict
+
+    # the UCR-style archive is largely free of the flaws
+    assert reports["ucr"].triviality.trivial_fraction <= 0.2
+    assert not reports["ucr"].density.over_half
+    assert not reports["ucr"].duplicate_pairs

@@ -1,0 +1,50 @@
+"""Table 1 — brute-force one-liner results on the simulated Yahoo corpus.
+
+Paper numbers: A1 44/67 (30 by (3), 14 by (4)), A2 97/100 (40/57),
+A3 98/100 (84/14, all (6) hits sharing k=5, c=0), A4 77/100 (39/38);
+total 316/367 = 86.1 %.
+"""
+
+from conftest import once
+
+from repro.oneliner import build_table1
+
+PAPER_SUBTOTALS = {"A1": (44, 67), "A2": (97, 100), "A3": (98, 100), "A4": (77, 100)}
+PAPER_FAMILY_ROWS = {
+    ("A1", 3): 30,
+    ("A1", 4): 14,
+    ("A2", 3): 40,
+    ("A2", 4): 57,
+    ("A3", 5): 84,
+    ("A3", 6): 14,
+    ("A4", 5): 39,
+    ("A4", 6): 38,
+}
+
+
+def test_table1_bruteforce(benchmark, emit, yahoo_archive):
+    table = once(benchmark, build_table1, yahoo_archive)
+
+    lines = [table.format(), ""]
+    lines.append("paper vs measured (solved/total):")
+    for dataset, (paper_solved, paper_total) in PAPER_SUBTOTALS.items():
+        measured = table.subtotals[dataset]
+        lines.append(
+            f"  {dataset}: paper {paper_solved}/{paper_total}  "
+            f"measured {measured[0]}/{measured[1]}"
+        )
+    lines.append(
+        f"  total: paper 316/367 (86.1%)  measured "
+        f"{table.total_solved}/{table.total_series} ({table.total_percent:.1f}%)"
+    )
+    emit("table1_yahoo_bruteforce", "\n".join(lines))
+
+    assert table.subtotals == PAPER_SUBTOTALS
+    rows = {(r.dataset, r.family): r.solved for r in table.rows}
+    assert rows == PAPER_FAMILY_ROWS
+    assert table.total_solved == 316
+
+    # the paper's observation about the A3 family-(6) solutions
+    for result in table.search["A3"].results.values():
+        if result.solved and result.family == 6:
+            assert result.oneliner.k == 5 and result.oneliner.c == 0.0

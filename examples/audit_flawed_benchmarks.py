@@ -1,0 +1,35 @@
+"""Audit the classic benchmarks for all four flaws (paper §2).
+
+Rebuilds the simulated Yahoo and NASA archives and runs the combined
+flaw report: triviality (one-liner brute force), anomaly density,
+duplicate detection, and run-to-failure bias — the executable version
+of the paper's §2.6 verdict.
+
+Run:  python examples/audit_flawed_benchmarks.py
+"""
+
+from repro.datasets import NasaConfig, make_nasa, make_yahoo
+from repro.flaws import audit_archive
+from repro.oneliner import YAHOO_FAMILY_POLICY
+
+print("building simulated archives ...")
+yahoo = make_yahoo()
+nasa = make_nasa(NasaConfig())
+
+
+def yahoo_families(series):
+    return YAHOO_FAMILY_POLICY[series.meta["dataset"]]
+
+
+print("\nauditing Yahoo (367 series) ...")
+yahoo_report = audit_archive(yahoo, families_for=yahoo_families)
+print(yahoo_report.format())
+
+print("\nauditing NASA ({} channels) ...".format(len(nasa)))
+nasa_report = audit_archive(nasa, check_duplicates=False)
+print(nasa_report.format())
+
+print(
+    "\nBoth verdicts should read 'flawed: ...' — the same conclusion the\n"
+    "paper reaches for the real corpora."
+)

@@ -1,0 +1,42 @@
+"""Build, validate, save and score a UCR-style anomaly archive (paper §3).
+
+* builds a 30-dataset single-anomaly archive (natural exemplars plus
+  injected anomalies across seven domains);
+* validates it (structure + bounded one-liner-solvable fraction);
+* round-trips it through the archive's on-disk format
+  (``UCR_Anomaly_<name>_<train>_<begin>_<end>.txt``);
+* scores two detectors with the archive's binary accuracy protocol.
+
+Run:  python examples/build_ucr_archive.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.archive import load_archive, save_archive, validate_archive
+from repro.datasets import UcrSimConfig, make_ucr
+from repro.detectors import MatrixProfileDetector, MovingZScoreDetector
+from repro.scoring import score_archive
+
+print("building a 30-dataset UCR-style archive ...")
+archive = make_ucr(UcrSimConfig(size=30))
+
+print("\nvalidating ...")
+validation = validate_archive(archive, check_triviality=True, max_trivial_fraction=0.2)
+print(validation.format())
+
+with tempfile.TemporaryDirectory() as tmp:
+    paths = save_archive(archive, tmp)
+    print(f"\nsaved {len(paths)} files, e.g. {Path(paths[0]).name}")
+    reloaded = load_archive(tmp)
+    print(f"reloaded {len(reloaded)} datasets — names carry the protocol")
+
+print("\nscoring detectors with UCR accuracy (top location in region ± slop):")
+for detector in (MatrixProfileDetector(w=100), MovingZScoreDetector(k=50)):
+    summary = score_archive(archive, detector.locate)
+    print(f"  {detector.name:<24} {summary.accuracy:6.1%}")
+
+print(
+    "\nEvery dataset holds exactly one anomaly, so archive results are a\n"
+    "simple, interpretable accuracy — the evaluation §2.3 argues for."
+)

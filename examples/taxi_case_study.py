@@ -1,0 +1,50 @@
+"""The NY taxi case study (paper Fig 8, §2.4).
+
+Rebuilds the half-hourly NYC taxi demand series (2014-07-01 →
+2015-01-31) with NAB's five labels, computes the discord profile with a
+one-day window, and checks the top discords against the full calendar
+of twelve real events — showing that an algorithm flagging the Garner
+protests or Climate March would have been *penalized* as a false
+positive.
+
+Run:  python examples/taxi_case_study.py
+"""
+
+from repro.datasets import SLOTS_PER_DAY, TAXI_START, make_taxi
+from repro.detectors import discords
+from repro.viz import ascii_plot
+
+taxi = make_taxi()
+events = taxi.meta["proposed_events"]
+labeled = {"marathon_dst", "thanksgiving", "christmas", "new_year", "blizzard"}
+
+print(ascii_plot(taxi.values, taxi.labels, title="NYC taxi demand (NAB labels)"))
+print("\ncomputing the discord profile (window = one day) ...")
+found = discords(taxi.values, w=SLOTS_PER_DAY, top_k=14)
+
+
+def describe(index):
+    center = index + SLOTS_PER_DAY // 2
+    for event in events:
+        if event["start"] - SLOTS_PER_DAY <= center < event["end"] + SLOTS_PER_DAY:
+            return event["name"]
+    return None
+
+
+print(f"\n{'rank':>4} {'day':>5} {'distance':>9}  event")
+for rank, (start, distance) in enumerate(found, 1):
+    name = describe(start)
+    if name is None:
+        tag = "(no known event)"
+    elif name in labeled:
+        tag = f"{name}  [NAB label]"
+    else:
+        tag = f"{name}  [UNLABELED — penalized as a false positive!]"
+    day = TAXI_START.fromordinal(TAXI_START.toordinal() + start // SLOTS_PER_DAY)
+    print(f"{rank:>4} {day.isoformat():>11} {distance:>9.2f}  {tag}")
+
+print(
+    "\nThe paper: 'it is possible that an algorithm that was reported as\n"
+    "performing very poorly ... actually performed very well, discovering\n"
+    "Grand Jury, BLM march, Comic Con, Labor Day and Climate March, etc.'"
+)

@@ -1,0 +1,6 @@
+"""Setup shim: metadata lives in setup.cfg (see the note there on why
+this project deliberately has no pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

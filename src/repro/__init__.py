@@ -1,0 +1,31 @@
+"""repro — reproduction of Wu & Keogh (ICDE 2022).
+
+"Current Time Series Anomaly Detection Benchmarks are Flawed and are
+Creating the Illusion of Progress."
+
+Public surface:
+
+* :mod:`repro.oneliner` — the one-liner triviality engine (Definition 1,
+  families (1)-(6), brute-force search, Table 1 report).
+* :mod:`repro.scoring` — point / range-based / NAB / UCR scoring.
+* :mod:`repro.detectors` — baselines, discords (matrix profile, MERLIN),
+  Telemanom-style forecaster, statistical detectors.
+* :mod:`repro.datasets` — seeded simulators of the Yahoo, Numenta, NASA,
+  OMNI/SMD benchmarks and of UCR-archive-style data.
+* :mod:`repro.flaws` — the four-flaw audit (triviality, density,
+  mislabeling, run-to-failure).
+* :mod:`repro.archive` — UCR anomaly-archive builder and validator.
+* :mod:`repro.analysis` — invariance experiments (Fig 13).
+"""
+
+from .types import AnomalyRegion, Archive, LabeledSeries, Labels
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyRegion",
+    "Labels",
+    "LabeledSeries",
+    "Archive",
+    "__version__",
+]

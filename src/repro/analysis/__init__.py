@@ -1,0 +1,37 @@
+"""Invariance analysis (paper §4.2 and Fig 13)."""
+
+from .invariance import (
+    InvarianceOutcome,
+    InvarianceStudy,
+    discrimination,
+    run_invariance,
+)
+from .transforms import (
+    STANDARD_TRANSFORMS,
+    AddNoise,
+    AmplitudeScale,
+    BaselineWander,
+    Identity,
+    LinearTrend,
+    Occlusion,
+    Offset,
+    Transform,
+    UniformScale,
+)
+
+__all__ = [
+    "Transform",
+    "Identity",
+    "AddNoise",
+    "AmplitudeScale",
+    "Offset",
+    "LinearTrend",
+    "BaselineWander",
+    "Occlusion",
+    "UniformScale",
+    "STANDARD_TRANSFORMS",
+    "discrimination",
+    "InvarianceOutcome",
+    "InvarianceStudy",
+    "run_invariance",
+]

@@ -1,0 +1,140 @@
+"""The Fig-13 invariance harness.
+
+For each (detector, transform) pair: does the detector's score still
+peak at the anomaly, and with how much *discrimination* — the paper's
+informal "difference between the highest value and the mean values"?
+The output is the machine-readable version of Fig 13's visual argument,
+generalized from one transform (noise) to the §4.2 invariance panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..detectors.base import Detector
+from ..rng import rng_for
+from ..types import LabeledSeries
+from .transforms import STANDARD_TRANSFORMS, Transform
+
+__all__ = ["InvarianceOutcome", "InvarianceStudy", "discrimination", "run_invariance"]
+
+
+def discrimination(scores: np.ndarray, start: int = 0) -> float:
+    """(peak − mean) / std of the scores from ``start`` on.
+
+    The paper reads this quantity directly off Fig 13's panels;
+    normalizing by the std makes it comparable across detectors whose
+    score units differ.
+    """
+    region = np.asarray(scores, dtype=float)[start:]
+    region = region[np.isfinite(region)]
+    if region.size < 2:
+        return 0.0
+    std = float(region.std())
+    if std == 0.0:
+        return 0.0
+    return float((region.max() - region.mean()) / std)
+
+
+@dataclass(frozen=True)
+class InvarianceOutcome:
+    """One (detector, transform) cell of the invariance matrix."""
+
+    detector: str
+    transform: str
+    location: int
+    correct: bool
+    discrimination: float
+
+
+@dataclass
+class InvarianceStudy:
+    """All cells plus formatting helpers."""
+
+    series_name: str
+    outcomes: list[InvarianceOutcome]
+
+    def cell(self, detector: str, transform: str) -> InvarianceOutcome:
+        for outcome in self.outcomes:
+            if outcome.detector == detector and outcome.transform == transform:
+                return outcome
+        raise KeyError(f"no outcome for ({detector!r}, {transform!r})")
+
+    def invariant_transforms(self, detector: str) -> list[str]:
+        """Transforms under which the detector still localizes correctly."""
+        return [
+            outcome.transform
+            for outcome in self.outcomes
+            if outcome.detector == detector and outcome.correct
+        ]
+
+    def format(self) -> str:
+        detectors = sorted({o.detector for o in self.outcomes})
+        transforms = []
+        for outcome in self.outcomes:
+            if outcome.transform not in transforms:
+                transforms.append(outcome.transform)
+        width = max(len(t) for t in transforms) + 2
+        header = " " * width + "".join(f"{d:>24}" for d in detectors)
+        lines = [f"invariance study: {self.series_name}", header]
+        for transform in transforms:
+            row = f"{transform:<{width}}"
+            for detector in detectors:
+                outcome = self.cell(detector, transform)
+                mark = "ok " if outcome.correct else "MISS"
+                row += f"{mark:>12}{outcome.discrimination:>10.2f}"
+            lines.append(row)
+        lines.append("(per detector: localization verdict, discrimination)")
+        return "\n".join(lines)
+
+
+def _locate_and_discriminate(
+    detector: Detector, series: LabeledSeries, slop: int
+) -> tuple[int, bool, float]:
+    detector.fit(series.train)
+    scores = np.asarray(detector.score(series.values), dtype=float)
+    scores = np.where(np.isfinite(scores), scores, -np.inf)
+    scores[: series.train_len] = -np.inf
+    location = int(np.argmax(scores))
+    region = series.labels.nearest_region(location)
+    correct = region is not None and region.contains(location, slop=slop)
+    return location, correct, discrimination(scores, series.train_len)
+
+
+def run_invariance(
+    series: LabeledSeries,
+    detectors: list[Detector],
+    transforms: tuple[Transform, ...] = STANDARD_TRANSFORMS,
+    seed: int = 0,
+    slop: int | None = None,
+) -> InvarianceStudy:
+    """Evaluate every detector under every transform of one series.
+
+    ``slop`` is the accepted answer range around the labeled region
+    (§4.4's "slop"); default is the UCR rule of max(100, region length).
+    """
+    if series.labels.num_regions == 0:
+        raise ValueError(f"{series.name} has no labeled anomaly")
+    region = series.labels.regions[0]
+    if slop is None:
+        slop = max(100, region.length)
+    outcomes = []
+    for t_index, transform in enumerate(transforms):
+        rng = rng_for(seed, "invariance", series.name, t_index)
+        transformed = transform.apply(series, rng)
+        for detector in detectors:
+            location, correct, disc = _locate_and_discriminate(
+                detector, transformed, slop
+            )
+            outcomes.append(
+                InvarianceOutcome(
+                    detector=detector.name,
+                    transform=transform.name,
+                    location=location,
+                    correct=correct,
+                    discrimination=disc,
+                )
+            )
+    return InvarianceStudy(series_name=series.name, outcomes=outcomes)

@@ -1,0 +1,210 @@
+"""Invariance transforms (paper §4.2).
+
+The paper argues algorithms should be explained "with reference to their
+invariances ... amplitude scaling, offset, occlusion, noise, linear
+trend, warping, uniform scaling".  Each transform here perturbs a
+labeled series along exactly one of those axes, preserving (or exactly
+remapping) its labels, so the invariance harness can ask: *does the
+detector still find the anomaly?*
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import AnomalyRegion, LabeledSeries, Labels
+
+__all__ = [
+    "Transform",
+    "Identity",
+    "AddNoise",
+    "AmplitudeScale",
+    "Offset",
+    "LinearTrend",
+    "BaselineWander",
+    "Occlusion",
+    "UniformScale",
+    "STANDARD_TRANSFORMS",
+]
+
+
+class Transform(ABC):
+    """A labeled-series perturbation along one invariance axis."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abstractmethod
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        """Return the transformed series (labels preserved or remapped)."""
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+@dataclass(repr=False)
+class Identity(Transform):
+    """No-op: the clean-signal control row of Fig 13 (top)."""
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        return series.with_values(series.values.copy(), "+identity")
+
+
+@dataclass(repr=False)
+class AddNoise(Transform):
+    """Additive Gaussian noise, σ = ``fraction`` of the series std
+    (Fig 13 bottom: 'the same electrocardiogram with noise added')."""
+
+    fraction: float = 1.0
+
+    @property
+    def name(self) -> str:
+        return f"AddNoise({self.fraction:g}σ)"
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        sigma = self.fraction * float(series.values.std())
+        noisy = series.values + rng.normal(0.0, sigma, series.n)
+        return series.with_values(noisy, f"+noise{self.fraction:g}")
+
+
+@dataclass(repr=False)
+class AmplitudeScale(Transform):
+    """Multiply the whole series by a constant."""
+
+    factor: float = 5.0
+
+    @property
+    def name(self) -> str:
+        return f"AmplitudeScale(x{self.factor:g})"
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        return series.with_values(series.values * self.factor, "+scale")
+
+
+@dataclass(repr=False)
+class Offset(Transform):
+    """Add a constant level shift."""
+
+    fraction: float = 10.0  # of the series std
+
+    @property
+    def name(self) -> str:
+        return f"Offset({self.fraction:g}σ)"
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        delta = self.fraction * float(series.values.std())
+        return series.with_values(series.values + delta, "+offset")
+
+
+@dataclass(repr=False)
+class LinearTrend(Transform):
+    """Superimpose a ramp spanning ``fraction``·std over the series."""
+
+    fraction: float = 3.0
+
+    @property
+    def name(self) -> str:
+        return f"LinearTrend({self.fraction:g}σ)"
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        span = self.fraction * float(series.values.std())
+        ramp = np.linspace(0.0, span, series.n)
+        return series.with_values(series.values + ramp, "+trend")
+
+
+@dataclass(repr=False)
+class BaselineWander(Transform):
+    """Slow sinusoidal baseline drift "not relevant to the
+    normal/anomaly distinction" (the paper's §4.2 example question)."""
+
+    fraction: float = 2.0
+    period_fraction: float = 0.25  # of the series length
+
+    @property
+    def name(self) -> str:
+        return f"BaselineWander({self.fraction:g}σ)"
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        amplitude = self.fraction * float(series.values.std())
+        period = max(2.0, self.period_fraction * series.n)
+        t = np.arange(series.n)
+        phase = rng.uniform(0, 2 * np.pi)
+        wander = amplitude * np.sin(2 * np.pi * t / period + phase)
+        return series.with_values(series.values + wander, "+wander")
+
+
+@dataclass(repr=False)
+class Occlusion(Transform):
+    """Zero out short segments away from the labeled anomaly."""
+
+    num_segments: int = 3
+    segment_length: int = 20
+
+    @property
+    def name(self) -> str:
+        return f"Occlusion({self.num_segments}x{self.segment_length})"
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        values = series.values.copy()
+        forbidden = series.labels.to_mask()
+        placed = 0
+        attempts = 0
+        while placed < self.num_segments and attempts < 100:
+            attempts += 1
+            start = int(rng.integers(series.train_len, series.n - self.segment_length))
+            window = slice(start, start + self.segment_length)
+            if forbidden[window].any():
+                continue
+            values[window] = values[start]
+            placed += 1
+        return series.with_values(values, "+occlusion")
+
+
+@dataclass(repr=False)
+class UniformScale(Transform):
+    """Uniformly stretch time by ``factor`` (resampling), remapping the
+    labels and train split to the new coordinates."""
+
+    factor: float = 1.25
+
+    @property
+    def name(self) -> str:
+        return f"UniformScale(x{self.factor:g})"
+
+    def apply(self, series: LabeledSeries, rng: np.random.Generator) -> LabeledSeries:
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+        new_n = int(round(series.n * self.factor))
+        old_axis = np.linspace(0.0, 1.0, series.n)
+        new_axis = np.linspace(0.0, 1.0, new_n)
+        values = np.interp(new_axis, old_axis, series.values)
+        regions = tuple(
+            AnomalyRegion(
+                int(region.start * self.factor),
+                max(int(region.end * self.factor), int(region.start * self.factor) + 1),
+            )
+            for region in series.labels.regions
+        )
+        return LabeledSeries(
+            name=series.name + "+uniformscale",
+            values=values,
+            labels=Labels(n=new_n, regions=regions),
+            train_len=int(series.train_len * self.factor),
+            meta=dict(series.meta),
+        )
+
+
+#: The default transform panel used by the Fig 13 bench.
+STANDARD_TRANSFORMS: tuple[Transform, ...] = (
+    Identity(),
+    AddNoise(1.0),
+    AmplitudeScale(5.0),
+    Offset(10.0),
+    LinearTrend(3.0),
+    BaselineWander(2.0),
+    Occlusion(),
+)

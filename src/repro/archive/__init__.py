@@ -1,0 +1,51 @@
+"""UCR anomaly-archive construction: naming, injection, building, validation."""
+
+from .builder import from_injection, from_natural, load_archive, save_archive
+from .injection import (
+    INJECTORS,
+    amplitude_change,
+    dropout,
+    freeze,
+    local_warp,
+    missing_sentinel,
+    noise_burst,
+    reverse_segment,
+    smooth_segment,
+    spike,
+    swap_cycle,
+    triangle_cycle,
+)
+from .naming import UcrName, format_name, name_series, parse_name
+from .validation import (
+    ArchiveValidation,
+    SeriesValidation,
+    validate_archive,
+    validate_series,
+)
+
+__all__ = [
+    "UcrName",
+    "parse_name",
+    "format_name",
+    "name_series",
+    "freeze",
+    "dropout",
+    "spike",
+    "noise_burst",
+    "amplitude_change",
+    "reverse_segment",
+    "smooth_segment",
+    "local_warp",
+    "triangle_cycle",
+    "missing_sentinel",
+    "swap_cycle",
+    "INJECTORS",
+    "from_natural",
+    "from_injection",
+    "save_archive",
+    "load_archive",
+    "validate_series",
+    "validate_archive",
+    "SeriesValidation",
+    "ArchiveValidation",
+]

@@ -1,0 +1,217 @@
+"""Anomaly injection operators (paper §3.2, "synthetic but highly
+plausible anomalies").
+
+Each operator takes a clean series and returns ``(values, region)`` — the
+modified series and the half-open region that should be labeled.  All
+operators are deterministic given their RNG and never touch points
+outside the returned region (except :func:`swap_cycle`, whose shifted
+splice the paper describes explicitly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import AnomalyRegion
+
+__all__ = [
+    "freeze",
+    "dropout",
+    "spike",
+    "noise_burst",
+    "amplitude_change",
+    "reverse_segment",
+    "smooth_segment",
+    "local_warp",
+    "triangle_cycle",
+    "missing_sentinel",
+    "swap_cycle",
+    "INJECTORS",
+]
+
+
+def _validated(values: np.ndarray, start: int, length: int) -> np.ndarray:
+    values = np.asarray(values, dtype=float).copy()
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if not 0 <= start <= values.size - length:
+        raise ValueError(
+            f"segment [{start}, {start + length}) outside series of "
+            f"length {values.size}"
+        )
+    return values
+
+
+def freeze(values: np.ndarray, start: int, length: int) -> tuple[np.ndarray, AnomalyRegion]:
+    """Dynamic signal becomes exactly constant (the NASA failure mode)."""
+    out = _validated(values, start, length)
+    out[start : start + length] = out[start]
+    return out, AnomalyRegion(start, start + length)
+
+
+def dropout(
+    values: np.ndarray, start: int, length: int = 1, level: float | None = None
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Short fall to a fixed level (a sensor dropout)."""
+    out = _validated(values, start, length)
+    if level is None:
+        level = float(np.min(out) - 0.5 * (np.max(out) - np.min(out) + 1e-9))
+    out[start : start + length] = level
+    return out, AnomalyRegion(start, start + length)
+
+
+def spike(
+    values: np.ndarray, start: int, magnitude: float
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Single additive point spike."""
+    out = _validated(values, start, 1)
+    out[start] += magnitude
+    return out, AnomalyRegion(start, start + 1)
+
+
+def noise_burst(
+    values: np.ndarray,
+    start: int,
+    length: int,
+    scale: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Added Gaussian noise over a segment."""
+    out = _validated(values, start, length)
+    out[start : start + length] += rng.normal(0.0, scale, length)
+    return out, AnomalyRegion(start, start + length)
+
+
+def amplitude_change(
+    values: np.ndarray, start: int, length: int, factor: float
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Scale a segment about its own mean (damped or exaggerated cycle)."""
+    out = _validated(values, start, length)
+    segment = out[start : start + length]
+    center = segment.mean()
+    out[start : start + length] = center + factor * (segment - center)
+    return out, AnomalyRegion(start, start + length)
+
+
+def reverse_segment(
+    values: np.ndarray, start: int, length: int
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Time-reverse a segment (subtle shape anomaly)."""
+    out = _validated(values, start, length)
+    out[start : start + length] = out[start : start + length][::-1]
+    return out, AnomalyRegion(start, start + length)
+
+
+def smooth_segment(
+    values: np.ndarray, start: int, length: int, passes: int = 8
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Low-pass a segment with repeated 3-point averaging."""
+    out = _validated(values, start, length)
+    segment = out[start : start + length].copy()
+    for _ in range(passes):
+        if segment.size < 3:
+            break
+        inner = (segment[:-2] + segment[1:-1] + segment[2:]) / 3.0
+        segment = np.concatenate([[segment[0]], inner, [segment[-1]]])
+    out[start : start + length] = segment
+    return out, AnomalyRegion(start, start + length)
+
+
+def local_warp(
+    values: np.ndarray, start: int, length: int, factor: float = 1.3
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Locally stretch (factor > 1) or compress time within a segment.
+
+    The segment is resampled so the same shape plays out at a different
+    speed, then trimmed/padded back to the original length — mimicking a
+    heart-rate or gait-speed glitch.
+    """
+    out = _validated(values, start, length)
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    segment = out[start : start + length]
+    source = np.linspace(0.0, 1.0, segment.size)
+    warped_axis = np.linspace(0.0, 1.0, max(2, int(round(segment.size * factor))))
+    warped = np.interp(warped_axis, source, segment)
+    resampled = np.interp(source, np.linspace(0.0, 1.0, warped.size), warped)
+    out[start : start + length] = resampled
+    return out, AnomalyRegion(start, start + length)
+
+
+def triangle_cycle(
+    values: np.ndarray,
+    start: int,
+    length: int,
+    rng: np.random.Generator | None = None,
+    noise: float = 0.0,
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Replace one cycle with a triangle wave of matched range.
+
+    The triangle interpolates segment-start → segment max → segment min →
+    segment-end through the quarter points, so it is C0-continuous and
+    its slopes stay inside the original cycle's slope range — a pure
+    *shape* anomaly with no diff/threshold signature (the kind the paper
+    argues should populate a non-trivial benchmark).
+    """
+    out = _validated(values, start, length)
+    segment = out[start : start + length]
+    if length < 4:
+        raise ValueError(f"need at least 4 points for a cycle, got {length}")
+    nodes = [0.0, (length - 1) / 4.0, 3.0 * (length - 1) / 4.0, float(length - 1)]
+    levels = [segment[0], segment.max(), segment.min(), segment[-1]]
+    triangle = np.interp(np.arange(length, dtype=float), nodes, levels)
+    if noise > 0.0:
+        if rng is None:
+            raise ValueError("noise > 0 requires an rng")
+        triangle = triangle + rng.uniform(-noise, noise, length)
+    out[start : start + length] = triangle
+    return out, AnomalyRegion(start, start + length)
+
+
+def missing_sentinel(
+    values: np.ndarray, start: int, length: int = 1, sentinel: float = -9999.0
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """AspenTech-style missing-data sentinel (paper §3: ``-9999``)."""
+    out = _validated(values, start, length)
+    out[start : start + length] = sentinel
+    return out, AnomalyRegion(start, start + length)
+
+
+def swap_cycle(
+    values: np.ndarray,
+    donor: np.ndarray,
+    start: int,
+    length: int,
+    shift: int = 0,
+) -> tuple[np.ndarray, AnomalyRegion]:
+    """Replace one cycle with the same cycle from a parallel channel.
+
+    This is exactly the paper's Fig 12 construction: "we replaced a
+    single, randomly chosen right-foot cycle with the corresponding
+    left-foot cycle (shifting it by a half cycle length)".
+    """
+    out = _validated(values, start, length)
+    donor = np.asarray(donor, dtype=float)
+    lo = start + shift
+    if not 0 <= lo <= donor.size - length:
+        raise ValueError(
+            f"shifted donor segment [{lo}, {lo + length}) outside donor "
+            f"of length {donor.size}"
+        )
+    out[start : start + length] = donor[lo : lo + length]
+    return out, AnomalyRegion(start, start + length)
+
+
+INJECTORS = {
+    "freeze": freeze,
+    "dropout": dropout,
+    "spike": spike,
+    "noise_burst": noise_burst,
+    "amplitude_change": amplitude_change,
+    "reverse_segment": reverse_segment,
+    "smooth_segment": smooth_segment,
+    "local_warp": local_warp,
+    "triangle_cycle": triangle_cycle,
+    "missing_sentinel": missing_sentinel,
+    "swap_cycle": swap_cycle,
+}

@@ -1,0 +1,86 @@
+"""UCR Anomaly Archive file-name convention.
+
+Archive datasets encode their evaluation protocol in the file name
+(paper §3.1): ``UCR_Anomaly_<name>_<train>_<begin>_<end>`` means the
+first ``train`` points are the anomaly-free training prefix and the
+single anomaly lies in ``[begin, end]``.
+
+The archive uses *inclusive* 1-free boundaries in names (e.g.
+``UCR_Anomaly_BIDMC1_2500_5400_5600``); internally we keep the library's
+half-open 0-based convention, so ``parse``/``format`` translate: a name
+``..._b_e`` maps to region ``[b, e + 1)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..types import AnomalyRegion, LabeledSeries, Labels
+
+__all__ = ["UcrName", "parse_name", "format_name", "name_series"]
+
+_PATTERN = re.compile(
+    r"^UCR_Anomaly_(?P<name>.+)_(?P<train>\d+)_(?P<begin>\d+)_(?P<end>\d+)$"
+)
+
+
+@dataclass(frozen=True)
+class UcrName:
+    """Parsed UCR archive dataset name."""
+
+    base: str
+    train_len: int
+    begin: int  # inclusive, as written in the file name
+    end: int  # inclusive, as written in the file name
+
+    @property
+    def region(self) -> AnomalyRegion:
+        """The labeled region in half-open library coordinates."""
+        return AnomalyRegion(self.begin, self.end + 1)
+
+    def labels(self, n: int) -> Labels:
+        return Labels(n=n, regions=(self.region,))
+
+
+def parse_name(name: str) -> UcrName:
+    """Parse ``UCR_Anomaly_<base>_<train>_<begin>_<end>``."""
+    stem = name.removesuffix(".txt")
+    match = _PATTERN.match(stem)
+    if match is None:
+        raise ValueError(f"not a UCR anomaly archive name: {name!r}")
+    train = int(match.group("train"))
+    begin = int(match.group("begin"))
+    end = int(match.group("end"))
+    if end < begin:
+        raise ValueError(f"{name!r}: anomaly end {end} before begin {begin}")
+    if begin < train:
+        raise ValueError(
+            f"{name!r}: anomaly begins at {begin}, inside the training "
+            f"prefix of {train}"
+        )
+    return UcrName(
+        base=match.group("name"), train_len=train, begin=begin, end=end
+    )
+
+
+def format_name(base: str, train_len: int, region: AnomalyRegion) -> str:
+    """Render the archive name for a half-open labeled region."""
+    if region.start < train_len:
+        raise ValueError(
+            f"anomaly at {region.start} lies inside the training prefix "
+            f"({train_len})"
+        )
+    return f"UCR_Anomaly_{base}_{train_len}_{region.start}_{region.end - 1}"
+
+
+def name_series(series: LabeledSeries, base: str | None = None) -> str:
+    """Archive name for a single-anomaly :class:`LabeledSeries`."""
+    if series.labels.num_regions != 1:
+        raise ValueError(
+            f"{series.name}: UCR naming requires exactly one region, "
+            f"found {series.labels.num_regions}"
+        )
+    return format_name(
+        base or series.name, series.train_len, series.labels.regions[0]
+    )

@@ -1,0 +1,149 @@
+"""Archive validator: the checks §3 of the paper builds its archive on.
+
+Structural checks run per dataset:
+
+* exactly one labeled anomaly, entirely inside the test region;
+* all values finite, a usable training prefix;
+* the UCR name, if the series carries one, must agree with the labels.
+
+The *triviality screen* runs the one-liner brute force on each dataset.
+The archive deliberately keeps "a small fraction" of one-liner-solvable
+problems (dropouts are legitimately trivial), so the archive-level check
+is a bounded fraction, not zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..oneliner.search import SearchConfig, search_series
+from ..types import Archive, LabeledSeries
+from .naming import parse_name
+
+__all__ = ["SeriesValidation", "ArchiveValidation", "validate_series", "validate_archive"]
+
+MIN_TRAIN = 100
+
+
+@dataclass
+class SeriesValidation:
+    """Issues found in one dataset (empty list = valid)."""
+
+    name: str
+    issues: list[str] = field(default_factory=list)
+    trivially_solvable: bool | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+def validate_series(
+    series: LabeledSeries,
+    check_triviality: bool = False,
+    search_config: SearchConfig | None = None,
+) -> SeriesValidation:
+    """Run all structural checks (and optionally the triviality screen)."""
+    result = SeriesValidation(name=series.name)
+    issues = result.issues
+
+    if series.labels.num_regions != 1:
+        issues.append(
+            f"expected exactly 1 labeled anomaly, found "
+            f"{series.labels.num_regions}"
+        )
+    if not np.isfinite(series.values).all():
+        issues.append("series contains non-finite values")
+    if series.train_len < MIN_TRAIN:
+        issues.append(
+            f"training prefix of {series.train_len} points is shorter "
+            f"than the minimum {MIN_TRAIN}"
+        )
+    for region in series.labels.regions:
+        if region.start < series.train_len:
+            issues.append(
+                f"labeled region starts at {region.start}, inside the "
+                f"training prefix ({series.train_len})"
+            )
+    if series.name.startswith("UCR_Anomaly_"):
+        try:
+            parsed = parse_name(series.name)
+        except ValueError as error:
+            issues.append(f"bad archive name: {error}")
+        else:
+            if parsed.train_len != series.train_len:
+                issues.append(
+                    f"name says train={parsed.train_len}, series has "
+                    f"{series.train_len}"
+                )
+            if series.labels.regions and parsed.region != series.labels.regions[0]:
+                issues.append(
+                    f"name region {parsed.region} disagrees with labels "
+                    f"{series.labels.regions[0]}"
+                )
+
+    if check_triviality and series.labels.num_regions == 1:
+        config = search_config or SearchConfig()
+        result.trivially_solvable = search_series(series, config).solved
+    return result
+
+
+@dataclass
+class ArchiveValidation:
+    """Aggregate validation of an archive."""
+
+    results: list[SeriesValidation]
+    max_trivial_fraction: float
+
+    @property
+    def structural_failures(self) -> list[SeriesValidation]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def trivial_fraction(self) -> float:
+        screened = [
+            result
+            for result in self.results
+            if result.trivially_solvable is not None
+        ]
+        if not screened:
+            return 0.0
+        solvable = sum(result.trivially_solvable for result in screened)
+        return solvable / len(screened)
+
+    @property
+    def ok(self) -> bool:
+        if self.structural_failures:
+            return False
+        return self.trivial_fraction <= self.max_trivial_fraction
+
+    def format(self) -> str:
+        lines = [
+            f"datasets checked: {len(self.results)}",
+            f"structural failures: {len(self.structural_failures)}",
+            f"trivially solvable: {self.trivial_fraction:.1%} "
+            f"(allowed {self.max_trivial_fraction:.0%})",
+            f"verdict: {'OK' if self.ok else 'REJECTED'}",
+        ]
+        for failure in self.structural_failures:
+            for issue in failure.issues:
+                lines.append(f"  {failure.name}: {issue}")
+        return "\n".join(lines)
+
+
+def validate_archive(
+    archive: Archive,
+    check_triviality: bool = True,
+    max_trivial_fraction: float = 0.2,
+    search_config: SearchConfig | None = None,
+) -> ArchiveValidation:
+    """Validate every dataset; bound the one-liner-solvable fraction."""
+    results = [
+        validate_series(series, check_triviality, search_config)
+        for series in archive.series
+    ]
+    return ArchiveValidation(
+        results=results, max_trivial_fraction=max_trivial_fraction
+    )

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``table1`` — regenerate Table 1 on the simulated Yahoo archive.
+* ``audit <benchmark>`` — four-flaw report for ``yahoo``, ``nasa`` or
+  ``numenta``.
+* ``taxi`` — the Fig 8 discord-vs-labels case study.
+* ``build-archive <dir>`` — build, validate and save a UCR-style
+  archive to a directory.
+* ``score <dir>`` — score the registered detectors on a saved archive
+  with UCR accuracy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Current TSAD Benchmarks are Flawed'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 (Yahoo brute force)")
+    table1.add_argument("--seed", type=int, default=7)
+
+    audit = sub.add_parser("audit", help="four-flaw report for a benchmark")
+    audit.add_argument("benchmark", choices=["yahoo", "nasa", "numenta"])
+    audit.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("taxi", help="Fig 8: taxi discords vs. NAB labels")
+
+    build = sub.add_parser("build-archive", help="build + validate a UCR-style archive")
+    build.add_argument("directory")
+    build.add_argument("--size", type=int, default=30)
+    build.add_argument("--seed", type=int, default=11)
+    build.add_argument(
+        "--max-trivial",
+        type=float,
+        default=0.25,
+        help="allowed one-liner-solvable fraction (small archives need "
+        "more headroom: the two paper exemplars count against it)",
+    )
+
+    score = sub.add_parser("score", help="UCR-score detectors on a saved archive")
+    score.add_argument("directory")
+    score.add_argument(
+        "--detectors",
+        default="moving_zscore,matrix_profile",
+        help="comma-separated registry names",
+    )
+    return parser
+
+
+def _cmd_table1(args) -> int:
+    from .datasets import YahooConfig, make_yahoo
+    from .oneliner import build_table1
+
+    archive = make_yahoo(YahooConfig(seed=args.seed))
+    print(build_table1(archive).format())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from .flaws import audit_archive
+    from .oneliner import YAHOO_FAMILY_POLICY
+
+    if args.benchmark == "yahoo":
+        from .datasets import YahooConfig, make_yahoo
+
+        archive = make_yahoo(YahooConfig(seed=args.seed))
+        report = audit_archive(
+            archive,
+            families_for=lambda s: YAHOO_FAMILY_POLICY[s.meta["dataset"]],
+        )
+    elif args.benchmark == "nasa":
+        from .datasets import NasaConfig, make_nasa
+
+        report = audit_archive(
+            make_nasa(NasaConfig(seed=args.seed)), check_duplicates=False
+        )
+    else:
+        from .datasets import make_numenta
+
+        report = audit_archive(make_numenta(args.seed), check_duplicates=False)
+    print(report.format())
+    return 0
+
+
+def _cmd_taxi(args) -> int:
+    from .datasets import SLOTS_PER_DAY, make_taxi
+    from .flaws import discord_label_disagreement
+
+    taxi = make_taxi()
+    report = discord_label_disagreement(taxi, w=SLOTS_PER_DAY, top_k=14)
+    print(f"labeled-region discord hits: {len(report.labeled_hits)}")
+    print(
+        "unlabeled discords (candidate missed events): "
+        f"{len(report.unlabeled_discords)}"
+    )
+    for start, distance in report.unlabeled_discords:
+        print(f"  day {start // SLOTS_PER_DAY:>3}  distance {distance:.2f}")
+    return 0
+
+
+def _cmd_build_archive(args) -> int:
+    from .archive import save_archive, validate_archive
+    from .datasets import UcrSimConfig, make_ucr
+
+    archive = make_ucr(UcrSimConfig(seed=args.seed, size=args.size))
+    validation = validate_archive(
+        archive, check_triviality=True, max_trivial_fraction=args.max_trivial
+    )
+    print(validation.format())
+    if not validation.ok:
+        return 1
+    written = save_archive(archive, args.directory)
+    print(f"wrote {len(written)} datasets to {args.directory}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from .archive import load_archive
+    from .detectors import make_detector
+    from .scoring import score_archive
+
+    archive = load_archive(args.directory)
+    if len(archive) == 0:
+        print(f"no UCR_Anomaly_*.txt files in {args.directory}", file=sys.stderr)
+        return 1
+    for name in args.detectors.split(","):
+        detector = make_detector(name.strip())
+        summary = score_archive(archive, detector.locate)
+        print(f"{detector.name:<28} accuracy {summary.accuracy:6.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "audit": _cmd_audit,
+    "taxi": _cmd_taxi,
+    "build-archive": _cmd_build_archive,
+    "score": _cmd_score,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

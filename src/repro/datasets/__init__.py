@@ -1,0 +1,78 @@
+"""Seeded simulators of the TSAD benchmarks the paper analyses."""
+
+from .base import (
+    linear_trend,
+    max_abs_diff_outside,
+    random_walk,
+    run_to_failure_position,
+    sawtooth,
+    sine,
+    triangle_wave,
+    uniform_noise,
+)
+from .gait import GaitRecording, grf_cycle, make_gait, make_park3m
+from .nasa import NasaConfig, make_g1_channel, make_nasa
+from .numenta import (
+    SLOTS_PER_DAY,
+    TAXI_EVENTS,
+    TAXI_START,
+    TaxiEvent,
+    make_art_daily,
+    make_art_increase_spike_density,
+    make_numenta,
+    make_taxi,
+    taxi_index,
+)
+from .physio import (
+    BeatTrain,
+    make_beat_train,
+    make_bidmc1,
+    make_e0509m,
+    render_ecg,
+    render_pleth,
+)
+from .smd import FIG1_ONELINERS, SmdConfig, SmdMachine, make_machine, make_smd
+from .ucr import UcrSimConfig, make_ucr
+from .yahoo import YahooConfig, make_yahoo
+
+__all__ = [
+    "sine",
+    "sawtooth",
+    "triangle_wave",
+    "linear_trend",
+    "random_walk",
+    "uniform_noise",
+    "max_abs_diff_outside",
+    "run_to_failure_position",
+    "YahooConfig",
+    "make_yahoo",
+    "TaxiEvent",
+    "TAXI_EVENTS",
+    "TAXI_START",
+    "SLOTS_PER_DAY",
+    "taxi_index",
+    "make_taxi",
+    "make_art_increase_spike_density",
+    "make_art_daily",
+    "make_numenta",
+    "NasaConfig",
+    "make_nasa",
+    "make_g1_channel",
+    "SmdConfig",
+    "SmdMachine",
+    "make_machine",
+    "make_smd",
+    "FIG1_ONELINERS",
+    "BeatTrain",
+    "make_beat_train",
+    "render_ecg",
+    "render_pleth",
+    "make_bidmc1",
+    "make_e0509m",
+    "GaitRecording",
+    "grf_cycle",
+    "make_gait",
+    "make_park3m",
+    "UcrSimConfig",
+    "make_ucr",
+]

@@ -1,0 +1,120 @@
+"""Shared building blocks for the benchmark simulators.
+
+Simulators compose these primitives into Yahoo-, Numenta-, NASA- and
+SMD-shaped corpora.  Two conventions matter everywhere:
+
+* **Bounded noise.**  Background noise is uniform, not Gaussian.  A
+  Gaussian background hands one-liners "lottery tickets": the global
+  noise maximum is itself an outlier, so whether a series counts as
+  trivially solvable would depend on where one sample landed.  Bounded
+  noise makes triviality a property of the *planted anomaly*, which is
+  what Table 1 measures.
+* **Seeded determinism.**  All randomness flows through
+  :func:`repro.rng.rng_for`; the same seed rebuilds the same archive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_noise",
+    "sine",
+    "sawtooth",
+    "triangle_wave",
+    "linear_trend",
+    "random_walk",
+    "max_abs_diff_outside",
+    "run_to_failure_position",
+]
+
+
+def uniform_noise(rng: np.random.Generator, n: int, amplitude: float) -> np.ndarray:
+    """Bounded noise in ``[-amplitude, amplitude]``."""
+    return rng.uniform(-amplitude, amplitude, n)
+
+
+def sine(n: int, period: float, amplitude: float = 1.0, phase: float = 0.0) -> np.ndarray:
+    """A plain sinusoid."""
+    t = np.arange(n, dtype=float)
+    return amplitude * np.sin(2.0 * np.pi * t / period + phase)
+
+
+def sawtooth(
+    n: int, period: int, amplitude: float = 1.0, rise_fraction: float = 0.9
+) -> np.ndarray:
+    """Asymmetric sawtooth: slow rise over ``rise_fraction`` of the
+    period, sharp fall over the rest.
+
+    The Yahoo simulator uses this to make large *negative* diffs a
+    normal feature of a series, so signed one-liners (families 5/6)
+    succeed where absolute ones (3/4) fail — the structure behind
+    Table 1's A3/A4 rows.
+    """
+    if not 0.0 < rise_fraction < 1.0:
+        raise ValueError(f"rise_fraction must be in (0, 1), got {rise_fraction}")
+    t = np.arange(n, dtype=float) % period
+    split = period * rise_fraction
+    rising = t < split
+    out = np.empty(n)
+    out[rising] = t[rising] / split
+    out[~rising] = 1.0 - (t[~rising] - split) / (period - split)
+    return amplitude * out
+
+
+def triangle_wave(n: int, period: int, amplitude: float = 1.0) -> np.ndarray:
+    """Symmetric triangle wave with constant |slope|."""
+    t = np.arange(n, dtype=float) % period
+    half = period / 2.0
+    out = np.where(t < half, t / half, 2.0 - t / half)
+    return amplitude * (2.0 * out - 1.0)
+
+
+def linear_trend(n: int, slope: float, intercept: float = 0.0) -> np.ndarray:
+    """A straight line."""
+    return intercept + slope * np.arange(n, dtype=float)
+
+
+def random_walk(rng: np.random.Generator, n: int, step: float) -> np.ndarray:
+    """Bounded-increment random walk (uniform steps)."""
+    return np.cumsum(rng.uniform(-step, step, n))
+
+
+def max_abs_diff_outside(values: np.ndarray, exclude: list[tuple[int, int]]) -> float:
+    """Largest |diff| whose arrival point is outside all given regions.
+
+    Simulators size planted spikes relative to this: a family-(3) spike
+    must strictly dominate it, a family-(4) spike must stay below it.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        return 0.0
+    magnitude = np.abs(np.diff(values))
+    keep = np.ones(magnitude.size, dtype=bool)
+    for start, end in exclude:
+        lo = max(0, start - 1)
+        keep[lo : end + 1] = False
+    outside = magnitude[keep[: magnitude.size]]
+    return float(outside.max()) if outside.size else 0.0
+
+
+def run_to_failure_position(
+    rng: np.random.Generator,
+    n: int,
+    margin: int = 10,
+    strength: float = 6.0,
+    end_mass: float = 0.45,
+) -> int:
+    """Draw an anomaly position biased toward the series end (§2.5).
+
+    With probability ``end_mass`` the anomaly lands in the final 3 % of
+    the usable range — run-to-failure recordings literally stop at the
+    failure, producing Fig 10's spike against 100 %.  The remaining mass
+    follows a right-skewed Beta(strength, 1).
+    """
+    if rng.uniform() < end_mass:
+        fraction = rng.uniform(0.97, 1.0)
+    else:
+        fraction = rng.beta(strength, 1.0)
+    low, high = margin, max(margin + 1, n - margin)
+    return int(low + fraction * (high - low - 1))

@@ -1,0 +1,151 @@
+"""Synthetic force-plate gait telemetry (Fig 12's park3m dataset).
+
+The paper's construction: a two-dimensional recording of left and right
+foot vertical ground-reaction force from "an individual with an antalgic
+gait, with a near normal right foot cycle (RFC), but a tentative and
+weak left foot cycle (LFC)"; the anomaly is one RFC replaced by the
+corresponding LFC "shifting it by a half cycle length".  The apparatus
+is finite, so "the gait speed changes as the user circles around at the
+end of the device" three or four times — present in both train and test
+so it must not be flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..archive.injection import swap_cycle
+from ..rng import rng_for
+from ..types import LabeledSeries, Labels
+
+__all__ = ["GaitRecording", "grf_cycle", "make_gait", "make_park3m"]
+
+
+def grf_cycle(
+    length: int,
+    peak1: float,
+    peak2: float,
+    valley: float,
+    stance_fraction: float = 0.62,
+) -> np.ndarray:
+    """One gait cycle of vertical ground-reaction force.
+
+    Stance phase: the classic double-hump (weight acceptance at
+    heel-down, push-off before toe-off) built from raised cosines;
+    swing phase: zero force.
+    """
+    stance = int(length * stance_fraction)
+    t = np.linspace(0.0, 1.0, stance)
+    hump1 = peak1 * np.exp(-0.5 * ((t - 0.22) / 0.11) ** 2)
+    hump2 = peak2 * np.exp(-0.5 * ((t - 0.74) / 0.12) ** 2)
+    mid = valley * np.exp(-0.5 * ((t - 0.48) / 0.14) ** 2)
+    envelope = np.sin(np.pi * np.clip(t, 0, 1)) ** 0.5
+    cycle = np.zeros(length)
+    cycle[:stance] = (hump1 + hump2 + mid) * envelope
+    return cycle
+
+
+@dataclass
+class GaitRecording:
+    """Parallel left/right force channels plus the cycle boundaries."""
+
+    right: np.ndarray
+    left: np.ndarray
+    cycle_starts: np.ndarray
+    cycle_length: int
+
+
+def make_gait(
+    seed: int = 7,
+    n: int = 90_000,
+    cycle_length: int = 345,
+    speed_changes: int = 4,
+) -> GaitRecording:
+    """Two-channel antalgic gait: strong right foot, weak left foot.
+
+    The two feet are half a cycle out of phase.  ``speed_changes``
+    turnaround segments modulate the cycle length by ~12 %, appearing
+    throughout the recording.
+    """
+    rng = rng_for(seed, "gait")
+    right = np.zeros(n)
+    left = np.zeros(n)
+    starts = []
+    segment_edges = np.linspace(0, n, speed_changes + 1).astype(int)
+    position = 0
+    # fill to the very end (final cycle truncated): a cycle-free tail
+    # would itself be a unique pattern and therefore a spurious discord
+    while position < n - 10:
+        segment = np.searchsorted(segment_edges, position, side="right") - 1
+        speed = 1.0 + (0.12 if segment % 2 == 1 else 0.0)
+        length = int(cycle_length * speed * (1.0 + rng.uniform(-0.02, 0.02)))
+        starts.append(position)
+        # right foot: near-normal cycle
+        right_cycle = grf_cycle(
+            length,
+            peak1=1000.0 * (1.0 + rng.uniform(-0.04, 0.04)),
+            peak2=1060.0 * (1.0 + rng.uniform(-0.04, 0.04)),
+            valley=750.0,
+        )
+        hi_right = min(n, position + length)
+        right[position:hi_right] += right_cycle[: hi_right - position]
+        # left foot: tentative and weak, half a cycle later
+        offset = position + length // 2
+        left_cycle = grf_cycle(
+            length,
+            peak1=640.0 * (1.0 + rng.uniform(-0.06, 0.06)),
+            peak2=690.0 * (1.0 + rng.uniform(-0.06, 0.06)),
+            valley=520.0,
+            stance_fraction=0.55,
+        )
+        hi = min(n, offset + length)
+        if offset < hi:
+            left[offset:hi] += left_cycle[: hi - offset]
+        position += length
+    right += rng.uniform(-8.0, 8.0, n)
+    left += rng.uniform(-8.0, 8.0, n)
+    return GaitRecording(
+        right=right,
+        left=left,
+        cycle_starts=np.array(starts, dtype=int),
+        cycle_length=cycle_length,
+    )
+
+
+def make_park3m(
+    seed: int = 7,
+    n: int = 90_000,
+    train_len: int = 60_000,
+    target_start: int = 72_150,
+) -> LabeledSeries:
+    """Fig 12's dataset: right-foot series with one left-foot cycle
+    swapped in (half-cycle shift), labeled at the swap."""
+    recording = make_gait(seed, n=n)
+    starts = recording.cycle_starts
+    candidates = starts[(starts >= train_len + 1000) & (starts < n - 2000)]
+    swap_start = int(candidates[np.argmin(np.abs(candidates - target_start))])
+    next_start = int(starts[np.searchsorted(starts, swap_start) + 1])
+    length = next_start - swap_start
+    values, region = swap_cycle(
+        recording.right,
+        recording.left,
+        swap_start,
+        length,
+        shift=length // 2,
+    )
+    name = f"UCR_Anomaly_park3m_{train_len}_{region.start}_{region.end - 1}"
+    return LabeledSeries(
+        name=name,
+        values=values,
+        labels=Labels(n=n, regions=(region,)),
+        train_len=train_len,
+        meta={
+            "dataset": "ucr",
+            "origin": "synthetic",
+            "injector": "swap_cycle",
+            "construction": "right-foot cycle replaced by left-foot cycle "
+            "shifted by half a cycle (antalgic gait)",
+        },
+    )

@@ -1,0 +1,179 @@
+"""Simulated NASA SMAP/MSL telemetry benchmark.
+
+The paper's claims about the NASA corpus, all planted here:
+
+* "In about half the cases the anomaly is manifest in many orders of
+  magnitude difference in the value of the time series" — the
+  ``magnitude_jump`` channels.
+* "Other NASA examples consist of a dynamic time series suddenly
+  becoming exactly constant" — the ``freeze`` channels, solvable with
+  ``diff(diff(TS)) == 0``.
+* "Perhaps 10 % of the examples ... are mildly challenging" — the
+  ``subtle`` channels (slope-bounded shape anomalies).
+* Fig 9 (MSL G-1): one labeled freeze plus two *identical unlabeled*
+  freezes at the paper's snippet offsets (4600 labeled; 5100 and 6700
+  not).
+* §2.3 density flaw: D-2/M-1/M-2 have more than half of the test data
+  inside one labeled region; "another dozen or so have at least 1/3".
+* §2.5: anomalies cluster near the end (run-to-failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rng import rng_for
+from ..types import AnomalyRegion, Archive, LabeledSeries, Labels
+from .base import run_to_failure_position, sine, uniform_noise
+
+__all__ = ["NasaConfig", "make_nasa", "make_g1_channel"]
+
+
+@dataclass(frozen=True)
+class NasaConfig:
+    """Channel counts per planted behaviour."""
+
+    seed: int = 7
+    length: int = 8000
+    train_len: int = 2000
+    n_magnitude: int = 14
+    n_freeze: int = 5
+    n_half_density: int = 3  # the D-2 / M-1 / M-2 exhibits
+    n_third_density: int = 12  # "another dozen or so"
+    n_subtle: int = 3  # ~10 % mildly challenging
+
+
+def _telemetry_base(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Generic spacecraft channel: mixed periods, mild drift, bounded noise."""
+    period = int(rng.integers(80, 400))
+    amplitude = rng.uniform(0.5, 3.0)
+    values = (
+        amplitude * sine(n, period, phase=rng.uniform(0, 2 * np.pi))
+        + 0.3 * amplitude * sine(n, period / 3, phase=rng.uniform(0, 2 * np.pi))
+        + uniform_noise(rng, n, 0.05 * amplitude)
+    )
+    return values
+
+
+def _magnitude_channel(rng: np.random.Generator, config: NasaConfig) -> tuple[np.ndarray, Labels, str]:
+    n = config.length
+    values = _telemetry_base(rng, n)
+    start = run_to_failure_position(rng, n - config.train_len, margin=200)
+    start += config.train_len
+    length = int(rng.integers(50, 400))
+    end = min(start + length, n)
+    values[start:end] += rng.choice([-1.0, 1.0]) * rng.uniform(100.0, 1000.0)
+    return values, Labels.single(n, start, end), "magnitude_jump"
+
+
+def _freeze_channel(rng: np.random.Generator, config: NasaConfig) -> tuple[np.ndarray, Labels, str]:
+    n = config.length
+    values = _telemetry_base(rng, n)
+    start = run_to_failure_position(rng, n - config.train_len, margin=300)
+    start += config.train_len
+    length = int(rng.integers(100, 400))
+    end = min(start + length, n)
+    values[start:end] = values[start]
+    return values, Labels.single(n, start, end), "freeze"
+
+
+def _density_channel(
+    rng: np.random.Generator, config: NasaConfig, fraction: float
+) -> tuple[np.ndarray, Labels, str]:
+    """A single contiguous labeled region covering ``fraction`` of test."""
+    n = config.length
+    values = _telemetry_base(rng, n)
+    test_len = n - config.train_len
+    length = int(fraction * test_len)
+    start = n - length - int(rng.integers(0, int(0.1 * test_len)))
+    end = start + length
+    values[start:end] += rng.uniform(3.0, 10.0)
+    values[start:end] *= rng.uniform(1.5, 2.5)
+    return values, Labels.single(n, start, end), f"density_{fraction:.2f}"
+
+
+def _subtle_channel(rng: np.random.Generator, config: NasaConfig) -> tuple[np.ndarray, Labels, str]:
+    """Shape anomaly: one cycle replaced by a slope-bounded triangle."""
+    from ..archive.injection import triangle_cycle
+
+    n = config.length
+    period = int(rng.integers(100, 200))
+    amplitude = rng.uniform(0.5, 3.0)
+    noise = 0.06 * amplitude
+    values = amplitude * sine(n, period) + uniform_noise(rng, n, noise)
+    first_cycle = config.train_len // period + 2
+    last_cycle = (n - 2 * period) // period - 1
+    cycle = int(rng.integers(first_cycle, last_cycle))
+    start = cycle * period
+    values, region = triangle_cycle(values, start, period, rng=rng, noise=0.6 * noise)
+    return values, Labels(n=n, regions=(region,)), "subtle_shape"
+
+
+def make_g1_channel(seed: int = 7, length: int = 8000, train_len: int = 2000) -> LabeledSeries:
+    """Fig 9's MSL G-1: labeled freeze at 4600, identical unlabeled
+    freezes at 5100 and 6700."""
+    rng = rng_for(seed, "nasa", "G-1")
+    values = _telemetry_base(rng, length)
+    freeze_length = 150
+    labeled_start = 4600
+    twin_starts = (5100, 6700)
+    for start in (labeled_start, *twin_starts):
+        values[start : start + freeze_length] = values[start]
+    labels = Labels.single(length, labeled_start, labeled_start + freeze_length)
+    return LabeledSeries(
+        name="MSL_G-1",
+        values=values,
+        labels=labels,
+        train_len=train_len,
+        meta={
+            "dataset": "nasa",
+            "kind": "freeze",
+            "flaw": "unlabeled_twins",
+            "unlabeled_twins": [
+                (start, start + freeze_length) for start in twin_starts
+            ],
+        },
+    )
+
+
+def make_nasa(config: NasaConfig = NasaConfig()) -> Archive:
+    """Build the simulated SMAP/MSL archive."""
+    series: list[LabeledSeries] = [
+        make_g1_channel(config.seed, config.length, config.train_len)
+    ]
+    plan: list[tuple[str, str, dict]] = []
+    for i in range(config.n_magnitude):
+        plan.append((f"SMAP_P-{i + 1}", "magnitude", {}))
+    for i in range(config.n_freeze):
+        plan.append((f"SMAP_E-{i + 1}", "freeze", {}))
+    exhibit_names = ["SMAP_D-2", "MSL_M-1", "MSL_M-2"]
+    for i in range(config.n_half_density):
+        name = exhibit_names[i] if i < len(exhibit_names) else f"MSL_D-{i + 1}"
+        plan.append((name, "density", {"fraction": 0.55}))
+    for i in range(config.n_third_density):
+        plan.append((f"MSL_F-{i + 1}", "density", {"fraction": 0.35}))
+    for i in range(config.n_subtle):
+        plan.append((f"MSL_S-{i + 1}", "subtle", {}))
+
+    for index, (name, kind, kwargs) in enumerate(plan):
+        rng = rng_for(config.seed, "nasa", kind, index)
+        if kind == "magnitude":
+            values, labels, tag = _magnitude_channel(rng, config)
+        elif kind == "freeze":
+            values, labels, tag = _freeze_channel(rng, config)
+        elif kind == "density":
+            values, labels, tag = _density_channel(rng, config, kwargs["fraction"])
+        else:
+            values, labels, tag = _subtle_channel(rng, config)
+        series.append(
+            LabeledSeries(
+                name=name,
+                values=values,
+                labels=labels,
+                train_len=config.train_len,
+                meta={"dataset": "nasa", "kind": tag},
+            )
+        )
+    return Archive("nasa", series, meta={"benchmark": "smap-msl-simulated"})

@@ -1,0 +1,265 @@
+"""Simulated Numenta Anomaly Benchmark (NAB) datasets.
+
+Two pieces matter to the paper:
+
+* **Artificial datasets (Fig 2).**  ``art_increase_spike_density`` must
+  yield to ``movstd(AISD,5) > 10``; the other ``art_daily_*`` sets are
+  jump/flat anomalies on a daily cycle.
+* **NY Taxi (Fig 8).**  Half-hourly demand 2014-07-01 → 2015-01-31 with
+  five *labeled* anomalies (NYC marathon — actually the daylight-saving
+  shift, Thanksgiving, Christmas, New Year, blizzard) and at least seven
+  more events the paper argues are "equally worthy": Independence Day,
+  Labor Day, Climate March, Comic Con, the Eric Garner protests, the
+  protest march, and MLK Day.  Every event day gets a *distinctive shape
+  distortion* at its true calendar date, so a discord profile peaks at
+  both the labeled and the unlabeled events — the mislabeling argument
+  of §2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, timedelta
+
+import numpy as np
+
+from ..rng import rng_for
+from ..types import AnomalyRegion, Archive, LabeledSeries, Labels
+from .base import sine, uniform_noise
+
+__all__ = [
+    "TAXI_START",
+    "TAXI_END",
+    "SLOTS_PER_DAY",
+    "TaxiEvent",
+    "TAXI_EVENTS",
+    "taxi_index",
+    "make_taxi",
+    "make_art_increase_spike_density",
+    "make_art_daily",
+    "make_numenta",
+]
+
+TAXI_START = date(2014, 7, 1)
+TAXI_END = date(2015, 1, 31)  # inclusive
+SLOTS_PER_DAY = 48  # half-hourly buckets
+
+
+def taxi_index(when: datetime) -> int:
+    """Bucket index of a timestamp in the taxi series."""
+    day_offset = (when.date() - TAXI_START).days
+    slot = when.hour * 2 + (1 if when.minute >= 30 else 0)
+    return day_offset * SLOTS_PER_DAY + slot
+
+
+@dataclass(frozen=True)
+class TaxiEvent:
+    """A calendar event with its day(s) and whether NAB labeled it."""
+
+    name: str
+    start: date
+    days: int
+    labeled: bool
+    kind: str  # shape-distortion recipe
+
+
+TAXI_EVENTS: tuple[TaxiEvent, ...] = (
+    TaxiEvent("independence_day", date(2014, 7, 4), 1, False, "holiday"),
+    TaxiEvent("labor_day", date(2014, 9, 1), 1, False, "holiday"),
+    TaxiEvent("climate_march", date(2014, 9, 21), 1, False, "march"),
+    TaxiEvent("comic_con", date(2014, 10, 9), 4, False, "convention"),
+    TaxiEvent("marathon_dst", date(2014, 11, 2), 1, True, "marathon"),
+    TaxiEvent("thanksgiving", date(2014, 11, 27), 1, True, "family_holiday"),
+    TaxiEvent("garner_protest", date(2014, 12, 3), 1, False, "protest"),
+    TaxiEvent("protest_march", date(2014, 12, 13), 1, False, "march"),
+    TaxiEvent("christmas", date(2014, 12, 25), 1, True, "family_holiday"),
+    TaxiEvent("new_year", date(2015, 1, 1), 1, True, "party"),
+    TaxiEvent("mlk_day", date(2015, 1, 19), 1, False, "holiday"),
+    TaxiEvent("blizzard", date(2015, 1, 26), 2, True, "shutdown"),
+)
+
+
+def _weekday_profile() -> np.ndarray:
+    """Mean demand per half-hour slot on a working day."""
+    hours = np.arange(SLOTS_PER_DAY) / 2.0
+    base = (
+        8.0
+        + 10.0 * np.exp(-0.5 * ((hours - 8.5) / 1.5) ** 2)  # morning commute
+        + 13.0 * np.exp(-0.5 * ((hours - 19.0) / 2.5) ** 2)  # evening
+        + 4.0 * np.exp(-0.5 * ((hours - 13.0) / 2.0) ** 2)  # lunch
+    )
+    base[: 10] *= 0.35  # dead early morning (00:00-05:00)
+    return base * 1000.0
+
+
+def _weekend_profile() -> np.ndarray:
+    hours = np.arange(SLOTS_PER_DAY) / 2.0
+    base = (
+        9.0
+        + 6.0 * np.exp(-0.5 * ((hours - 14.0) / 3.5) ** 2)  # afternoon
+        + 9.0 * np.exp(-0.5 * ((hours - 22.0) / 2.5) ** 2)  # nightlife
+        + 5.0 * np.exp(-0.5 * ((hours - 1.5) / 1.5) ** 2)  # after midnight
+    )
+    return base * 1000.0
+
+
+def _distort_day(profile: np.ndarray, event: TaxiEvent, day_in_event: int) -> np.ndarray:
+    """Apply an event's distinctive shape distortion to one day.
+
+    Every event gets a *unique* recipe: two events with identical shapes
+    would become each other's nearest neighbours under z-normalization
+    and vanish from the discord profile, which is not how distinct
+    real-world disruptions behave.
+    """
+    hours = np.arange(SLOTS_PER_DAY) / 2.0
+    out = profile.copy()
+    name = event.name
+    if name == "independence_day":
+        out *= 0.65
+        out[36:41] *= 1.6  # pre-fireworks surge
+        out[42:47] *= 0.4  # street closures during the show
+    elif name == "labor_day":
+        out *= 0.6
+        out[14:20] *= 1.5  # getaway morning
+    elif name == "mlk_day":
+        out *= 0.85
+        out[14:22] *= 0.5  # no commute peak
+    elif name == "thanksgiving":
+        out *= 0.55
+        out[16:21] *= 1.7  # family-travel morning
+        out[36:] *= 0.35  # dead evening
+    elif name == "christmas":
+        out *= 0.5
+        out[:22] *= 0.3  # dead morning
+        out[24:32] *= 1.3  # midday family visits
+    elif name in ("climate_march", "protest_march"):
+        lo, hi = (22, 34) if name == "climate_march" else (26, 38)
+        out[lo:hi] *= 1.5  # marching crowds
+        out[lo + 2 : hi - 2] *= 0.65  # blocked streets inside the window
+    elif name == "comic_con":
+        out[32:44] *= 1.25 + 0.07 * day_in_event
+        out[18:26] *= 1.1
+    elif name == "marathon_dst":
+        # daylight-saving fall-back plus the marathon morning
+        out = np.roll(out, 2)
+        out[10:20] *= 1.4
+        out[28:34] *= 0.8  # course closures
+    elif name == "garner_protest":
+        out[38:48] *= 0.6  # evening traffic blocked
+        out[34:38] *= 1.3  # pre-protest surge
+    elif name == "new_year":
+        out[:8] *= 3.2  # through-the-night celebrations
+        out[14:30] *= 0.7
+    elif name == "blizzard":
+        factor = 0.45 if day_in_event == 0 else 0.12  # travel ban day two
+        out *= factor
+        out += 400.0 * np.exp(-0.5 * ((hours - 12.0) / 4.0) ** 2)
+    else:
+        raise ValueError(f"unknown event: {name!r}")
+    return out
+
+
+def make_taxi(seed: int = 7) -> LabeledSeries:
+    """The simulated NYC taxi series with NAB's five labels."""
+    rng = rng_for(seed, "numenta", "taxi")
+    num_days = (TAXI_END - TAXI_START).days + 1
+    weekday = _weekday_profile()
+    weekend = _weekend_profile()
+    days = []
+    for day_offset in range(num_days):
+        today = TAXI_START + timedelta(days=day_offset)
+        profile = weekend if today.weekday() >= 5 else weekday
+        # gentle seasonal drift into winter
+        seasonal = 1.0 + 0.06 * np.cos(2 * np.pi * day_offset / 365.0)
+        days.append(profile * seasonal)
+
+    for event in TAXI_EVENTS:
+        for day_in_event in range(event.days):
+            offset = (event.start - TAXI_START).days + day_in_event
+            if 0 <= offset < num_days:
+                days[offset] = _distort_day(days[offset], event, day_in_event)
+
+    values = np.concatenate(days)
+    values *= 1.0 + rng.uniform(-0.05, 0.05, values.size)
+    values = np.maximum(values, 0.0)
+
+    regions = []
+    proposed = []
+    for event in TAXI_EVENTS:
+        offset = (event.start - TAXI_START).days
+        region = (offset * SLOTS_PER_DAY, (offset + event.days) * SLOTS_PER_DAY)
+        proposed.append({"name": event.name, "start": region[0], "end": region[1]})
+        if event.labeled:
+            regions.append(AnomalyRegion(*region))
+
+    labels = Labels(n=values.size, regions=tuple(regions))
+    return LabeledSeries(
+        name="nyc_taxi",
+        values=values,
+        labels=labels,
+        train_len=0,
+        meta={
+            "dataset": "numenta",
+            "proposed_events": proposed,
+            "slots_per_day": SLOTS_PER_DAY,
+        },
+    )
+
+
+def make_art_increase_spike_density(seed: int = 7, n: int = 4032) -> LabeledSeries:
+    """Fig 2's dataset: sparse small bumps, then a dense burst of large
+    spikes; ``movstd(TS,5) > 10`` separates the burst."""
+    rng = rng_for(seed, "numenta", "aisd")
+    values = 20.0 + uniform_noise(rng, n, 0.8)
+    burst_start, burst_end = int(0.72 * n), int(0.80 * n)
+    # sparse, small bumps outside the burst (movstd ~ 1.2 << 10)
+    for position in rng.integers(50, burst_start - 50, 10):
+        values[int(position)] += rng.uniform(2.0, 3.0)
+    # dense, large spikes inside the burst (movstd >> 10)
+    position = burst_start
+    while position < burst_end:
+        values[position] += rng.uniform(35.0, 45.0)
+        position += int(rng.integers(3, 8))
+    labels = Labels.single(n, burst_start, burst_end)
+    return LabeledSeries(
+        "art_increase_spike_density",
+        values,
+        labels,
+        meta={"dataset": "numenta", "oneliner": "movstd(TS,5) > 10"},
+    )
+
+
+def make_art_daily(seed: int = 7, kind: str = "jumpsup", n: int = 4032) -> LabeledSeries:
+    """NAB's ``art_daily_*`` family: daily cycle with a planted event."""
+    rng = rng_for(seed, "numenta", "art_daily", kind)
+    period = 288  # 5-minute data, one day
+    base = 40.0 + 20.0 * sine(n, period) + uniform_noise(rng, n, 1.5)
+    start = int(0.75 * n)
+    meta = {"dataset": "numenta", "kind": kind}
+    if kind == "jumpsup":
+        base[start : start + 60] += 35.0
+        labels = Labels.single(n, start, start + 60)
+    elif kind == "jumpsdown":
+        base[start : start + 60] -= 35.0
+        labels = Labels.single(n, start, start + 60)
+    elif kind == "flatmiddle":
+        base[start : start + period // 2] = base[start]
+        labels = Labels.single(n, start, start + period // 2)
+    elif kind == "small_noise":
+        labels = Labels.empty(n)  # anomaly-free control file
+    else:
+        raise ValueError(f"unknown art_daily kind: {kind!r}")
+    return LabeledSeries(f"art_daily_{kind}", base, labels, meta=meta)
+
+
+def make_numenta(seed: int = 7) -> Archive:
+    """The simulated NAB corpus used by the benches."""
+    series = [
+        make_art_increase_spike_density(seed),
+        make_art_daily(seed, "jumpsup"),
+        make_art_daily(seed, "jumpsdown"),
+        make_art_daily(seed, "flatmiddle"),
+        make_art_daily(seed, "small_noise"),
+        make_taxi(seed),
+    ]
+    return Archive("numenta", series, meta={"benchmark": "nab-simulated"})

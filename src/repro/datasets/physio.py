@@ -1,0 +1,234 @@
+"""Synthetic cardiovascular signals: ECG and plethysmograph.
+
+Substitutes for the BIDMC recordings (Fig 11) and the E0509m
+electrocardiogram (Fig 13).  A single beat train drives both channels so
+the two-channel out-of-band construction of §3.1 is faithful: the PVC is
+*subtle* in the pleth channel but obvious in the parallel ECG, and the
+pleth response lags the ECG because "an ECG is an electrical signal, and
+the pleth signal is mechanical (pressure)".
+
+The ECG beat is a sum of Gaussian bumps (P, Q, R, S, T); a PVC is a
+wide, high-amplitude QRS with no P wave arriving early, followed by a
+compensatory pause.  The pleth pulse is a fast systolic rise with a
+dicrotic notch; the PVC's weak ventricular filling yields a visibly
+smaller, delayed pulse — subtle but findable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rng import rng_for
+from ..types import AnomalyRegion, LabeledSeries, Labels
+
+__all__ = [
+    "BeatTrain",
+    "make_beat_train",
+    "render_ecg",
+    "render_pleth",
+    "make_bidmc1",
+    "make_e0509m",
+]
+
+# (center in beat-fraction, width, amplitude) of each ECG wave
+_ECG_WAVES_NORMAL = (
+    ("P", -0.20, 0.025, 0.15),
+    ("Q", -0.025, 0.010, -0.12),
+    ("R", 0.0, 0.012, 1.00),
+    ("S", 0.025, 0.010, -0.25),
+    ("T", 0.30, 0.060, 0.30),
+)
+# The PVC is *wider* and deeper but barely taller than a normal beat: a
+# detector that degenerates to predicting the mean under noise then sees
+# nothing special at the PVC, which is the mechanism behind Fig 13's
+# bottom panel.
+_ECG_WAVES_PVC = (
+    ("Q", -0.04, 0.020, -0.20),
+    ("R", 0.0, 0.045, 1.05),
+    ("S", 0.06, 0.030, -0.90),
+    ("T", 0.32, 0.080, -0.25),  # inverted T
+)
+
+
+@dataclass
+class BeatTrain:
+    """Shared cardiac timing: onset sample of each beat + beat types."""
+
+    onsets: np.ndarray  # R-peak sample index per beat
+    is_pvc: np.ndarray  # bool per beat
+    fs: float  # samples per second
+    n: int  # total samples
+
+
+def make_beat_train(
+    seed: int,
+    n: int,
+    fs: float = 125.0,
+    heart_rate: float = 72.0,
+    hrv: float = 0.02,
+    pvc_beats: tuple[int, ...] = (),
+) -> BeatTrain:
+    """Beat onsets with mild heart-rate variability and optional PVCs.
+
+    A PVC arrives ~25 % early and is followed by a compensatory pause,
+    as in real ectopy.
+    """
+    rng = rng_for(seed, "physio", "beats")
+    period = fs * 60.0 / heart_rate
+    onsets = []
+    is_pvc = []
+    t = period * 0.5
+    index = 0
+    while t < n - period:
+        pvc = index in pvc_beats
+        onsets.append(int(round(t)))
+        is_pvc.append(pvc)
+        jitter = 1.0 + rng.uniform(-hrv, hrv)
+        if pvc:
+            t += period * 1.45 * jitter  # compensatory pause
+        elif (index + 1) in pvc_beats:
+            t += period * 0.75 * jitter  # the PVC arrives early
+        else:
+            t += period * jitter
+        index += 1
+    return BeatTrain(
+        onsets=np.array(onsets, dtype=int),
+        is_pvc=np.array(is_pvc, dtype=bool),
+        fs=fs,
+        n=n,
+    )
+
+
+def _add_gaussians(
+    values: np.ndarray,
+    center: float,
+    width: float,
+    amplitude: float,
+) -> None:
+    lo = max(0, int(center - 5 * width))
+    hi = min(values.size, int(center + 5 * width) + 1)
+    if lo >= hi:
+        return
+    t = np.arange(lo, hi, dtype=float)
+    values[lo:hi] += amplitude * np.exp(-0.5 * ((t - center) / width) ** 2)
+
+
+def render_ecg(train: BeatTrain, seed: int = 0, noise: float = 0.01) -> np.ndarray:
+    """Render the electrical channel from a beat train."""
+    rng = rng_for(seed, "physio", "ecg")
+    period = train.fs * 60.0 / 72.0
+    values = np.zeros(train.n)
+    for onset, pvc in zip(train.onsets, train.is_pvc):
+        waves = _ECG_WAVES_PVC if pvc else _ECG_WAVES_NORMAL
+        scale = 1.0 + rng.uniform(-0.03, 0.03)
+        for _, center, width, amplitude in waves:
+            _add_gaussians(
+                values,
+                onset + center * period,
+                max(2.0, width * period),
+                amplitude * scale,
+            )
+    # baseline wander + bounded sensor noise
+    t = np.arange(train.n)
+    values += 0.03 * np.sin(2 * np.pi * t / (train.fs * 7.0))
+    values += rng.uniform(-noise, noise, train.n)
+    return values
+
+
+def render_pleth(
+    train: BeatTrain, seed: int = 0, noise: float = 0.004, lag_seconds: float = 0.25
+) -> np.ndarray:
+    """Render the mechanical (pressure) channel from the same beat train.
+
+    Each pulse: fast systolic upstroke, exponential decay, dicrotic
+    notch.  PVC pulses are weak (low stroke volume) and slightly more
+    delayed — the subtle anomaly of Fig 11.
+    """
+    rng = rng_for(seed, "physio", "pleth")
+    period = train.fs * 60.0 / 72.0
+    lag = lag_seconds * train.fs
+    values = np.zeros(train.n)
+    length = int(period * 1.1)
+    t = np.arange(length, dtype=float) / period
+    systolic = np.exp(-0.5 * ((t - 0.18) / 0.075) ** 2)
+    notch = 0.35 * np.exp(-0.5 * ((t - 0.45) / 0.09) ** 2)
+    pulse = systolic + notch
+    for onset, pvc in zip(train.onsets, train.is_pvc):
+        amplitude = 0.35 if pvc else 1.0 + rng.uniform(-0.05, 0.05)
+        start = int(onset + lag + (0.12 * period if pvc else 0.0))
+        hi = min(train.n, start + length)
+        if start >= train.n:
+            continue
+        values[start:hi] += amplitude * pulse[: hi - start]
+    t_all = np.arange(train.n)
+    values += 0.05 * np.sin(2 * np.pi * t_all / (train.fs * 11.0))
+    values += rng.uniform(-noise, noise, train.n)
+    return values
+
+
+def _pvc_region(train: BeatTrain, pvc_index: int, pad: float = 1.0) -> AnomalyRegion:
+    """Region spanning the PVC pulse plus ``pad`` beats of slop."""
+    onset = int(train.onsets[pvc_index])
+    period = train.fs * 60.0 / 72.0
+    return AnomalyRegion(onset, int(onset + pad * 2 * period))
+
+
+def make_bidmc1(seed: int = 7, n: int = 10_000, train_len: int = 2500) -> dict:
+    """Fig 11's dataset: pleth channel with one PVC certified by the ECG.
+
+    Returns ``{"pleth": LabeledSeries, "ecg": np.ndarray, "train":
+    BeatTrain}``; the pleth series carries the UCR-style name derived
+    from the realized anomaly location (the paper's exemplar is
+    ``UCR_Anomaly_BIDMC1_2500_5400_5600``).
+    """
+    fs = 125.0
+    period = fs * 60.0 / 72.0  # ~104 samples
+    pvc_beat = int(round(5400 / period))
+    train = make_beat_train(seed, n, fs=fs, pvc_beats=(pvc_beat,))
+    (pvc_index,) = np.flatnonzero(train.is_pvc)
+    ecg = render_ecg(train, seed)
+    pleth = render_pleth(train, seed)
+    region = _pvc_region(train, int(pvc_index))
+    if region.start < train_len:
+        raise ValueError("PVC landed inside the training prefix")
+    name = f"UCR_Anomaly_BIDMC1_{train_len}_{region.start}_{region.end - 1}"
+    series = LabeledSeries(
+        name=name,
+        values=pleth,
+        labels=Labels(n=n, regions=(region,)),
+        train_len=train_len,
+        meta={
+            "dataset": "ucr",
+            "origin": "natural",
+            "evidence": "PVC observed in the parallel ECG channel",
+            "pvc_onset": int(train.onsets[pvc_index]),
+        },
+    )
+    return {"pleth": series, "ecg": ecg, "train": train}
+
+
+def make_e0509m(
+    seed: int = 7, n: int = 15_000, train_len: int = 3000
+) -> LabeledSeries:
+    """Fig 13's one-minute ECG with a single obvious PVC.
+
+    Low heart-rate variability keeps normal beats highly predictable, so
+    the clean-signal forecaster locks onto the PVC; added noise then
+    reverses that (the Fig 13 experiment).
+    """
+    fs = 250.0
+    period = fs * 60.0 / 72.0
+    pvc_beat = int(round(0.62 * n / period))
+    train = make_beat_train(seed, n, fs=fs, hrv=0.008, pvc_beats=(pvc_beat,))
+    (pvc_index,) = np.flatnonzero(train.is_pvc)
+    values = render_ecg(train, seed) * -500.0  # paper plots are negative-going
+    region = _pvc_region(train, int(pvc_index))
+    return LabeledSeries(
+        name="E0509m",
+        values=values,
+        labels=Labels(n=n, regions=(region,)),
+        train_len=train_len,
+        meta={"dataset": "physio", "kind": "pvc"},
+    )

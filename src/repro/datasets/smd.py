@@ -1,0 +1,195 @@
+"""Simulated OMNI Server Machine Dataset (SMD).
+
+The real SMD (Su et al., KDD 2019) records 38 metrics per machine.  The
+paper uses two exhibits:
+
+* **machine-3-11, dimension 19 (Fig 1).**  Quiet baseline around 0.25
+  with tiny drift; during the labeled window the metric oscillates
+  violently between ~0 and ~0.7.  All three of the paper's one-liners
+  then solve it: ``diff(M19) > 0.1``, ``movstd(M19,10) > 0.1`` and
+  ``M19 < 0.01``.
+* **machine-2-5 (§2.3).**  Twenty-one separate labeled anomalies in a
+  short test region — the unrealistic-density flaw.
+
+Machines are multivariate; :class:`SmdMachine` exposes per-dimension
+:class:`~repro.types.LabeledSeries` views carrying the machine-level
+labels, which is how the paper treats dimension 19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rng import rng_for
+from ..types import AnomalyRegion, LabeledSeries, Labels
+from .base import sawtooth, sine, uniform_noise
+
+__all__ = ["SmdConfig", "SmdMachine", "make_machine", "make_smd", "FIG1_ONELINERS"]
+
+#: The exact one-liners of Fig 1, as (description, code) pairs.
+FIG1_ONELINERS = (
+    "diff(M19) > 0.1",
+    "movstd(M19,10) > 0.1",
+    "M19 < 0.01",
+)
+
+
+@dataclass(frozen=True)
+class SmdConfig:
+    seed: int = 7
+    length: int = 28_000
+    train_fraction: float = 0.5
+    num_dims: int = 38
+
+
+@dataclass
+class SmdMachine:
+    """One machine: a (n, num_dims) matrix plus machine-level labels."""
+
+    name: str
+    values: np.ndarray
+    labels: Labels
+    train_len: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_dims(self) -> int:
+        return int(self.values.shape[1])
+
+    def dimension(self, index: int) -> LabeledSeries:
+        """Univariate view of one metric with the machine's labels."""
+        if not 0 <= index < self.num_dims:
+            raise IndexError(f"dimension {index} out of range")
+        return LabeledSeries(
+            name=f"{self.name}_dim{index}",
+            values=self.values[:, index].copy(),
+            labels=self.labels,
+            train_len=self.train_len,
+            meta={**self.meta, "dimension": index},
+        )
+
+
+def _dim_background(
+    rng: np.random.Generator, n: int, style: int
+) -> np.ndarray:
+    """One server metric; styles cycle through typical SMD shapes."""
+    kind = style % 5
+    if kind == 0:  # near-constant utilization
+        return 0.2 + uniform_noise(rng, n, 0.01)
+    if kind == 1:  # daily-ish periodic load
+        period = int(rng.integers(800, 3000))
+        return 0.4 + 0.2 * sine(n, period) + uniform_noise(rng, n, 0.02)
+    if kind == 2:  # sawtooth ramps (memory / log rotation)
+        period = int(rng.integers(500, 2000))
+        return 0.1 + 0.5 * (sawtooth(n, period, 1.0, 0.97) + 1) / 2 + uniform_noise(
+            rng, n, 0.01
+        )
+    if kind == 3:  # bursty but bounded (request rate)
+        base = 0.3 + uniform_noise(rng, n, 0.05)
+        for start in rng.integers(0, n - 60, 25):
+            base[start : start + int(rng.integers(10, 60))] += rng.uniform(0.05, 0.15)
+        return base
+    return 0.05 + uniform_noise(rng, n, 0.005)  # mostly idle
+
+
+def _fig1_dim19(
+    rng: np.random.Generator, n: int, regions: tuple[AnomalyRegion, ...]
+) -> np.ndarray:
+    """Dimension 19 of machine-3-11, shaped for the three one-liners."""
+    values = 0.25 + 0.02 * sine(n, 6000) + uniform_noise(rng, n, 0.008)
+    for region in regions:
+        length = region.length
+        # violent oscillation: top ~0.7, bottom pinned below 0.01
+        pattern = np.where(np.arange(length) % 4 < 2, 0.7, 0.0)
+        pattern = pattern + uniform_noise(rng, length, 0.005)
+        values[region.start : region.end] = np.clip(pattern, 0.0, 1.0)
+    return values
+
+
+def make_machine(
+    name: str,
+    regions: tuple[tuple[int, int], ...],
+    config: SmdConfig = SmdConfig(),
+    special_dim19: bool = False,
+) -> SmdMachine:
+    """Build one machine with the given labeled regions."""
+    n = config.length
+    labels = Labels(
+        n=n, regions=tuple(AnomalyRegion(start, end) for start, end in regions)
+    )
+    train_len = int(config.train_fraction * n)
+    if any(region.start < train_len for region in labels.regions):
+        raise ValueError(f"{name}: labeled region inside the training half")
+
+    values = np.empty((n, config.num_dims))
+    affected = []
+    for dim in range(config.num_dims):
+        rng = rng_for(config.seed, "smd", name, dim)
+        if special_dim19 and dim == 19:
+            values[:, dim] = _fig1_dim19(rng, n, labels.regions)
+            affected.append(dim)
+            continue
+        background = _dim_background(rng, n, style=dim)
+        # roughly 40 % of metrics react to the machine-level anomaly
+        reacts = rng.uniform() < 0.4
+        if reacts:
+            for region in labels.regions:
+                bump = rng.uniform(0.15, 0.5)
+                background[region.start : region.end] += bump
+            affected.append(dim)
+        values[:, dim] = np.clip(background, -0.05, 1.5)
+
+    return SmdMachine(
+        name=name,
+        values=values,
+        labels=labels,
+        train_len=train_len,
+        meta={"dataset": "smd", "affected_dims": affected},
+    )
+
+
+def _machine_2_5_regions(config: SmdConfig) -> tuple[tuple[int, int], ...]:
+    """21 separate anomalies crowded into the test half (§2.3)."""
+    n = config.length
+    test_start = int(config.train_fraction * n) + 200
+    usable = n - test_start - 200
+    stride = usable // 21
+    regions = []
+    for i in range(21):
+        start = test_start + i * stride
+        regions.append((start, start + max(20, stride // 6)))
+    return tuple(regions)
+
+
+def make_smd(config: SmdConfig = SmdConfig()) -> dict[str, SmdMachine]:
+    """The three machines the paper's arguments touch."""
+    n = config.length
+    test_start = int(config.train_fraction * n)
+    window = min(max(200, n // 40), (n - test_start) // 8)
+    fig1_start = test_start + int(0.55 * (n - test_start))
+    machines = {
+        "machine-1-1": make_machine(
+            "machine-1-1",
+            (
+                (test_start + n // 20, test_start + n // 20 + window),
+                (n - 2 * window, n - window),
+            ),
+            config,
+        ),
+        "machine-2-5": make_machine(
+            "machine-2-5", _machine_2_5_regions(config), config
+        ),
+        "machine-3-11": make_machine(
+            "machine-3-11",
+            ((fig1_start, fig1_start + 2 * window),),
+            config,
+            special_dim19=True,
+        ),
+    }
+    return machines

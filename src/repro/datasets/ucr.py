@@ -1,0 +1,261 @@
+"""Simulated UCR Time Series Anomaly Archive (paper §3).
+
+A multi-domain, single-anomaly archive built with the
+:mod:`repro.archive` machinery, mirroring the released archive's design
+rules:
+
+* exactly one anomaly per dataset, located strictly after the training
+  prefix, with the evaluation protocol encoded in the file name;
+* domains spanning "medicine, sports, entomology, industry, space
+  science, robotics, etc.";
+* a *small fraction* of deliberately one-liner-solvable datasets
+  (AspenTech-style ``-9999`` dropouts), because "there are occasionally
+  real-world anomalies that manifest themselves in a way that is
+  amenable to a one-liner";
+* a difficulty spectrum "ranging from easy to very hard".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..archive.injection import (
+    amplitude_change,
+    freeze,
+    local_warp,
+    missing_sentinel,
+    noise_burst,
+    reverse_segment,
+    smooth_segment,
+    spike,
+    triangle_cycle,
+)
+from ..archive.builder import from_injection
+from ..rng import rng_for
+from ..types import Archive, LabeledSeries
+from .base import sawtooth, sine, uniform_noise
+from .gait import make_park3m
+from .physio import make_bidmc1
+
+__all__ = ["UcrSimConfig", "make_ucr"]
+
+
+@dataclass(frozen=True)
+class UcrSimConfig:
+    seed: int = 11
+    size: int = 250
+    min_length: int = 6000
+    max_length: int = 12_000
+    train_fraction: float = 0.35
+    trivial_fraction: float = 0.08  # deliberately easy datasets
+
+
+def _clean_base(rng: np.random.Generator, domain: str, n: int) -> np.ndarray:
+    """Anomaly-free recording for a domain."""
+    if domain == "medicine_resp":  # respiration
+        period = int(rng.integers(300, 500))
+        depth = rng.uniform(0.8, 1.2)
+        breaths = depth * sine(n, period)
+        return breaths + 0.1 * sine(n, period * 7) + uniform_noise(rng, n, 0.05)
+    if domain == "industry_power":  # weekly power demand
+        day = 144
+        daily = 0.8 * sine(n, day, phase=-np.pi / 2)
+        weekly = 0.3 * sine(n, day * 7)
+        return 2.0 + daily + weekly + uniform_noise(rng, n, 0.06)
+    if domain == "space_telemetry":
+        period = int(rng.integers(150, 400))
+        return (
+            rng.uniform(0.5, 2.0) * sine(n, period)
+            + 0.3 * sawtooth(n, period * 5, 1.0, 0.9)
+            + uniform_noise(rng, n, 0.04)
+        )
+    if domain == "entomology_epg":  # insect electrical penetration graph
+        levels = np.cumsum(rng.uniform(-1, 1, 1 + n // 800))
+        base = np.repeat(levels, 800)[:n]
+        return base + 0.2 * sine(n, 60) + uniform_noise(rng, n, 0.08)
+    if domain == "robotics_servo":
+        period = int(rng.integers(80, 160))
+        return (
+            sawtooth(n, period, rng.uniform(0.5, 1.5), 0.5)
+            + uniform_noise(rng, n, 0.03)
+        )
+    if domain == "sports_accel":  # repetitive training motion
+        period = int(rng.integers(100, 220))
+        return (
+            sine(n, period)
+            + 0.4 * sine(n, period / 2, phase=rng.uniform(0, np.pi))
+            + uniform_noise(rng, n, 0.07)
+        )
+    # default: temperature-like slow seasonal curve
+    return (
+        10.0
+        + 3.0 * sine(n, int(rng.integers(1000, 3000)))
+        + uniform_noise(rng, n, 0.15)
+    )
+
+
+_DOMAINS = (
+    "medicine_resp",
+    "industry_power",
+    "space_telemetry",
+    "entomology_epg",
+    "robotics_servo",
+    "sports_accel",
+    "environment_temp",
+)
+
+# (injector, kwargs-builder, difficulty)
+def _injection_menu(rng: np.random.Generator, n: int, train_len: int, period_hint: int):
+    """Candidate injections with positions inside the test region."""
+    margin = 200
+    lo = train_len + margin
+    hi = n - margin
+
+    def pos(width: int) -> int:
+        return int(rng.integers(lo, hi - width))
+
+    width = int(rng.integers(max(40, period_hint // 2), 3 * period_hint))
+    return (
+        ("freeze", freeze, {"start": pos(width), "length": width}, "medium"),
+        (
+            "amplitude_change",
+            amplitude_change,
+            {"start": pos(width), "length": width, "factor": float(rng.uniform(0.3, 0.6))},
+            "medium",
+        ),
+        (
+            "noise_burst",
+            noise_burst,
+            {"start": pos(width), "length": width, "scale": 0.4, "rng": rng},
+            "medium",
+        ),
+        (
+            "reverse_segment",
+            reverse_segment,
+            {"start": pos(width), "length": width},
+            "hard",
+        ),
+        (
+            "smooth_segment",
+            smooth_segment,
+            {"start": pos(width), "length": width},
+            "hard",
+        ),
+        (
+            "local_warp",
+            local_warp,
+            {"start": pos(width), "length": width, "factor": float(rng.uniform(1.2, 1.5))},
+            "hard",
+        ),
+        (
+            "triangle_cycle",
+            triangle_cycle,
+            {"start": pos(period_hint), "length": period_hint, "rng": rng, "noise": 0.03},
+            "hard",
+        ),
+    )
+
+
+def _build_candidate(
+    config: UcrSimConfig, index: int, dataset_id: int, attempt: int
+) -> LabeledSeries | None:
+    """One construction attempt for dataset ``dataset_id``."""
+    rng = rng_for(config.seed, "ucr", index, attempt)
+    domain = _DOMAINS[index % len(_DOMAINS)]
+    n = int(rng.integers(config.min_length, config.max_length))
+    train_len = int(config.train_fraction * n)
+    base = _clean_base(rng, domain, n)
+    name = f"{dataset_id:03d}_{domain}"
+
+    every = max(1, round(1.0 / config.trivial_fraction))
+    if index % every == 1:  # deterministic easy slots, ~trivial_fraction
+        # deliberately easy: sentinel dropout or massive spike (§3's
+        # "occasionally real-world anomalies ... amenable to a one-liner")
+        if rng.uniform() < 0.5:
+            injector, kwargs = missing_sentinel, {
+                "start": int(rng.integers(train_len + 200, n - 210)),
+                "length": int(rng.integers(1, 4)),
+            }
+        else:
+            injector, kwargs = spike, {
+                "start": int(rng.integers(train_len + 200, n - 210)),
+                "magnitude": float(20.0 * np.ptp(base)),
+            }
+        difficulty = "easy"
+    elif attempt >= 3:
+        # late attempts fall back to the provably subtle shape swap
+        period_hint = int(rng.integers(80, 400))
+        injector = triangle_cycle
+        kwargs = {
+            "start": int(rng.integers(train_len + 200, n - 210 - period_hint)),
+            "length": period_hint,
+            "rng": rng,
+            "noise": 0.03,
+        }
+        difficulty = "hard"
+    else:
+        period_hint = int(rng.integers(80, 400))
+        menu = _injection_menu(rng, n, train_len, period_hint)
+        _, injector, kwargs, difficulty = menu[int(rng.integers(0, len(menu)))]
+    try:
+        return from_injection(
+            name,
+            base,
+            train_len,
+            injector,
+            meta={"domain": domain, "difficulty": difficulty, "dataset": "ucr"},
+            **kwargs,
+        )
+    except ValueError:
+        return None  # position collided with a bound; reroll
+
+
+def make_ucr(config: UcrSimConfig = UcrSimConfig()) -> Archive:
+    """Build the simulated UCR anomaly archive.
+
+    Like the Yahoo simulator, each non-easy dataset is *certified*: if
+    the one-liner brute force solves a candidate (the injection left a
+    detectable edge, or a score extreme landed inside the label), the
+    builder retries with fresh parameters, falling back to the
+    slope-bounded shape swap.  The archive's trivially-solvable fraction
+    then stays near the designed ``trivial_fraction``.
+    """
+    from ..oneliner.search import SearchConfig, search_series
+
+    series: list[LabeledSeries] = []
+
+    # the paper's two worked exemplars (they may count toward the easy
+    # fraction if a one-liner can pin their extreme point)
+    bidmc = make_bidmc1(config.seed)
+    series.append(bidmc["pleth"])
+    series.append(
+        make_park3m(config.seed, n=30_000, train_len=20_000, target_start=24_000)
+    )
+
+    search_config = SearchConfig()
+    index = 0
+    while len(series) < config.size:
+        index += 1
+        dataset_id = len(series) + 1
+        chosen = None
+        for attempt in range(6):
+            candidate = _build_candidate(config, index, dataset_id, attempt)
+            if candidate is None:
+                continue
+            if candidate.meta["difficulty"] == "easy":
+                chosen = candidate
+                break
+            if not search_series(candidate, search_config).solved:
+                chosen = candidate
+                break
+        if chosen is None:
+            continue  # every attempt collided; move on to the next index
+        series.append(chosen)
+
+    return Archive(
+        "ucr-simulated",
+        series,
+        meta={"benchmark": "ucr-anomaly-archive-simulated", "seed": config.seed},
+    )

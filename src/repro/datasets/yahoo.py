@@ -1,0 +1,504 @@
+"""Simulated Yahoo S5 benchmark (A1-A4).
+
+The real Yahoo Webscope S5 corpus (367 labeled series) cannot be
+redistributed or downloaded offline, so this module builds a synthetic
+archive with the *same flaw structure* the paper measures:
+
+* **Solvability mix (Table 1).**  Each series is planted to be solvable
+  by exactly one of the one-liner families — or by none — at the paper's
+  observed proportions: A1 30×(3) + 14×(4) + 23 hard, A2 40×(3) + 57×(4)
+  + 3 hard, A3 84×(5) + 14×(6) + 2 hard, A4 39×(5) + 38×(6) + 23 hard.
+  Margins are sized off the realized base signal, so the planted family
+  provably separates and the stronger signal needed by the excluded
+  families provably does not exist.
+* **Mislabeling (§2.4, Figs 4-7).**  A1 plants: a half-labeled constant
+  region (real32), an unlabeled twin dropout (real46), a labeled-but-
+  unremarkable rounded bottom (real47), over-precise toggling labels
+  after a regime change (real67), and a duplicated pair (real13/real15).
+* **Run-to-failure bias (§2.5, Fig 10).**  Every rightmost anomaly
+  position is drawn from a right-skewed Beta distribution.
+* **Density quirks (§2.3).**  One A1 series carries the "two anomalies
+  sandwiching a single normal datapoint" pattern of Fig 3.
+
+Bounded (uniform) noise everywhere keeps triviality a property of the
+planted anomaly rather than of a lucky noise extreme (see
+:mod:`repro.datasets.base`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rng import rng_for
+from ..types import AnomalyRegion, Archive, LabeledSeries, Labels
+from .base import (
+    linear_trend,
+    run_to_failure_position,
+    sawtooth,
+    sine,
+    triangle_wave,
+    uniform_noise,
+)
+
+__all__ = ["YahooConfig", "make_yahoo"]
+
+
+@dataclass(frozen=True)
+class YahooConfig:
+    """Archive shape; defaults mirror the real S5 corpus."""
+
+    seed: int = 7
+    length: int = 1421
+    n_a1: int = 67
+    n_a2: int = 100
+    n_a3: int = 100
+    n_a4: int = 100
+    plant_flaws: bool = True
+
+    def family_plan(self, dataset: str) -> list[int | None]:
+        """Per-series planted family for one sub-benchmark (Table 1)."""
+        counts = {
+            "A1": [(3, 30), (4, 14), (None, self.n_a1 - 44)],
+            "A2": [(3, 40), (4, 57), (None, self.n_a2 - 97)],
+            "A3": [(5, 84), (6, 14), (None, self.n_a3 - 98)],
+            "A4": [(5, 39), (6, 38), (None, self.n_a4 - 77)],
+        }[dataset]
+        plan: list[int | None] = []
+        for family, count in counts:
+            plan.extend([family] * count)
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# position helpers
+# ---------------------------------------------------------------------------
+
+
+def _anomaly_positions(
+    rng: np.random.Generator, n: int, count: int, min_gap: int = 40
+) -> list[int]:
+    """Anomaly positions; the rightmost is run-to-failure biased."""
+    rightmost = run_to_failure_position(rng, n, margin=30)
+    positions = [rightmost]
+    attempts = 0
+    while len(positions) < count and attempts < 200:
+        attempts += 1
+        candidate = int(rng.integers(30, max(31, rightmost - min_gap)))
+        if all(abs(candidate - p) >= min_gap for p in positions):
+            positions.append(candidate)
+    return sorted(positions)
+
+
+# ---------------------------------------------------------------------------
+# family-specific series builders
+# ---------------------------------------------------------------------------
+
+
+def _family3_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[int], str]:
+    """Spikes strictly dominating every natural |diff| (family 3)."""
+    amplitude = rng.uniform(1.0, 40.0)
+    period = int(rng.integers(60, 200))
+    base = (
+        sine(n, period, amplitude, phase=rng.uniform(0, 2 * np.pi))
+        + sine(n, period / 4, 0.2 * amplitude, phase=rng.uniform(0, 2 * np.pi))
+        + linear_trend(n, rng.uniform(-0.3, 0.3) * amplitude / n)
+        + uniform_noise(rng, n, 0.04 * amplitude)
+    )
+    natural = float(np.abs(np.diff(base)).max())
+    count = int(rng.integers(1, 5))
+    positions = _anomaly_positions(rng, n, count)
+    values = base.copy()
+    for position in positions:
+        magnitude = (2.2 + rng.uniform(0.0, 1.5)) * natural
+        sign = -1.0 if rng.uniform() < 0.5 else 1.0
+        values[position] += sign * magnitude
+    return values, positions, "point_spike"
+
+
+def _real1_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[int], str]:
+    """A1-Real1 lookalike (Fig 3): normalized series in [0, ~0.4] whose
+    positive spikes cross a fixed raw-value threshold (``R1 > 0.45``),
+    while also yielding to family (3)."""
+    period = int(rng.integers(100, 180))
+    base = (
+        0.20
+        + 0.10 * sine(n, period, phase=rng.uniform(0, 2 * np.pi))
+        + 0.05 * sine(n, period / 6, phase=rng.uniform(0, 2 * np.pi))
+        + uniform_noise(rng, n, 0.02)
+    )
+    count = int(rng.integers(2, 4))
+    positions = _anomaly_positions(rng, n, count)
+    values = base.copy()
+    for position in positions:
+        values[position] = rng.uniform(0.55, 0.80)  # clearly past 0.45
+    return values, positions, "normalized_positive_spike"
+
+
+def _family4_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[int], str]:
+    """Contextual spike in a quiet zone shadowed by a loud zone (family 4)."""
+    loud_slope = rng.uniform(0.5, 5.0)  # |diff| inside the loud zone
+    loud_period = 16
+    loud_amp = loud_slope * loud_period / 4.0
+    ramp = 120
+    loud_len = int(0.35 * n)
+    loud_start = int(rng.integers(30, n - loud_len - 30))
+    envelope = np.zeros(n)
+    envelope[loud_start : loud_start + ramp] = np.linspace(0, 1, ramp)
+    envelope[loud_start + ramp : loud_start + loud_len - ramp] = 1.0
+    envelope[loud_start + loud_len - ramp : loud_start + loud_len] = np.linspace(
+        1, 0, ramp
+    )
+    quiet_amp = 1.6 * loud_slope  # slow wave, tiny per-point slope
+    base = (
+        sine(n, 400, quiet_amp, phase=rng.uniform(0, 2 * np.pi))
+        + envelope * triangle_wave(n, loud_period, loud_amp)
+        + uniform_noise(rng, n, 0.01 * loud_slope)
+    )
+    # spike in the quiet zone, below the loud slope but above quiet diffs;
+    # placement is run-to-failure biased like the rest of the archive
+    quiet_positions = [
+        int(p)
+        for p in range(30, n - 30)
+        if p < loud_start - 50 or p > loud_start + loud_len + 50
+    ]
+    position = quiet_positions[
+        min(int(rng.beta(6.0, 1.0) * len(quiet_positions)), len(quiet_positions) - 1)
+    ]
+    values = base.copy()
+    values[position] += 0.5 * loud_slope * (1 if rng.uniform() < 0.5 else -1)
+    return values, [position], "contextual_spike"
+
+
+def _family5_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[int], str]:
+    """Positive jump on a sharp-drop sawtooth (family 5, signed)."""
+    amplitude = rng.uniform(1.0, 30.0)
+    period = int(rng.integers(40, 80))
+    base = (
+        sawtooth(n, period, amplitude, rise_fraction=0.95)
+        + linear_trend(n, rng.uniform(-0.2, 0.2) * amplitude / n)
+        + uniform_noise(rng, n, 0.01 * amplitude)
+    )
+    rise = amplitude / (0.95 * period)  # natural positive diff
+    natural_up = rise + 4 * 0.01 * amplitude
+    count = int(rng.integers(1, 4))
+    kind = "level_shift" if rng.uniform() < 0.5 else "point_spike"
+    positions = []
+    for position in _anomaly_positions(rng, n, count):
+        # keep both the anomaly and its predecessor clear of the sawtooth
+        # drop (last 5 % of each period), else the positive jump rides on
+        # a huge negative base diff and family (5) loses it
+        phase = position % period
+        clamped = min(max(phase, int(0.1 * period)), int(0.8 * period))
+        positions.append(position - phase + clamped)
+    positions = sorted(set(positions))
+    values = base.copy()
+    magnitude = (3.0 + rng.uniform(0.0, 2.0)) * natural_up
+    for position in positions:
+        if kind == "level_shift":
+            values[position:] += magnitude
+        else:
+            values[position] += magnitude
+    return values, positions, kind
+
+
+def _family6_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[int], str]:
+    """Spike below the natural slope, visible only after detrending
+    the diff with ``movmean(diff, 5)`` (family 6, the paper's k=5, c=0)."""
+    amplitude = rng.uniform(5.0, 50.0)
+    period = 150
+    slope = 2 * np.pi * amplitude / period  # max natural diff
+    phase0 = rng.uniform(0, 2 * np.pi)
+    base = (
+        sine(n, period, amplitude, phase=phase0)
+        + linear_trend(n, rng.uniform(-0.1, 0.1) * amplitude / n)
+        + uniform_noise(rng, n, 0.02 * slope)
+    )
+    count = int(rng.integers(1, 3))
+    # snap spikes to sine extrema (local slope ~ 0): the spike diff then
+    # stays below the natural maximum slope, so family (5) cannot
+    # separate it while the movmean-detrended family (6) can
+    extremum_phase = (np.pi / 2 - phase0) * period / (2 * np.pi)
+    positions = []
+    for position in _anomaly_positions(rng, n, count, min_gap=period):
+        k = round((position - extremum_phase) / (period / 2))
+        snapped = int(round(extremum_phase + k * period / 2))
+        positions.append(min(max(snapped, 10), n - 10))
+    positions = sorted(set(positions))
+    values = base.copy()
+    for position in positions:
+        values[position] += 0.5 * slope
+    return values, positions, "slope_shadowed_spike"
+
+
+# ---------------------------------------------------------------------------
+# hard (unsolvable) series and planted flaws
+# ---------------------------------------------------------------------------
+
+
+def _hard_shape_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[tuple[int, int]], str]:
+    """Cycle replaced by a slope-bounded triangle: no one-liner signature.
+
+    Noise inside the replaced cycle is slightly *suppressed* so the
+    global maximum of any diff-based score provably falls outside the
+    label — otherwise a lucky in-label noise extreme would let the brute
+    force "solve" a shape anomaly it cannot actually see.
+    """
+    from ..archive.injection import triangle_cycle
+
+    amplitude = rng.uniform(1.0, 20.0)
+    period = int(rng.integers(50, 120))
+    noise = 0.06 * amplitude
+    base = sine(n, period, amplitude) + uniform_noise(rng, n, noise)
+    first, last = 3, (n - 2 * period) // period - 1
+    cycle = first + min(int(rng.beta(6.0, 1.0) * (last - first)), last - first - 1)
+    start = cycle * period
+    values, region = triangle_cycle(
+        base, start, period, rng=rng, noise=0.6 * noise
+    )
+    return values, [(region.start, region.end)], "shape_anomaly"
+
+
+def _hard_variance_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[tuple[int, int]], str]:
+    """Variance change: labeled onset, but the change persists far past
+    the label, so any threshold yields false positives.
+
+    The noise ramps up over 150 points, which keeps the largest diffs
+    well past the 30-point label — no in-label score maximum to exploit.
+    """
+    amplitude = rng.uniform(1.0, 20.0)
+    onset = int(rng.integers(int(0.5 * n), int(0.8 * n)))
+    envelope = np.full(n, 0.03 * amplitude)
+    ramp = min(150, n - onset)
+    envelope[onset : onset + ramp] = np.linspace(
+        0.03 * amplitude, 0.09 * amplitude, ramp
+    )
+    envelope[onset + ramp :] = 0.09 * amplitude
+    values = sine(n, 120, amplitude) + envelope * uniform_noise(rng, n, 1.0)
+    return values, [(onset, onset + 30)], "variance_change"
+
+
+def _hard_unremarkable_series(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[tuple[int, int]], str]:
+    """real47-style: the label points at a statistically ordinary dip.
+
+    Noise under the label is slightly suppressed so no diff-based score
+    can peak there (see :func:`_hard_shape_series`).
+    """
+    amplitude = rng.uniform(1.0, 20.0)
+    period = int(rng.integers(50, 120))
+    values = sine(n, period, amplitude) + uniform_noise(rng, n, 0.05 * amplitude)
+    first, last = 3, (n - 2 * period) // period - 1
+    cycle = first + min(int(rng.beta(6.0, 1.0) * (last - first)), last - first - 1)
+    trough = cycle * period + int(0.75 * period)
+    lo, hi = trough - 6, trough + 6
+    center = sine(n, period, amplitude)[lo:hi]
+    values[lo:hi] = center + 0.6 * (values[lo:hi] - center)
+    return values, [(trough - 3, trough + 3)], "unremarkable_label"
+
+
+def _flaw_constant_region(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[tuple[int, int]], str]:
+    """real32-style: an arbitrary interior slice of a constant region is
+    labeled; points A (in) and B (out) of Fig 4 are literally identical."""
+    amplitude = rng.uniform(1.0, 20.0)
+    values = sine(n, 90, amplitude) + uniform_noise(rng, n, 0.05 * amplitude)
+    start = int(rng.integers(int(0.6 * n), int(0.8 * n)))
+    values[start : start + 40] = values[start]
+    return values, [(start + 10, start + 30)], "constant_region_half_labeled"
+
+
+def _flaw_twin_dropout(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[tuple[int, int]], str]:
+    """real46-style: identical dropouts, only the first labeled."""
+    amplitude = rng.uniform(5.0, 20.0)
+    values = sine(n, 90, amplitude) + uniform_noise(rng, n, 0.05 * amplitude)
+    low = values.min() - 2 * amplitude
+    first = int(rng.integers(int(0.3 * n), int(0.5 * n)))
+    second = int(rng.integers(int(0.6 * n), int(0.85 * n)))
+    values[first] = low
+    values[second] = low
+    return values, [(first, first + 1)], "unlabeled_twin_dropout"
+
+
+def _flaw_toggling_labels(rng: np.random.Generator, n: int) -> tuple[np.ndarray, list[tuple[int, int]], str]:
+    """real67-style: regime change with over-precise toggling labels."""
+    amplitude = rng.uniform(1.0, 20.0)
+    change = int(rng.integers(int(0.7 * n), int(0.85 * n)))
+    calm = sine(n, 100, amplitude)[:change]
+    wild = sawtooth(n - change, 8, 3 * amplitude)
+    values = np.concatenate([calm, wild + calm[-1]]) + uniform_noise(
+        rng, n, 0.03 * amplitude
+    )
+    regions = [(change + offset, change + offset + 2) for offset in range(0, 48, 8)]
+    return values, regions, "toggling_labels"
+
+
+# ---------------------------------------------------------------------------
+# archive assembly
+# ---------------------------------------------------------------------------
+
+_HARD_BUILDERS = (
+    _hard_shape_series,
+    _hard_variance_series,
+    _hard_unremarkable_series,
+)
+
+_FLAW_BUILDERS = {
+    "constant_region_half_labeled": _flaw_constant_region,
+    "unlabeled_twin_dropout": _flaw_twin_dropout,
+    "toggling_labels": _flaw_toggling_labels,
+}
+
+
+_POLICY = {"A1": (3, 4), "A2": (3, 4), "A3": (5, 6), "A4": (5, 6)}
+
+
+def _build_candidate(
+    dataset: str,
+    index: int,
+    family: int | None,
+    config: YahooConfig,
+    flaw: str | None,
+    attempt: int,
+) -> LabeledSeries:
+    rng = rng_for(config.seed, "yahoo", dataset, index, attempt)
+    n = config.length
+    meta: dict = {"dataset": dataset, "index": index, "planted_family": family}
+
+    if flaw in _FLAW_BUILDERS:
+        values, regions, kind = _FLAW_BUILDERS[flaw](rng, n)
+        meta["flaw"] = flaw
+    elif family == 3 and dataset == "A1" and index == 0:
+        # the Fig 3 exemplar: also solvable by a raw-value threshold
+        values, points, kind = _real1_series(rng, n)
+        regions = [(p, p + 1) for p in points]
+    elif family == 3:
+        values, points, kind = _family3_series(rng, n)
+        regions = [(p, p + 1) for p in points]
+    elif family == 4:
+        values, points, kind = _family4_series(rng, n)
+        regions = [(p, p + 1) for p in points]
+    elif family == 5:
+        values, points, kind = _family5_series(rng, n)
+        regions = [(p, p + 1) for p in points]
+    elif family == 6:
+        values, points, kind = _family6_series(rng, n)
+        regions = [(p, p + 1) for p in points]
+    else:
+        builder = _HARD_BUILDERS[index % len(_HARD_BUILDERS)]
+        values, regions, kind = builder(rng, n)
+
+    meta["anomaly_kind"] = kind
+    labels = Labels(
+        n=n,
+        regions=tuple(AnomalyRegion(s, e) for s, e in regions),
+    )
+    name = f"yahoo_{dataset}_{index + 1}"
+    return LabeledSeries(name=name, values=values, labels=labels, meta=meta)
+
+
+def _build_series(
+    dataset: str,
+    index: int,
+    family: int | None,
+    config: YahooConfig,
+    flaw: str | None,
+    max_attempts: int = 16,
+) -> LabeledSeries:
+    """Build a series and *certify* its planted solvability.
+
+    A planted family-(f) series must be solved by exactly family (f)
+    under its sub-benchmark's family order; a hard series must be solved
+    by none.  Noise occasionally breaks a margin (a lucky extreme inside
+    a hard label, a spike riding an unlucky base diff), so the builder
+    retries with a derived sub-seed until the property holds — the same
+    kind of screening §3 of the paper applies to the real archive.
+    """
+    from ..oneliner.search import SearchConfig, search_series
+
+    families = _POLICY[dataset]
+    search_config = SearchConfig()
+    last = None
+    for attempt in range(max_attempts):
+        candidate = _build_candidate(dataset, index, family, config, flaw, attempt)
+        result = search_series(candidate, search_config, families)
+        wanted = (
+            (not result.solved)
+            if family is None
+            else (result.solved and result.family == family)
+        )
+        candidate.meta["build_attempts"] = attempt + 1
+        if wanted:
+            return candidate
+        last = candidate
+    last.meta["certification"] = "failed"
+    return last
+
+
+def make_yahoo(config: YahooConfig = YahooConfig()) -> Archive:
+    """Build the simulated 367-series Yahoo S5 archive."""
+    series: list[LabeledSeries] = []
+    sizes = {
+        "A1": config.n_a1,
+        "A2": config.n_a2,
+        "A3": config.n_a3,
+        "A4": config.n_a4,
+    }
+    # A1 flaw placement: put the §2.4 exhibits on fixed hard slots so the
+    # archive is stable under reseeding
+    flaw_slots: dict[tuple[str, int], str] = {}
+    if config.plant_flaws and config.n_a1 >= 67:
+        flaw_slots[("A1", 50)] = "constant_region_half_labeled"
+        flaw_slots[("A1", 51)] = "unlabeled_twin_dropout"
+        flaw_slots[("A1", 52)] = "toggling_labels"
+
+    for dataset, size in sizes.items():
+        plan = config.family_plan(dataset)[:size]
+        for index, family in enumerate(plan):
+            flaw = flaw_slots.get((dataset, index))
+            series.append(_build_series(dataset, index, family, config, flaw))
+
+    if config.plant_flaws and config.n_a1 >= 67:
+        # duplicate pair (real13/real15): literal copies, one of the hard
+        # series duplicated over the following hard slot
+        original = next(s for s in series if s.name == "yahoo_A1_54")
+        clone_index = next(
+            i for i, s in enumerate(series) if s.name == "yahoo_A1_55"
+        )
+        series[clone_index] = LabeledSeries(
+            name="yahoo_A1_55",
+            values=original.values.copy(),
+            labels=original.labels,
+            meta={**original.meta, "index": 54, "flaw": "duplicate_pair"},
+        )
+        original.meta["flaw"] = "duplicate_pair"
+        # Fig-3 sandwich: add a second spike two points after the first
+        # anomaly of the first family-3 series
+        sandwich = series[0]
+        first = sandwich.labels.regions[0].start
+        if first + 2 < sandwich.n - 1:
+            magnitude = float(np.abs(np.diff(sandwich.values)).max()) * 1.5
+            values = sandwich.values.copy()
+            values[first + 2] += magnitude
+            regions = tuple(
+                list(sandwich.labels.regions)
+                + [
+                    AnomalyRegion(first + 2, first + 3)
+                ]
+            )
+            series[0] = LabeledSeries(
+                name=sandwich.name,
+                values=values,
+                labels=Labels(n=sandwich.n, regions=regions),
+                meta={**sandwich.meta, "flaw": "sandwich_density"},
+            )
+
+    meta = {
+        "benchmark": "yahoo-s5-simulated",
+        "paper_counts": {
+            "A1": (44, 67),
+            "A2": (97, 100),
+            "A3": (98, 100),
+            "A4": (77, 100),
+        },
+    }
+    return Archive("yahoo", series, meta=meta)

@@ -1,0 +1,62 @@
+"""Anomaly detectors: trivial baselines through discords and forecasters."""
+
+from .base import Detector
+from .baselines import (
+    ConstantRunDetector,
+    DiffDetector,
+    MovingStdDetector,
+    MovingZScoreDetector,
+    NaiveLastPointDetector,
+    OneLinerDetector,
+    RandomScoreDetector,
+)
+from .knn import KnnDistanceDetector
+from .matrix_profile import (
+    MatrixProfileDetector,
+    MatrixProfileResult,
+    discords,
+    matrix_profile,
+    moving_mean_std,
+    sliding_dot_products,
+    subsequence_to_point_scores,
+)
+from .merlin import MerlinDetector, MerlinResult, merlin
+from .registry import DETECTORS, available_detectors, make_detector
+from .stats import CusumDetector, EwmaDetector
+from .telemanom import (
+    ARForecaster,
+    TelemanomDetector,
+    dynamic_threshold,
+    prune_anomalies,
+)
+
+__all__ = [
+    "Detector",
+    "DiffDetector",
+    "MovingZScoreDetector",
+    "MovingStdDetector",
+    "ConstantRunDetector",
+    "NaiveLastPointDetector",
+    "RandomScoreDetector",
+    "OneLinerDetector",
+    "CusumDetector",
+    "EwmaDetector",
+    "matrix_profile",
+    "MatrixProfileResult",
+    "MatrixProfileDetector",
+    "discords",
+    "moving_mean_std",
+    "sliding_dot_products",
+    "subsequence_to_point_scores",
+    "merlin",
+    "MerlinResult",
+    "MerlinDetector",
+    "ARForecaster",
+    "TelemanomDetector",
+    "dynamic_threshold",
+    "prune_anomalies",
+    "KnnDistanceDetector",
+    "DETECTORS",
+    "make_detector",
+    "available_detectors",
+]

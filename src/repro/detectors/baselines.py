@@ -1,0 +1,136 @@
+"""Trivial baseline detectors.
+
+These are the paper's "one line of code and a few minutes of effort"
+methods, packaged behind the common :class:`Detector` API so the benches
+can compare them head-to-head with heavier machinery.  It also contains
+the two *diagnostic* baselines the paper's flaw analysis motivates:
+
+* :class:`NaiveLastPointDetector` — exploits run-to-failure bias (§2.5):
+  "a naive algorithm that simply labels the last point as an anomaly has
+  an excellent chance of being correct".
+* :class:`RandomScoreDetector` — the null detector used by the
+  point-adjust ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..oneliner.expressions import OneLiner
+from ..oneliner.primitives import movmean, movstd
+from .base import Detector
+
+__all__ = [
+    "DiffDetector",
+    "MovingZScoreDetector",
+    "MovingStdDetector",
+    "ConstantRunDetector",
+    "NaiveLastPointDetector",
+    "RandomScoreDetector",
+    "OneLinerDetector",
+]
+
+
+class DiffDetector(Detector):
+    """Score = |first difference| — the engine of one-liner family (3)."""
+
+    def __init__(self, absolute: bool = True) -> None:
+        self.absolute = absolute
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        out = np.full(values.shape, -np.inf)
+        if values.size < 2:
+            return out
+        step = np.diff(values)
+        out[1:] = np.abs(step) if self.absolute else step
+        return out
+
+
+class MovingZScoreDetector(Detector):
+    """Score = |x - movmean| / movstd over a centered window."""
+
+    def __init__(self, k: int = 50, epsilon: float = 1e-9) -> None:
+        if k < 3:
+            raise ValueError(f"window must be >= 3, got {k}")
+        self.k = k
+        self.epsilon = epsilon
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return values.copy()
+        center = movmean(values, self.k)
+        scale = movstd(values, self.k) + self.epsilon
+        return np.abs(values - center) / scale
+
+
+class MovingStdDetector(Detector):
+    """Score = movstd(TS, k) — Fig 2's one-liner as a detector."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 2:
+            raise ValueError(f"window must be >= 2, got {k}")
+        self.k = k
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return values.copy()
+        return movstd(values, self.k)
+
+
+class ConstantRunDetector(Detector):
+    """Score = length of the constant run ending at each point.
+
+    The paper's NASA freeze detector ("a dynamic time series suddenly
+    becoming exactly constant"), graded rather than binary so it can be
+    ranked and located.
+    """
+
+    def __init__(self, atol: float = 0.0) -> None:
+        self.atol = atol
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        out = np.zeros(values.shape)
+        if values.size < 2:
+            return out
+        flat = np.abs(np.diff(values)) <= self.atol
+        run = 0
+        for j, is_flat in enumerate(flat):
+            run = run + 1 if is_flat else 0
+            out[j + 1] = run
+        return out
+
+
+class NaiveLastPointDetector(Detector):
+    """Scores each point by its index: always picks the series end."""
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        return np.arange(np.asarray(values).size, dtype=float)
+
+
+class RandomScoreDetector(Detector):
+    """I.i.d. uniform scores — the null hypothesis of every benchmark."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        return rng.uniform(size=np.asarray(values).size)
+
+
+class OneLinerDetector(Detector):
+    """Adapt any :class:`~repro.oneliner.expressions.OneLiner` to a Detector."""
+
+    def __init__(self, oneliner: OneLiner) -> None:
+        self.oneliner = oneliner
+
+    @property
+    def name(self) -> str:
+        return f"OneLiner[{self.oneliner.code}]"
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        return self.oneliner.score(values)

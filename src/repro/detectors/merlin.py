@@ -1,0 +1,99 @@
+"""MERLIN-lite: parameter-free discord discovery across lengths.
+
+The paper's reference [19] (Nakamura et al., ICDM 2020) removes the
+discord's window-length parameter by searching *all* lengths in a range.
+The original uses the DRAG candidate-selection algorithm for speed; this
+reproduction keeps MERLIN's semantics — the discord of each length,
+distances made comparable across lengths by normalizing with ``sqrt(w)``
+— on top of the exact STOMP join.  Asymptotics are worse (O(L·n²)) but
+the discovered discords are identical, which is what the experiments
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Detector
+from .matrix_profile import matrix_profile, subsequence_to_point_scores
+
+__all__ = ["MerlinResult", "merlin", "MerlinDetector"]
+
+
+@dataclass(frozen=True)
+class MerlinResult:
+    """Best discord per candidate length, plus the overall winner."""
+
+    lengths: tuple[int, ...]
+    locations: tuple[int, ...]  # discord start per length
+    distances: tuple[float, ...]  # length-normalized discord distance
+
+    @property
+    def best(self) -> tuple[int, int, float]:
+        """``(length, location, normalized_distance)`` of the winner."""
+        i = int(np.argmax(self.distances))
+        return self.lengths[i], self.locations[i], self.distances[i]
+
+
+def candidate_lengths(min_w: int, max_w: int, num: int) -> tuple[int, ...]:
+    """Geometrically spaced candidate window lengths."""
+    if min_w < 3:
+        raise ValueError(f"min_w must be >= 3, got {min_w}")
+    if max_w < min_w:
+        raise ValueError(f"max_w ({max_w}) < min_w ({min_w})")
+    raw = np.geomspace(min_w, max_w, num=num)
+    return tuple(sorted(set(int(round(length)) for length in raw)))
+
+
+def merlin(
+    values: np.ndarray, min_w: int, max_w: int, num_lengths: int = 8
+) -> MerlinResult:
+    """Discord of every candidate length in ``[min_w, max_w]``."""
+    values = np.asarray(values, dtype=float)
+    lengths = []
+    locations = []
+    distances = []
+    for w in candidate_lengths(min_w, max_w, num_lengths):
+        if values.size < 2 * w:
+            continue
+        result = matrix_profile(values, w)
+        finite = np.where(np.isfinite(result.profile), result.profile, -np.inf)
+        location = int(np.argmax(finite))
+        lengths.append(w)
+        locations.append(location)
+        distances.append(float(finite[location]) / np.sqrt(w))
+    if not lengths:
+        raise ValueError("series too short for every candidate length")
+    return MerlinResult(
+        lengths=tuple(lengths),
+        locations=tuple(locations),
+        distances=tuple(distances),
+    )
+
+
+class MerlinDetector(Detector):
+    """Per-point score = max over lengths of the normalized profile."""
+
+    def __init__(self, min_w: int = 50, max_w: int = 200, num_lengths: int = 5) -> None:
+        self.min_w = min_w
+        self.max_w = max_w
+        self.num_lengths = num_lengths
+
+    @property
+    def name(self) -> str:
+        return f"MERLIN(w={self.min_w}..{self.max_w})"
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        combined = np.full(values.size, -np.inf)
+        for w in candidate_lengths(self.min_w, self.max_w, self.num_lengths):
+            if values.size < 2 * w:
+                continue
+            result = matrix_profile(values, w)
+            points = subsequence_to_point_scores(
+                result.profile / np.sqrt(w), w, values.size
+            )
+            combined = np.maximum(combined, points)
+        return combined

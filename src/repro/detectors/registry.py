@@ -1,0 +1,57 @@
+"""Name → detector factory registry.
+
+Benches and examples build detector line-ups by name so a new detector
+only has to register here to show up everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import Detector
+from .baselines import (
+    ConstantRunDetector,
+    DiffDetector,
+    MovingStdDetector,
+    MovingZScoreDetector,
+    NaiveLastPointDetector,
+    RandomScoreDetector,
+)
+from .knn import KnnDistanceDetector
+from .matrix_profile import MatrixProfileDetector
+from .merlin import MerlinDetector
+from .stats import CusumDetector, EwmaDetector
+from .telemanom import TelemanomDetector
+
+__all__ = ["DETECTORS", "make_detector", "available_detectors"]
+
+DETECTORS: dict[str, Callable[..., Detector]] = {
+    "diff": DiffDetector,
+    "moving_zscore": MovingZScoreDetector,
+    "moving_std": MovingStdDetector,
+    "constant_run": ConstantRunDetector,
+    "last_point": NaiveLastPointDetector,
+    "random": RandomScoreDetector,
+    "cusum": CusumDetector,
+    "ewma": EwmaDetector,
+    "matrix_profile": MatrixProfileDetector,
+    "merlin": MerlinDetector,
+    "telemanom": TelemanomDetector,
+    "knn": KnnDistanceDetector,
+}
+
+
+def make_detector(name: str, **kwargs) -> Detector:
+    """Instantiate a registered detector by name."""
+    try:
+        factory = DETECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown detector {name!r}; available: {sorted(DETECTORS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_detectors() -> list[str]:
+    """Registered detector names, sorted."""
+    return sorted(DETECTORS)

@@ -1,0 +1,93 @@
+"""Classical statistical detectors.
+
+:class:`CusumDetector` implements Page's cumulative-sum change detector —
+the paper's reference [1] (Page 1957) and the literal "papers dating back
+to the dawn of computer science" method.  :class:`EwmaDetector` is the
+exponentially-weighted control chart, another decades-old baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Detector
+
+__all__ = ["CusumDetector", "EwmaDetector"]
+
+
+class CusumDetector(Detector):
+    """Two-sided CUSUM (Page 1957) on standardized values.
+
+    Scores are ``max(S+, S-)`` where ``S+`` accumulates standardized
+    exceedances above ``drift`` and ``S-`` below ``-drift``.  The
+    baseline mean/std are learned from ``fit`` (or, untrained, from the
+    first ``warmup`` points of the scored series).
+    """
+
+    def __init__(self, drift: float = 0.5, warmup: int = 100) -> None:
+        self.drift = drift
+        self.warmup = warmup
+        self._mean: float | None = None
+        self._std: float | None = None
+
+    def fit(self, train: np.ndarray) -> "CusumDetector":
+        train = np.asarray(train, dtype=float)
+        if train.size >= 2:
+            self._mean = float(train.mean())
+            self._std = float(train.std()) or 1.0
+        return self
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return values.copy()
+        if self._mean is None:
+            head = values[: max(2, min(self.warmup, values.size))]
+            mean, std = float(head.mean()), float(head.std()) or 1.0
+        else:
+            mean, std = self._mean, self._std
+        z = (values - mean) / std
+        high = np.empty(values.size)
+        low = np.empty(values.size)
+        up = down = 0.0
+        for i, value in enumerate(z):
+            up = max(0.0, up + value - self.drift)
+            down = max(0.0, down - value - self.drift)
+            high[i] = up
+            low[i] = down
+        return np.maximum(high, low)
+
+
+class EwmaDetector(Detector):
+    """EWMA control chart: score = |x - ewma| / control-limit scale."""
+
+    def __init__(self, alpha: float = 0.1, warmup: int = 100) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.warmup = warmup
+        self._std: float | None = None
+
+    def fit(self, train: np.ndarray) -> "EwmaDetector":
+        train = np.asarray(train, dtype=float)
+        if train.size >= 2:
+            self._std = float(train.std()) or 1.0
+        return self
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return values.copy()
+        if self._std is None:
+            head = values[: max(2, min(self.warmup, values.size))]
+            std = float(head.std()) or 1.0
+        else:
+            std = self._std
+        smooth = np.empty(values.size)
+        level = values[0]
+        for i, value in enumerate(values):
+            smooth[i] = level
+            level = self.alpha * value + (1.0 - self.alpha) * level
+        # control limit scale: sigma * sqrt(alpha / (2 - alpha))
+        scale = std * np.sqrt(self.alpha / (2.0 - self.alpha)) or 1.0
+        return np.abs(values - smooth) / scale

@@ -1,0 +1,44 @@
+"""The four-flaw taxonomy as executable audits (paper §2)."""
+
+from .density import DensityAudit, DensityStats, audit_density, density_stats
+from .mislabeling import (
+    DiscordDisagreement,
+    TwinMatch,
+    discord_label_disagreement,
+    find_duplicate_series,
+    find_partially_labeled_constant_runs,
+    find_toggling_labels,
+    find_unlabeled_twins,
+)
+from .report import FlawReport, audit_archive
+from .run_to_failure import (
+    RunToFailureAudit,
+    audit_run_to_failure,
+    last_point_hit_rate,
+    position_histogram,
+    rightmost_fractions,
+)
+from .triviality import TrivialityAudit, audit_triviality
+
+__all__ = [
+    "TrivialityAudit",
+    "audit_triviality",
+    "DensityStats",
+    "density_stats",
+    "DensityAudit",
+    "audit_density",
+    "TwinMatch",
+    "find_unlabeled_twins",
+    "find_partially_labeled_constant_runs",
+    "find_toggling_labels",
+    "DiscordDisagreement",
+    "discord_label_disagreement",
+    "find_duplicate_series",
+    "rightmost_fractions",
+    "position_histogram",
+    "last_point_hit_rate",
+    "RunToFailureAudit",
+    "audit_run_to_failure",
+    "FlawReport",
+    "audit_archive",
+]

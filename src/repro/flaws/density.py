@@ -1,0 +1,107 @@
+"""Flaw 2 — unrealistic anomaly density (§2.3).
+
+Three flavours, each measured per series:
+
+* huge contiguous labeled regions (NASA D-2/M-1/M-2: more than half the
+  test data; "another dozen or so" with at least a third);
+* many separate anomalies (SMD machine-2-5: 21 regions);
+* anomalies so close they sandwich single normal points (Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import Archive, LabeledSeries
+
+__all__ = ["DensityStats", "density_stats", "DensityAudit", "audit_density"]
+
+
+@dataclass(frozen=True)
+class DensityStats:
+    """Per-series anomaly density measurements."""
+
+    name: str
+    num_regions: int
+    anomaly_rate: float  # fraction of all points labeled anomalous
+    test_contiguous_fraction: float  # largest region / test length
+    min_gap: int | None  # smallest gap between consecutive regions
+    num_sandwiched_points: int  # normal points squeezed between regions
+
+    @property
+    def blurs_into_classification(self) -> bool:
+        """The paper: half the data anomalous 'seems to violate the most
+        fundamental assumption of the task'."""
+        return self.test_contiguous_fraction > 0.5
+
+
+def density_stats(series: LabeledSeries) -> DensityStats:
+    """Measure the §2.3 statistics for one series."""
+    labels = series.labels
+    test_len = max(1, series.n - series.train_len)
+    largest = max((region.length for region in labels.regions), default=0)
+    gaps = [
+        later.start - earlier.end
+        for earlier, later in zip(labels.regions, labels.regions[1:])
+    ]
+    sandwiched = sum(gap for gap in gaps if gap <= 2)
+    return DensityStats(
+        name=series.name,
+        num_regions=labels.num_regions,
+        anomaly_rate=labels.anomaly_rate,
+        test_contiguous_fraction=largest / test_len,
+        min_gap=min(gaps) if gaps else None,
+        num_sandwiched_points=sandwiched,
+    )
+
+
+@dataclass
+class DensityAudit:
+    """Archive-level density offenders."""
+
+    archive_name: str
+    stats: list[DensityStats]
+    half_threshold: float = 0.5
+    third_threshold: float = 1.0 / 3.0
+    many_regions_threshold: int = 10
+
+    @property
+    def over_half(self) -> list[DensityStats]:
+        return [
+            s for s in self.stats if s.test_contiguous_fraction > self.half_threshold
+        ]
+
+    @property
+    def over_third(self) -> list[DensityStats]:
+        return [
+            s
+            for s in self.stats
+            if self.third_threshold < s.test_contiguous_fraction <= self.half_threshold
+        ]
+
+    @property
+    def many_regions(self) -> list[DensityStats]:
+        return [s for s in self.stats if s.num_regions >= self.many_regions_threshold]
+
+    @property
+    def sandwiches(self) -> list[DensityStats]:
+        return [s for s in self.stats if s.num_sandwiched_points > 0]
+
+    def format(self) -> str:
+        lines = [
+            f"density audit: {self.archive_name}",
+            f"  > 1/2 of test contiguous anomaly: "
+            f"{[s.name for s in self.over_half]}",
+            f"  > 1/3 of test contiguous anomaly: {len(self.over_third)} series",
+            f"  >= {self.many_regions_threshold} separate anomalies: "
+            f"{[(s.name, s.num_regions) for s in self.many_regions]}",
+            f"  sandwiched normal points: "
+            f"{[(s.name, s.num_sandwiched_points) for s in self.sandwiches]}",
+        ]
+        return "\n".join(lines)
+
+
+def audit_density(archive: Archive, **thresholds) -> DensityAudit:
+    """Measure density statistics for every series of an archive."""
+    stats = [density_stats(series) for series in archive.series]
+    return DensityAudit(archive_name=archive.name, stats=stats, **thresholds)

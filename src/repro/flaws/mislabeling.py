@@ -1,0 +1,223 @@
+"""Flaw 3 — mislabeled ground truth (§2.4).
+
+Candidate-finders for the label defects the paper exhibits:
+
+* :func:`find_unlabeled_twins` — a labeled pattern recurring, nearly
+  identically, at unlabeled positions (Yahoo A1-Real46's dropout D,
+  NASA G-1's frozen snippets, Fig 5/Fig 9).
+* :func:`find_partially_labeled_constant_runs` — a label boundary
+  cutting through a constant run (Yahoo A1-Real32, Fig 4).
+* :func:`find_toggling_labels` — rapid anomaly/normal toggling, the
+  "unreasonably precise" labels of Fig 7.
+* :func:`discord_label_disagreement` — top discords not covered by any
+  label: the "equally worthy" events of Fig 8.
+* :func:`find_duplicate_series` — near-identical series pairs
+  (A1-Real13/A1-Real15).
+
+These are *candidate* detectors: the paper is careful to note the
+original labelers may hold out-of-band evidence, so the outputs are
+reports for a human, not automated relabeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..detectors.matrix_profile import discords
+from ..types import AnomalyRegion, Archive, LabeledSeries
+
+__all__ = [
+    "TwinMatch",
+    "find_unlabeled_twins",
+    "find_partially_labeled_constant_runs",
+    "find_toggling_labels",
+    "DiscordDisagreement",
+    "discord_label_disagreement",
+    "find_duplicate_series",
+]
+
+
+@dataclass(frozen=True)
+class TwinMatch:
+    """An unlabeled near-copy of a labeled segment."""
+
+    series: str
+    labeled_region: AnomalyRegion
+    twin_start: int
+    distance: float  # z-normalized Euclidean distance per point
+
+
+def _znorm(segment: np.ndarray) -> np.ndarray:
+    std = segment.std()
+    if std < 1e-12:
+        return segment - segment.mean()
+    return (segment - segment.mean()) / std
+
+
+def find_unlabeled_twins(
+    series: LabeledSeries,
+    max_distance: float = 0.35,
+    min_segment: int = 5,
+    pad: int = 2,
+) -> list[TwinMatch]:
+    """Find unlabeled positions nearly identical to a labeled segment.
+
+    Each labeled region (padded to at least ``min_segment`` points) is
+    slid over the series; positions whose z-normalized per-point RMS
+    distance is below ``max_distance`` and that do not overlap any label
+    are reported.
+    """
+    values = series.values
+    matches: list[TwinMatch] = []
+    label_mask = series.labels.to_mask()
+    for region in series.labels.regions:
+        lo = max(0, region.start - pad)
+        hi = min(series.n, max(region.end + pad, lo + min_segment))
+        template = values[lo:hi]
+        m = template.size
+        if m < min_segment or series.n < 2 * m:
+            continue
+        template_z = _znorm(template)
+        windows = np.lib.stride_tricks.sliding_window_view(values, m)
+        means = windows.mean(axis=1, keepdims=True)
+        stds = np.maximum(windows.std(axis=1, keepdims=True), 1e-12)
+        z = (windows - means) / stds
+        per_point_rms = np.sqrt(((z - template_z) ** 2).mean(axis=1))
+        for start in np.flatnonzero(per_point_rms < max_distance):
+            start = int(start)
+            window_overlaps_label = label_mask[start : start + m].any()
+            if window_overlaps_label:
+                continue
+            matches.append(
+                TwinMatch(
+                    series=series.name,
+                    labeled_region=region,
+                    twin_start=start,
+                    distance=float(per_point_rms[start]),
+                )
+            )
+    # collapse adjacent starts to the best per cluster
+    collapsed: list[TwinMatch] = []
+    for match in sorted(matches, key=lambda m: m.twin_start):
+        if collapsed and match.twin_start - collapsed[-1].twin_start < min_segment:
+            if match.distance < collapsed[-1].distance:
+                collapsed[-1] = match
+        else:
+            collapsed.append(match)
+    return collapsed
+
+
+def find_partially_labeled_constant_runs(
+    series: LabeledSeries, min_run: int = 10, atol: float = 0.0
+) -> list[tuple[int, int]]:
+    """Constant runs that a label boundary cuts through (Fig 4).
+
+    Returns ``(start, end)`` of each offending run: some of its points
+    are labeled anomalous and some are not, although every point in the
+    run is literally identical.
+    """
+    from ..types import Labels
+
+    values = series.values
+    if values.size < 2:
+        return []
+    flat_steps = np.abs(np.diff(values)) <= atol
+    mask = series.labels.to_mask()
+    offenders = []
+    # a run of flat steps [s, e) covers points [s, e + 1)
+    for step_run in Labels.from_mask(flat_steps).regions:
+        start, end = step_run.start, step_run.end + 1
+        if end - start < min_run:
+            continue
+        labeled = mask[start:end]
+        if labeled.any() and not labeled.all():
+            offenders.append((start, end))
+    return offenders
+
+
+def find_toggling_labels(
+    series: LabeledSeries, max_gap: int = 10, min_toggles: int = 3
+) -> list[tuple[int, int]]:
+    """Bursts of rapid anomaly/normal toggling (Fig 7).
+
+    Returns ``(start, end)`` spans containing at least ``min_toggles``
+    labeled regions separated by gaps of at most ``max_gap`` points.
+    """
+    regions = series.labels.regions
+    spans = []
+    run = [regions[0]] if regions else []
+    for earlier, later in zip(regions, regions[1:]):
+        if later.start - earlier.end <= max_gap:
+            run.append(later)
+        else:
+            if len(run) >= min_toggles:
+                spans.append((run[0].start, run[-1].end))
+            run = [later]
+    if len(run) >= min_toggles:
+        spans.append((run[0].start, run[-1].end))
+    return spans
+
+
+@dataclass(frozen=True)
+class DiscordDisagreement:
+    """Discords vs. labels on one series (the Fig 8 analysis)."""
+
+    series: str
+    unlabeled_discords: list[tuple[int, float]]  # candidate missed events
+    labeled_hits: list[tuple[int, float]]  # discords inside labels
+
+    @property
+    def num_candidate_false_negatives(self) -> int:
+        return len(self.unlabeled_discords)
+
+
+def discord_label_disagreement(
+    series: LabeledSeries,
+    w: int,
+    top_k: int = 10,
+    slop: int | None = None,
+) -> DiscordDisagreement:
+    """Compare the top-k discords with the labels.
+
+    A discord whose window (widened by ``slop``, default ``w``) overlaps
+    no labeled region is a candidate missed event — exactly how the
+    paper surfaces Fig 8's unlabeled taxi events.
+    """
+    slop = w if slop is None else slop
+    found = discords(series.values, w=w, top_k=top_k)
+    unlabeled = []
+    labeled = []
+    for start, distance in found:
+        window = AnomalyRegion(start, start + w)
+        overlaps = any(
+            window.expanded(slop, series.n).overlaps(region)
+            for region in series.labels.regions
+        )
+        if overlaps:
+            labeled.append((start, distance))
+        else:
+            unlabeled.append((start, distance))
+    return DiscordDisagreement(
+        series=series.name, unlabeled_discords=unlabeled, labeled_hits=labeled
+    )
+
+
+def find_duplicate_series(
+    archive: Archive, max_rms: float = 1e-6
+) -> list[tuple[str, str]]:
+    """Find near-identical series pairs (A1-Real13 / A1-Real15)."""
+    names = list(archive)
+    pairs = []
+    for i, first in enumerate(names):
+        a = archive[first].values
+        for second in names[i + 1 :]:
+            b = archive[second].values
+            if a.size != b.size:
+                continue
+            scale = max(float(np.abs(a).max()), 1e-12)
+            rms = float(np.sqrt(np.mean((a - b) ** 2))) / scale
+            if rms <= max_rms:
+                pairs.append((first, second))
+    return pairs

@@ -1,0 +1,73 @@
+"""Combined four-flaw audit (§2.6's summary, as a runnable report).
+
+One call produces the evidence behind the paper's verdict that an
+archive is "irretrievably flawed": the trivially-solvable fraction,
+density offenders, mislabeling candidates and positional bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..oneliner.search import SearchConfig
+from ..types import Archive
+from .density import DensityAudit, audit_density
+from .mislabeling import find_duplicate_series
+from .run_to_failure import RunToFailureAudit, audit_run_to_failure
+from .triviality import TrivialityAudit, audit_triviality
+
+__all__ = ["FlawReport", "audit_archive"]
+
+
+@dataclass
+class FlawReport:
+    """All four flaw audits for one archive."""
+
+    archive_name: str
+    triviality: TrivialityAudit
+    density: DensityAudit
+    run_to_failure: RunToFailureAudit
+    duplicate_pairs: list[tuple[str, str]]
+
+    @property
+    def verdict(self) -> str:
+        """The paper's §2.6 judgement, mechanically applied."""
+        problems = []
+        if self.triviality.trivial_fraction > 0.5:
+            problems.append("mostly trivial")
+        if self.density.over_half or len(self.density.many_regions) > 0:
+            problems.append("unrealistic density")
+        if self.duplicate_pairs:
+            problems.append("duplicated data")
+        if self.run_to_failure.biased:
+            problems.append("run-to-failure bias")
+        if not problems:
+            return "no flaws detected"
+        return "flawed: " + ", ".join(problems)
+
+    def format(self) -> str:
+        parts = [
+            f"==== flaw report: {self.archive_name} ====",
+            self.triviality.format(),
+            self.density.format(),
+            self.run_to_failure.format(),
+            f"duplicate series pairs: {self.duplicate_pairs}",
+            f"VERDICT: {self.verdict}",
+        ]
+        return "\n".join(parts)
+
+
+def audit_archive(
+    archive: Archive,
+    search_config: SearchConfig = SearchConfig(),
+    families_for=None,
+    check_duplicates: bool = True,
+) -> FlawReport:
+    """Run all four flaw audits on an archive."""
+    return FlawReport(
+        archive_name=archive.name,
+        triviality=audit_triviality(archive, search_config, families_for),
+        density=audit_density(archive),
+        run_to_failure=audit_run_to_failure(archive),
+        duplicate_pairs=find_duplicate_series(archive) if check_duplicates else [],
+    )

@@ -1,0 +1,110 @@
+"""Flaw 4 — run-to-failure bias (§2.5, Fig 10).
+
+Measures where the (rightmost) anomalies sit within their series and how
+well the degenerate "flag the last point" strategy does — the paper's
+"naive algorithm that simply labels the last point as an anomaly has an
+excellent chance of being correct".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import Archive
+
+__all__ = [
+    "rightmost_fractions",
+    "position_histogram",
+    "last_point_hit_rate",
+    "RunToFailureAudit",
+    "audit_run_to_failure",
+]
+
+
+def rightmost_fractions(archive: Archive) -> np.ndarray:
+    """Rightmost labeled position of each series, as a fraction of its
+    length (the x-axis of Fig 10)."""
+    fractions = []
+    for series in archive.series:
+        region = series.labels.rightmost
+        if region is not None:
+            fractions.append(region.end / series.n)
+    return np.array(fractions)
+
+
+def position_histogram(
+    fractions: np.ndarray, bins: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig 10's histogram: counts per position decile."""
+    counts, edges = np.histogram(fractions, bins=bins, range=(0.0, 1.0))
+    return counts, edges
+
+
+def last_point_hit_rate(archive: Archive, slop_fraction: float = 0.05) -> float:
+    """Fraction of series where flagging the last point scores a hit.
+
+    A hit means the last point lies within ``slop_fraction`` of the
+    series length of the rightmost labeled region.
+    """
+    hits = 0
+    counted = 0
+    for series in archive.series:
+        region = series.labels.rightmost
+        if region is None:
+            continue
+        counted += 1
+        slop = int(slop_fraction * series.n)
+        if region.contains(series.n - 1, slop=slop):
+            hits += 1
+    return hits / counted if counted else 0.0
+
+
+@dataclass
+class RunToFailureAudit:
+    """Archive-level positional-bias verdict."""
+
+    archive_name: str
+    fractions: np.ndarray
+    last_point_rate: float
+
+    @property
+    def median_position(self) -> float:
+        return float(np.median(self.fractions)) if self.fractions.size else 0.0
+
+    @property
+    def late_fraction(self) -> float:
+        """Share of series whose rightmost anomaly sits past 80 %."""
+        if not self.fractions.size:
+            return 0.0
+        return float((self.fractions > 0.8).mean())
+
+    @property
+    def biased(self) -> bool:
+        """Simple verdict: are anomalies concentrated near the end?"""
+        return self.median_position > 0.6 and self.late_fraction > 0.3
+
+    def format(self) -> str:
+        counts, _ = position_histogram(self.fractions)
+        return "\n".join(
+            [
+                f"run-to-failure audit: {self.archive_name}",
+                f"  median rightmost position: {self.median_position:.0%}",
+                f"  series with rightmost anomaly past 80%: {self.late_fraction:.0%}",
+                f"  last-point detector hit rate: {self.last_point_rate:.0%}",
+                f"  decile histogram: {counts.tolist()}",
+                f"  verdict: {'BIASED' if self.biased else 'unbiased'}",
+            ]
+        )
+
+
+def audit_run_to_failure(
+    archive: Archive, slop_fraction: float = 0.05
+) -> RunToFailureAudit:
+    """Measure the §2.5 statistics for an archive."""
+    return RunToFailureAudit(
+        archive_name=archive.name,
+        fractions=rightmost_fractions(archive),
+        last_point_rate=last_point_hit_rate(archive, slop_fraction),
+    )

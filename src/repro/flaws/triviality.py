@@ -1,0 +1,67 @@
+"""Flaw 1 — triviality (§2.2).
+
+Wraps the one-liner brute force as an archive *audit*: what fraction of
+an archive's problems yield to Definition 1?  The paper's position is
+that a high trivially-solvable fraction disqualifies an archive from
+measuring progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..oneliner.search import (
+    ArchiveSearchResult,
+    SearchConfig,
+    search_archive,
+)
+from ..types import Archive
+
+__all__ = ["TrivialityAudit", "audit_triviality"]
+
+
+@dataclass
+class TrivialityAudit:
+    """Archive-level triviality verdict."""
+
+    archive_name: str
+    search: ArchiveSearchResult
+    config: SearchConfig = field(default_factory=SearchConfig)
+
+    @property
+    def num_series(self) -> int:
+        return self.search.num_series
+
+    @property
+    def num_trivial(self) -> int:
+        return self.search.num_solved
+
+    @property
+    def trivial_fraction(self) -> float:
+        return self.search.solved_fraction
+
+    def solved_names(self) -> list[str]:
+        return [
+            name for name, result in self.search.results.items() if result.solved
+        ]
+
+    def format(self) -> str:
+        lines = [
+            f"triviality audit: {self.archive_name}",
+            f"  one-liner solvable: {self.num_trivial}/{self.num_series} "
+            f"({self.trivial_fraction:.1%})",
+        ]
+        by_family = self.search.solved_by_family()
+        for family in sorted(by_family):
+            lines.append(f"  solved by family ({family}): {by_family[family]}")
+        return "\n".join(lines)
+
+
+def audit_triviality(
+    archive: Archive,
+    config: SearchConfig = SearchConfig(),
+    families_for=None,
+) -> TrivialityAudit:
+    """Run the Definition-1 brute force over an archive."""
+    result = search_archive(archive, config, families_for)
+    return TrivialityAudit(archive_name=archive.name, search=result, config=config)

@@ -1,0 +1,53 @@
+"""One-liner triviality engine (paper §2.2, Definition 1, Table 1)."""
+
+from .criteria import SolveReport, evaluate_flags, solves
+from .expressions import (
+    FAMILY_IDS,
+    DiffFamilyOneLiner,
+    FrozenSignalOneLiner,
+    MovstdOneLiner,
+    OneLiner,
+    ThresholdOneLiner,
+    make_family,
+)
+from .primitives import diff, movmax, movmean, movmin, movstd, movsum
+from .report import YAHOO_FAMILY_POLICY, Table1, Table1Row, build_table1
+from .search import (
+    ArchiveSearchResult,
+    SearchConfig,
+    SeriesSearchResult,
+    search_archive,
+    search_series,
+    solve_with_family,
+    threshold_for,
+)
+
+__all__ = [
+    "diff",
+    "movmean",
+    "movstd",
+    "movsum",
+    "movmax",
+    "movmin",
+    "OneLiner",
+    "DiffFamilyOneLiner",
+    "ThresholdOneLiner",
+    "MovstdOneLiner",
+    "FrozenSignalOneLiner",
+    "make_family",
+    "FAMILY_IDS",
+    "SolveReport",
+    "solves",
+    "evaluate_flags",
+    "SearchConfig",
+    "SeriesSearchResult",
+    "ArchiveSearchResult",
+    "search_series",
+    "search_archive",
+    "solve_with_family",
+    "threshold_for",
+    "Table1",
+    "Table1Row",
+    "build_table1",
+    "YAHOO_FAMILY_POLICY",
+]

@@ -1,0 +1,93 @@
+"""The "solves the problem" criterion for one-liners.
+
+The paper claims a one-liner *solves* a benchmark problem when its flagged
+points match the ground truth (Fig 3 shows the match is essentially
+exact).  We formalize that as *tolerance-adjusted perfect precision and
+recall*:
+
+* the one-liner flags at least one point;
+* every flagged point lies within ``tolerance`` points of some labeled
+  region (no false positives, modulo slop); and
+* every labeled region contains at least one flag (within slop) —
+  no false negatives.
+
+The slop absorbs the one-off alignment ambiguity of diff-based
+expressions that §2.4/§4.4 of the paper discuss ("algorithms can place
+their computed label at the beginning, the end or the middle of the
+subsequence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import LabeledSeries, Labels
+from .expressions import OneLiner
+
+__all__ = ["SolveReport", "evaluate_flags", "solves"]
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Outcome of checking one one-liner against one labeled series."""
+
+    solved: bool
+    num_flags: int
+    num_regions: int
+    regions_hit: int
+    false_positives: int
+    tolerance: int
+
+    @property
+    def precision(self) -> float:
+        if self.num_flags == 0:
+            return 0.0
+        return (self.num_flags - self.false_positives) / self.num_flags
+
+    @property
+    def recall(self) -> float:
+        if self.num_regions == 0:
+            return 0.0
+        return self.regions_hit / self.num_regions
+
+
+def evaluate_flags(
+    flags: np.ndarray, labels: Labels, tolerance: int = 2
+) -> SolveReport:
+    """Score a set of flagged indices against ground-truth labels."""
+    flags = np.asarray(flags, dtype=int)
+    expanded = [region.expanded(tolerance, labels.n) for region in labels.regions]
+    false_positives = 0
+    hit = [False] * len(expanded)
+    for flag in flags:
+        inside = False
+        for idx, region in enumerate(expanded):
+            if region.start <= flag < region.end:
+                hit[idx] = True
+                inside = True
+        if not inside:
+            false_positives += 1
+    regions_hit = sum(hit)
+    solved = (
+        flags.size > 0
+        and false_positives == 0
+        and len(expanded) > 0
+        and regions_hit == len(expanded)
+    )
+    return SolveReport(
+        solved=solved,
+        num_flags=int(flags.size),
+        num_regions=len(expanded),
+        regions_hit=regions_hit,
+        false_positives=false_positives,
+        tolerance=tolerance,
+    )
+
+
+def solves(
+    oneliner: OneLiner, series: LabeledSeries, tolerance: int = 2
+) -> SolveReport:
+    """Check whether ``oneliner`` solves ``series`` (Definition 1 test)."""
+    return evaluate_flags(oneliner.flags(series.values), series.labels, tolerance)

@@ -1,0 +1,237 @@
+"""One-liner expressions (Definition 1 and equations (1)-(6)).
+
+A :class:`OneLiner` is a tiny executable object wrapping a MATLAB-style
+single-line predicate.  Evaluating it on a series yields a boolean mask
+*in original point coordinates* (diff-based expressions are re-aligned so
+that the flag for ``diff(TS)[j]`` lands on point ``j + 1``, the point that
+changed).
+
+The paper's general families:
+
+(1)  ``abs(diff(TS)) > u*movmean(abs(diff(TS)),k) + c*movstd(abs(diff(TS)),k) + b``
+(2)  ``diff(TS)      > u*movmean(diff(TS),k)      + c*movstd(diff(TS),k)      + b``
+
+and the derived simplified families:
+
+(3)  ``abs(diff(TS)) > b``
+(4)  ``abs(diff(TS)) > movmean(abs(diff(TS)),k) + c*movstd(abs(diff(TS)),k) + b``
+(5)  ``diff(TS) > b``
+(6)  ``diff(TS) > movmean(diff(TS),k) + c*movstd(diff(TS),k) + b``
+
+plus the figure-specific one-liners (``movstd(TS,k) > b``, ``TS > b``,
+``TS < b``, ``diff(diff(TS)) == 0``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import primitives
+
+__all__ = [
+    "OneLiner",
+    "DiffFamilyOneLiner",
+    "ThresholdOneLiner",
+    "MovstdOneLiner",
+    "FrozenSignalOneLiner",
+    "make_family",
+    "FAMILY_IDS",
+]
+
+FAMILY_IDS = (1, 2, 3, 4, 5, 6)
+
+
+class OneLiner(ABC):
+    """An executable single-line anomaly predicate."""
+
+    @property
+    @abstractmethod
+    def code(self) -> str:
+        """The MATLAB-style one-line source for display."""
+
+    @abstractmethod
+    def score(self, values: np.ndarray) -> np.ndarray:
+        """Real-valued per-point score; the predicate is ``score > 0``.
+
+        Scores are aligned to original point indices.  Points for which
+        the expression is undefined (e.g. point 0 of a diff) score
+        ``-inf`` so they can never be flagged.
+        """
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Boolean per-point mask of flagged points."""
+        return self.score(values) > 0
+
+    def flags(self, values: np.ndarray) -> np.ndarray:
+        """Indices of flagged points, ascending."""
+        return np.flatnonzero(self.mask(values))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.code!r})"
+
+
+def _align_diff_scores(raw: np.ndarray, n: int) -> np.ndarray:
+    """Map a length ``n-1`` diff-space score to point space.
+
+    ``diff(TS)[j] = TS[j+1] - TS[j]`` describes the change *arriving at*
+    point ``j + 1``, so the score for point ``i`` is ``raw[i - 1]`` and
+    point 0 is undefined.
+    """
+    out = np.full(n, -np.inf)
+    out[1:] = raw
+    return out
+
+
+@dataclass(frozen=True)
+class DiffFamilyOneLiner(OneLiner):
+    """Families (1)/(2) and their simplifications (3)-(6).
+
+    Parameters mirror the paper: ``use_abs`` selects ``abs(diff(TS))``
+    (families 1/3/4) vs. ``diff(TS)`` (families 2/5/6); ``u`` switches the
+    ``movmean`` term; ``c`` scales the ``movstd`` term; ``b`` is the
+    offset; ``k`` is the moving-window length.
+    """
+
+    use_abs: bool
+    u: int = 0
+    c: float = 0.0
+    k: int = 1
+    b: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.u not in (0, 1):
+            raise ValueError(f"u must be 0 or 1, got {self.u}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def family(self) -> int:
+        """The equation number (3)-(6) this parameterization matches.
+
+        Parameterizations using both terms fall back to the general
+        family (1) or (2).
+        """
+        uses_moving = self.u == 1 or self.c != 0.0
+        if not uses_moving:
+            return 3 if self.use_abs else 5
+        if self.u == 1 and self.use_abs:
+            return 4
+        if self.u == 1 and not self.use_abs:
+            return 6
+        return 1 if self.use_abs else 2
+
+    @property
+    def code(self) -> str:
+        lhs = "abs(diff(TS))" if self.use_abs else "diff(TS)"
+        terms = []
+        if self.u == 1:
+            terms.append(f"movmean({lhs},{self.k})")
+        if self.c != 0.0:
+            terms.append(f"{self.c:g}*movstd({lhs},{self.k})")
+        terms.append(f"{self.b:g}")
+        return f"{lhs} > " + " + ".join(terms)
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        raw = primitives.diff(values)
+        if self.use_abs:
+            raw = np.abs(raw)
+        rhs = np.full(raw.shape, float(self.b))
+        if self.u == 1:
+            rhs = rhs + primitives.movmean(raw, self.k)
+        if self.c != 0.0:
+            rhs = rhs + self.c * primitives.movstd(raw, self.k)
+        return _align_diff_scores(raw - rhs, values.size)
+
+
+def make_family(
+    family: int, k: int = 1, c: float = 0.0, b: float = 0.0
+) -> DiffFamilyOneLiner:
+    """Construct a one-liner for equation number ``family`` in (3)-(6)."""
+    if family == 3:
+        return DiffFamilyOneLiner(use_abs=True, u=0, c=0.0, k=1, b=b)
+    if family == 4:
+        return DiffFamilyOneLiner(use_abs=True, u=1, c=c, k=k, b=b)
+    if family == 5:
+        return DiffFamilyOneLiner(use_abs=False, u=0, c=0.0, k=1, b=b)
+    if family == 6:
+        return DiffFamilyOneLiner(use_abs=False, u=1, c=c, k=k, b=b)
+    raise ValueError(f"family must be one of 3, 4, 5, 6; got {family}")
+
+
+@dataclass(frozen=True)
+class ThresholdOneLiner(OneLiner):
+    """Raw-value threshold, e.g. Fig 3's ``R1 > 0.45`` or Fig 1's ``M19 < 0.01``."""
+
+    b: float
+    above: bool = True
+
+    @property
+    def code(self) -> str:
+        op = ">" if self.above else "<"
+        return f"TS {op} {self.b:g}"
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        return values - self.b if self.above else self.b - values
+
+
+@dataclass(frozen=True)
+class MovstdOneLiner(OneLiner):
+    """Moving-std threshold, e.g. Fig 2's ``movstd(AISD,5) > 10``."""
+
+    k: int
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError(f"k must be >= 2 for movstd, got {self.k}")
+
+    @property
+    def code(self) -> str:
+        return f"movstd(TS,{self.k}) > {self.b:g}"
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        return primitives.movstd(values, self.k) - self.b
+
+
+@dataclass(frozen=True)
+class FrozenSignalOneLiner(OneLiner):
+    """NASA freeze detector: ``diff(diff(TS)) == 0`` over a minimum run.
+
+    The paper suggests flagging "three consecutive values [being] the
+    same" with ``diff(diff(TS)) == 0``.  Taken literally that also fires
+    on any locally linear ramp, so we require the *first* difference to
+    vanish too (|diff| <= atol) for at least ``min_run`` points — which is
+    exactly the "dynamic time series suddenly becoming constant" pattern.
+    """
+
+    min_run: int = 3
+    atol: float = 0.0
+
+    @property
+    def code(self) -> str:
+        return "diff(diff(TS)) == 0"
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        n = values.size
+        out = np.full(n, -1.0)
+        if n < 2:
+            return out
+        flat = np.abs(np.diff(values)) <= self.atol
+        # run length of consecutive flat steps ending at each step index
+        run = np.zeros(flat.size, dtype=int)
+        count = 0
+        for j, is_flat in enumerate(flat):
+            count = count + 1 if is_flat else 0
+            run[j] = count
+        # step j covers points j and j+1; a run of (min_run - 1) steps
+        # means min_run equal consecutive points ending at point j + 1.
+        hits = np.flatnonzero(run >= self.min_run - 1) + 1
+        out[hits] = 1.0
+        return out

@@ -1,0 +1,153 @@
+"""MATLAB-semantics vectorized primitives.
+
+Definition 1 of the paper restricts one-liners to "basic vectorized
+primitive operations, such as mean, max, std, diff, etc." in MATLAB.  The
+paper's expressions (1)-(6) use ``diff``, ``movmean`` and ``movstd``, so
+those must match MATLAB behaviour exactly:
+
+* ``diff(A)`` has length ``n - 1``.
+* ``movmean(A, k)`` / ``movstd(A, k)`` use a *centered* window.  For odd
+  ``k`` the window is symmetric; for even ``k`` it covers ``k/2`` elements
+  before and ``k/2 - 1`` after the current element (MATLAB convention).
+  Endpoint windows *shrink* (MATLAB default ``'Endpoints','shrink'``).
+* ``movstd`` normalizes by ``N - 1`` (sample std, MATLAB default ``w=0``)
+  and returns 0 for singleton windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "diff",
+    "movmean",
+    "movstd",
+    "movsum",
+    "movmax",
+    "movmin",
+    "window_bounds",
+]
+
+
+def _as_float_1d(values: np.ndarray) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {array.shape}")
+    return array
+
+
+def diff(values: np.ndarray, order: int = 1) -> np.ndarray:
+    """First (or ``order``-th) difference, MATLAB ``diff``."""
+    array = _as_float_1d(values)
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if array.size <= order:
+        return np.empty(0, dtype=float)
+    return np.diff(array, n=order)
+
+
+def window_bounds(n: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-index half-open window ``[lo, hi)`` for MATLAB moving windows.
+
+    For odd ``k``: ``lo = i - (k-1)/2``, ``hi = i + (k-1)/2 + 1``.
+    For even ``k``: ``lo = i - k/2``, ``hi = i + k/2`` (k/2 before,
+    k/2 - 1 after, plus the element itself).  Bounds are clipped to
+    ``[0, n]`` which implements the shrinking endpoints.
+    """
+    if k < 1:
+        raise ValueError(f"window length must be >= 1, got {k}")
+    indices = np.arange(n)
+    if k % 2 == 1:
+        half = (k - 1) // 2
+        lo = indices - half
+        hi = indices + half + 1
+    else:
+        lo = indices - k // 2
+        hi = indices + k // 2
+    return np.clip(lo, 0, n), np.clip(hi, 0, n)
+
+
+def _windowed_sums(values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Window sums, squared sums and counts via prefix sums (O(n))."""
+    array = _as_float_1d(values)
+    n = array.size
+    lo, hi = window_bounds(n, k)
+    prefix = np.concatenate(([0.0], np.cumsum(array)))
+    prefix_sq = np.concatenate(([0.0], np.cumsum(array * array)))
+    counts = (hi - lo).astype(float)
+    sums = prefix[hi] - prefix[lo]
+    sums_sq = prefix_sq[hi] - prefix_sq[lo]
+    return sums, sums_sq, counts
+
+
+def movmean(values: np.ndarray, k: int) -> np.ndarray:
+    """Centered moving mean with shrinking endpoints (MATLAB ``movmean``)."""
+    array = _as_float_1d(values)
+    if k < 1:
+        raise ValueError(f"window length must be >= 1, got {k}")
+    if array.size == 0 or k == 1:
+        return array.copy()
+    sums, _, counts = _windowed_sums(array, k)
+    return sums / counts
+
+
+def movstd(values: np.ndarray, k: int) -> np.ndarray:
+    """Centered moving sample std with shrinking endpoints (``movstd``).
+
+    Prefix sums of raw values cancel catastrophically when the series
+    mean dwarfs the deviations, so the series is shifted by its global
+    mean first; the result is invariant to that shift.
+    """
+    array = _as_float_1d(values)
+    if k < 1:
+        raise ValueError(f"window length must be >= 1, got {k}")
+    if array.size == 0:
+        return array.copy()
+    if k == 1:
+        return np.zeros_like(array)
+    shifted = array - array.mean()
+    sums, sums_sq, counts = _windowed_sums(shifted, k)
+    mean = sums / counts
+    # sample variance: (sum_sq - n*mean^2) / (n - 1); 0 for singleton windows
+    numerator = sums_sq - counts * mean * mean
+    numerator = np.maximum(numerator, 0.0)
+    denominator = np.maximum(counts - 1.0, 1.0)
+    variance = np.where(counts > 1, numerator / denominator, 0.0)
+    return np.sqrt(variance)
+
+
+def movsum(values: np.ndarray, k: int) -> np.ndarray:
+    """Centered moving sum with shrinking endpoints (MATLAB ``movsum``)."""
+    array = _as_float_1d(values)
+    if k < 1:
+        raise ValueError(f"window length must be >= 1, got {k}")
+    if array.size == 0:
+        return array.copy()
+    if k == 1:
+        return array.copy()
+    sums, _, _ = _windowed_sums(array, k)
+    return sums
+
+
+def _mov_extreme(values: np.ndarray, k: int, op) -> np.ndarray:
+    array = _as_float_1d(values)
+    n = array.size
+    if n == 0:
+        return array.copy()
+    lo, hi = window_bounds(n, k)
+    # Sliding extrema via stride tricks would complicate shrink handling;
+    # windows are short in practice (k <= 100) so a bounded loop is fine.
+    out = np.empty(n)
+    for i in range(n):
+        out[i] = op(array[lo[i] : hi[i]])
+    return out
+
+
+def movmax(values: np.ndarray, k: int) -> np.ndarray:
+    """Centered moving maximum with shrinking endpoints (``movmax``)."""
+    return _mov_extreme(values, k, np.max)
+
+
+def movmin(values: np.ndarray, k: int) -> np.ndarray:
+    """Centered moving minimum with shrinking endpoints (``movmin``)."""
+    return _mov_extreme(values, k, np.min)

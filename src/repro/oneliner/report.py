@@ -1,0 +1,128 @@
+"""Table-1-style aggregation of brute-force search results.
+
+Groups an archive's series (by the ``dataset`` metadata key for the
+simulated Yahoo archive), searches each group with the family order the
+paper used, and renders the same rows as Table 1 of the paper:
+
+    Dataset | Solvable with | # Time Series Solved | # in Dataset | Percent
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import Archive, LabeledSeries
+from .search import ArchiveSearchResult, SearchConfig, search_archive
+
+__all__ = ["Table1Row", "Table1", "build_table1", "YAHOO_FAMILY_POLICY"]
+
+# Family order per Yahoo sub-benchmark, as presented in Table 1.
+YAHOO_FAMILY_POLICY: dict[str, tuple[int, ...]] = {
+    "A1": (3, 4),
+    "A2": (3, 4),
+    "A3": (5, 6),
+    "A4": (5, 6),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    dataset: str
+    family: int
+    solved: int
+    total: int
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.solved / self.total if self.total else 0.0
+
+
+@dataclass
+class Table1:
+    """All rows plus subtotals, mirroring the paper's Table 1."""
+
+    rows: list[Table1Row]
+    subtotals: dict[str, tuple[int, int]]  # dataset -> (solved, total)
+    search: dict[str, ArchiveSearchResult]
+
+    @property
+    def total_solved(self) -> int:
+        return sum(solved for solved, _ in self.subtotals.values())
+
+    @property
+    def total_series(self) -> int:
+        return sum(total for _, total in self.subtotals.values())
+
+    @property
+    def total_percent(self) -> float:
+        if not self.total_series:
+            return 0.0
+        return 100.0 * self.total_solved / self.total_series
+
+    def format(self) -> str:
+        lines = [
+            f"{'Dataset':<8}{'Solvable with':<15}{'# Solved':>10}"
+            f"{'# in Dataset':>14}{'Percent':>10}"
+        ]
+        for dataset in self.subtotals:
+            for row in self.rows:
+                if row.dataset != dataset:
+                    continue
+                lines.append(
+                    f"{row.dataset:<8}{'(' + str(row.family) + ')':<15}"
+                    f"{row.solved:>10}{row.total:>14}{row.percent:>9.1f}%"
+                )
+            solved, total = self.subtotals[dataset]
+            pct = 100.0 * solved / total if total else 0.0
+            lines.append(
+                f"{dataset:<8}{'Subtotal':<15}{solved:>10}{total:>14}{pct:>9.1f}%"
+            )
+        lines.append(
+            f"{'Total':<8}{'':<15}{self.total_solved:>10}"
+            f"{self.total_series:>14}{self.total_percent:>9.1f}%"
+        )
+        return "\n".join(lines)
+
+
+def build_table1(
+    archive: Archive,
+    config: SearchConfig = SearchConfig(),
+    family_policy: dict[str, tuple[int, ...]] | None = None,
+    group_key: str = "dataset",
+) -> Table1:
+    """Search ``archive`` and aggregate the results as Table 1.
+
+    Series are grouped by ``series.meta[group_key]``; each group is
+    searched with its family order from ``family_policy`` (defaulting to
+    the paper's Yahoo policy, then to ``config.families``).
+    """
+    policy = YAHOO_FAMILY_POLICY if family_policy is None else family_policy
+
+    def families_for(series: LabeledSeries) -> tuple[int, ...]:
+        group = str(series.meta.get(group_key, ""))
+        return policy.get(group, config.families)
+
+    groups: dict[str, list[str]] = {}
+    for series in archive.series:
+        group = str(series.meta.get(group_key, "?"))
+        groups.setdefault(group, []).append(series.name)
+
+    rows: list[Table1Row] = []
+    subtotals: dict[str, tuple[int, int]] = {}
+    searches: dict[str, ArchiveSearchResult] = {}
+    for group in sorted(groups):
+        sub_archive = archive.subset(groups[group], name=group)
+        result = search_archive(sub_archive, config, families_for)
+        searches[group] = result
+        by_family = result.solved_by_family()
+        for family in policy.get(group, config.families):
+            rows.append(
+                Table1Row(
+                    dataset=group,
+                    family=family,
+                    solved=by_family.get(family, 0),
+                    total=len(sub_archive),
+                )
+            )
+        subtotals[group] = (result.num_solved, len(sub_archive))
+    return Table1(rows=rows, subtotals=subtotals, search=searches)

@@ -1,0 +1,45 @@
+"""Scoring functions: point, range-based, NAB and UCR protocols."""
+
+from .nab import PROFILES, NabProfile, NabResult, nab_score, nab_windows
+from .point import (
+    Confusion,
+    best_f1,
+    confusion,
+    f1_curve,
+    point_adjust_mask,
+    precision_recall_f1,
+)
+from .range_based import (
+    RangeScore,
+    positional_bias,
+    range_f1,
+    range_precision,
+    range_recall,
+    score_ranges,
+)
+from .ucr import UcrOutcome, UcrSummary, score_archive, ucr_correct, ucr_slop
+
+__all__ = [
+    "Confusion",
+    "confusion",
+    "precision_recall_f1",
+    "point_adjust_mask",
+    "best_f1",
+    "f1_curve",
+    "RangeScore",
+    "range_precision",
+    "range_recall",
+    "range_f1",
+    "positional_bias",
+    "score_ranges",
+    "NabProfile",
+    "NabResult",
+    "PROFILES",
+    "nab_score",
+    "nab_windows",
+    "UcrOutcome",
+    "UcrSummary",
+    "ucr_correct",
+    "ucr_slop",
+    "score_archive",
+]

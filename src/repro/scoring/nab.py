@@ -1,0 +1,149 @@
+"""Numenta Anomaly Benchmark (NAB) scoring.
+
+The paper (§2.3) mentions that Numenta "suggested rewarding more for
+earlier detection ... however the resulting scoring function is
+exceedingly difficult to interpret, and almost no one uses this".  We
+implement the NAB model so that claim can be demonstrated:
+
+* each ground-truth anomaly gets an *anomaly window*;
+* the first detection inside a window earns a sigmoid-shaped reward
+  (earlier in the window = higher);
+* detections outside every window are false positives penalized by a
+  sigmoid of the distance past the previous window;
+* missed windows incur the false-negative penalty;
+* the raw score is normalized between the "detects nothing" baseline
+  (score 0) and the perfect detector (score 100).
+
+Application profiles reweight TP/FP/FN exactly as NAB's standard,
+reward-low-FP and reward-low-FN profiles do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import AnomalyRegion, Labels
+
+__all__ = ["NabProfile", "PROFILES", "nab_windows", "nab_score", "NabResult"]
+
+
+@dataclass(frozen=True)
+class NabProfile:
+    """Relative weights of the NAB cost matrix."""
+
+    name: str
+    a_tp: float
+    a_fp: float
+    a_fn: float
+
+
+PROFILES: dict[str, NabProfile] = {
+    "standard": NabProfile("standard", a_tp=1.0, a_fp=0.11, a_fn=1.0),
+    "reward_low_fp": NabProfile("reward_low_fp", a_tp=1.0, a_fp=0.22, a_fn=1.0),
+    "reward_low_fn": NabProfile("reward_low_fn", a_tp=1.0, a_fp=0.11, a_fn=2.0),
+}
+
+
+def nab_windows(labels: Labels, window_fraction: float = 0.10) -> list[AnomalyRegion]:
+    """Anomaly windows centered on each label, NAB-style.
+
+    NAB sizes windows as ``window_fraction`` of the series length divided
+    by the number of anomalies, centered on each labeled anomaly.  The
+    window never shrinks below the labeled region itself.
+    """
+    if labels.num_regions == 0:
+        return []
+    width = int(labels.n * window_fraction / labels.num_regions)
+    windows = []
+    for region in labels.regions:
+        half = max((width - region.length) // 2, 0)
+        windows.append(region.expanded(half, labels.n))
+    return windows
+
+
+def _scaled_sigmoid(relative_position: float) -> float:
+    """NAB's scaled sigmoid: 1 at far-left of window, ~-1 far beyond it."""
+    return 2.0 / (1.0 + np.exp(5.0 * relative_position)) - 1.0
+
+
+@dataclass(frozen=True)
+class NabResult:
+    """Raw and normalized NAB scores plus bookkeeping counts."""
+
+    score: float  # normalized 0..100 (null detector = 0, perfect = 100)
+    raw: float
+    tp_windows: int
+    fn_windows: int
+    fp_count: int
+
+
+def nab_score(
+    detections: np.ndarray,
+    labels: Labels,
+    profile: str | NabProfile = "standard",
+    window_fraction: float = 0.10,
+) -> NabResult:
+    """Score detection indices against labels with the NAB model."""
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    detections = np.unique(np.asarray(detections, dtype=int))
+    windows = nab_windows(labels, window_fraction)
+
+    raw = 0.0
+    tp_windows = 0
+    fp_count = 0
+    used = np.zeros(detections.size, dtype=bool)
+    for window in windows:
+        inside = [
+            i
+            for i, position in enumerate(detections)
+            if window.start <= position < window.end
+        ]
+        if inside:
+            tp_windows += 1
+            first = detections[inside[0]]
+            # relative position in [-1, 0]: -1 at window start, 0 at end
+            relative = (first - (window.end - 1)) / max(window.length, 1)
+            raw += profile.a_tp * _scaled_sigmoid(relative)
+            for i in inside:
+                used[i] = True
+        else:
+            raw -= profile.a_fn
+    fn_windows = len(windows) - tp_windows
+
+    for i, position in enumerate(detections):
+        if used[i]:
+            continue
+        fp_count += 1
+        previous_end = 0
+        for window in windows:
+            if window.end <= position:
+                previous_end = max(previous_end, window.end)
+        if previous_end > 0:
+            relative = (position - previous_end) / max(labels.n // 20, 1)
+            weight = abs(_scaled_sigmoid(relative))
+        else:
+            weight = 1.0
+        raw -= profile.a_fp * weight
+
+    # the perfect detector fires at each window's first position, whose
+    # relative position is -(length-1)/length, not exactly -1
+    perfect = sum(
+        profile.a_tp
+        * _scaled_sigmoid(-(window.length - 1) / max(window.length, 1))
+        for window in windows
+    )
+    null = -profile.a_fn * len(windows)
+    if perfect == null:
+        normalized = 0.0
+    else:
+        normalized = 100.0 * (raw - null) / (perfect - null)
+    return NabResult(
+        score=float(normalized),
+        raw=float(raw),
+        tp_windows=tp_windows,
+        fn_windows=fn_windows,
+        fp_count=fp_count,
+    )

@@ -1,0 +1,143 @@
+"""Point-wise scoring: precision, recall, F1 and the point-adjust protocol.
+
+The paper (§2.6) observes that "there is simply no level of performance
+that would suggest the utility of a proposed algorithm" on the flawed
+benchmarks.  The functions here are the metrics those claims are made
+with: plain point-wise P/R/F1, the best-F1-over-thresholds protocol used
+by most deep-learning papers, and the *point-adjust* protocol (Xu et al.,
+WWW 2018) whose inflationary behaviour the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import Labels
+
+__all__ = [
+    "Confusion",
+    "confusion",
+    "precision_recall_f1",
+    "point_adjust_mask",
+    "best_f1",
+    "f1_curve",
+]
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Point-wise confusion counts."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+    @property
+    def recall(self) -> float:
+        total = self.tp + self.fn
+        return self.tp / total if total else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def _as_mask(predictions: np.ndarray, n: int) -> np.ndarray:
+    predictions = np.asarray(predictions)
+    if predictions.dtype == bool:
+        if predictions.size != n:
+            raise ValueError(
+                f"mask length {predictions.size} != series length {n}"
+            )
+        return predictions
+    mask = np.zeros(n, dtype=bool)
+    mask[predictions.astype(int)] = True
+    return mask
+
+
+def confusion(predictions: np.ndarray, labels: Labels) -> Confusion:
+    """Confusion counts for a boolean mask (or index array) vs. labels."""
+    pred = _as_mask(predictions, labels.n)
+    true = labels.to_mask()
+    tp = int(np.sum(pred & true))
+    fp = int(np.sum(pred & ~true))
+    fn = int(np.sum(~pred & true))
+    tn = int(np.sum(~pred & ~true))
+    return Confusion(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def precision_recall_f1(
+    predictions: np.ndarray, labels: Labels
+) -> tuple[float, float, float]:
+    """Convenience wrapper returning ``(precision, recall, f1)``."""
+    c = confusion(predictions, labels)
+    return c.precision, c.recall, c.f1
+
+
+def point_adjust_mask(predictions: np.ndarray, labels: Labels) -> np.ndarray:
+    """Apply the point-adjust protocol to a prediction mask.
+
+    If *any* point of a ground-truth region is flagged, the whole region
+    is treated as flagged.  This is the widely used (and widely
+    criticized) protocol: on benchmarks with long anomalous regions it
+    rewards a detector for a single lucky hit, which is one mechanism
+    behind the paper's "illusion of progress".
+    """
+    pred = _as_mask(predictions, labels.n).copy()
+    for region in labels.regions:
+        if pred[region.start : region.end].any():
+            pred[region.start : region.end] = True
+    return pred
+
+
+def f1_curve(
+    scores: np.ndarray,
+    labels: Labels,
+    num_thresholds: int = 200,
+    adjust: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """F1 at a grid of candidate thresholds over ``scores``.
+
+    Thresholds are score quantiles (unique); returns ``(thresholds,
+    f1s)``.  With ``adjust=True`` predictions are point-adjusted first.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.size != labels.n:
+        raise ValueError("scores and labels disagree on length")
+    finite = scores[np.isfinite(scores)]
+    if finite.size == 0:
+        return np.empty(0), np.empty(0)
+    quantiles = np.linspace(0.0, 1.0, num_thresholds, endpoint=False)
+    thresholds = np.unique(np.quantile(finite, quantiles))
+    f1s = np.empty(thresholds.size)
+    for i, threshold in enumerate(thresholds):
+        pred = scores > threshold
+        if adjust:
+            pred = point_adjust_mask(pred, labels)
+        f1s[i] = confusion(pred, labels).f1
+    return thresholds, f1s
+
+
+def best_f1(
+    scores: np.ndarray,
+    labels: Labels,
+    num_thresholds: int = 200,
+    adjust: bool = False,
+) -> float:
+    """Best F1 over a threshold sweep — the dominant evaluation protocol.
+
+    The oracle threshold choice itself is optimistic; combined with
+    ``adjust=True`` it reproduces the most inflation-prone protocol in
+    the literature.
+    """
+    _, f1s = f1_curve(scores, labels, num_thresholds, adjust)
+    return float(f1s.max()) if f1s.size else 0.0

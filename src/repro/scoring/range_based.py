@@ -1,0 +1,185 @@
+"""Range-based precision and recall (Tatbul et al., NeurIPS 2018).
+
+The paper cites this model ([20]) as the principled alternative to point
+metrics, while noting "almost no one uses this" because the resulting
+scores are hard to interpret.  We implement the full model: existence
+reward, size/overlap reward with positional bias, and a cardinality
+penalty for fragmented predictions.
+
+Terminology follows the original: ``R`` = set of real (ground-truth)
+anomaly ranges, ``P`` = set of predicted ranges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import AnomalyRegion, Labels
+
+__all__ = [
+    "positional_bias",
+    "range_recall",
+    "range_precision",
+    "range_f1",
+    "RangeScore",
+    "score_ranges",
+]
+
+BiasFn = Callable[[int, int], float]
+
+
+def positional_bias(kind: str) -> BiasFn:
+    """Return ``delta(i, length)`` weighting position ``i`` (1-based).
+
+    ``flat``   — every position equal (the default in the original);
+    ``front``  — earlier positions matter more (early detection, cf. the
+                 paper's pump example in §2.3);
+    ``back``   — later positions matter more;
+    ``middle`` — the middle of the range matters most.
+    """
+    if kind == "flat":
+        return lambda i, length: 1.0
+    if kind == "front":
+        return lambda i, length: float(length - i + 1)
+    if kind == "back":
+        return lambda i, length: float(i)
+    if kind == "middle":
+        return lambda i, length: float(
+            i if i <= length / 2 else length - i + 1
+        )
+    raise ValueError(f"unknown positional bias: {kind!r}")
+
+
+def _omega(range_: AnomalyRegion, overlap: AnomalyRegion | None, delta: BiasFn) -> float:
+    """Size reward: weighted fraction of ``range_`` covered by ``overlap``."""
+    length = range_.length
+    total = 0.0
+    covered = 0.0
+    for offset in range(1, length + 1):
+        weight = delta(offset, length)
+        total += weight
+        position = range_.start + offset - 1
+        if overlap is not None and overlap.start <= position < overlap.end:
+            covered += weight
+    return covered / total if total > 0 else 0.0
+
+
+def _overlap(a: AnomalyRegion, b: AnomalyRegion) -> AnomalyRegion | None:
+    lo = max(a.start, b.start)
+    hi = min(a.end, b.end)
+    return AnomalyRegion(lo, hi) if lo < hi else None
+
+
+def _cardinality_factor(
+    range_: AnomalyRegion, others: Sequence[AnomalyRegion], gamma: str
+) -> float:
+    overlapping = sum(1 for other in others if range_.overlaps(other))
+    if overlapping <= 1:
+        return 1.0
+    if gamma == "one":
+        return 1.0
+    if gamma == "reciprocal":
+        return 1.0 / overlapping
+    raise ValueError(f"unknown gamma: {gamma!r}")
+
+
+def _single_range_score(
+    range_: AnomalyRegion,
+    others: Sequence[AnomalyRegion],
+    alpha: float,
+    delta: BiasFn,
+    gamma: str,
+) -> float:
+    """Score of one range against the other set (eq. (1)-(4) of [20])."""
+    existence = 1.0 if any(range_.overlaps(other) for other in others) else 0.0
+    cardinality = _cardinality_factor(range_, others, gamma)
+    total_overlap = 0.0
+    for other in others:
+        piece = _overlap(range_, other)
+        if piece is not None:
+            total_overlap += _omega(range_, piece, delta)
+    overlap_reward = cardinality * total_overlap
+    return alpha * existence + (1.0 - alpha) * min(overlap_reward, 1.0)
+
+
+def range_recall(
+    real: Sequence[AnomalyRegion],
+    predicted: Sequence[AnomalyRegion],
+    alpha: float = 0.5,
+    bias: str = "flat",
+    gamma: str = "one",
+) -> float:
+    """Range-based recall: average per-real-range score."""
+    if not real:
+        return 0.0
+    delta = positional_bias(bias)
+    return float(
+        np.mean(
+            [
+                _single_range_score(range_, predicted, alpha, delta, gamma)
+                for range_ in real
+            ]
+        )
+    )
+
+
+def range_precision(
+    real: Sequence[AnomalyRegion],
+    predicted: Sequence[AnomalyRegion],
+    bias: str = "flat",
+    gamma: str = "one",
+) -> float:
+    """Range-based precision (no existence term, per the original)."""
+    if not predicted:
+        return 0.0
+    delta = positional_bias(bias)
+    return float(
+        np.mean(
+            [
+                _single_range_score(range_, real, 0.0, delta, gamma)
+                for range_ in predicted
+            ]
+        )
+    )
+
+
+def range_f1(precision: float, recall: float) -> float:
+    """Harmonic mean of range precision and recall."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class RangeScore:
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        return range_f1(self.precision, self.recall)
+
+
+def score_ranges(
+    predictions: np.ndarray,
+    labels: Labels,
+    alpha: float = 0.5,
+    recall_bias: str = "flat",
+    precision_bias: str = "flat",
+    gamma: str = "one",
+) -> RangeScore:
+    """Range precision/recall of a boolean prediction mask vs. labels."""
+    pred_labels = Labels.from_mask(np.asarray(predictions, dtype=bool))
+    if pred_labels.n != labels.n:
+        raise ValueError("predictions and labels disagree on length")
+    return RangeScore(
+        precision=range_precision(
+            list(labels.regions), list(pred_labels.regions), precision_bias, gamma
+        ),
+        recall=range_recall(
+            list(labels.regions), list(pred_labels.regions), alpha, recall_bias, gamma
+        ),
+    )

@@ -1,0 +1,306 @@
+"""Core containers shared by every subsystem.
+
+The whole library standardizes on three representations:
+
+* ``AnomalyRegion`` — one half-open integer interval ``[start, end)``.
+* ``Labels`` — an ordered, non-overlapping collection of regions over a
+  series of known length, convertible to/from a boolean point mask.
+* ``LabeledSeries`` — a univariate series plus its labels, an optional
+  train-prefix length, and free-form metadata.
+
+Multivariate data (e.g. the simulated Server Machine Dataset) is handled
+as a 2-D array plus per-dimension ``LabeledSeries`` views, built by the
+dataset modules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "AnomalyRegion",
+    "Labels",
+    "LabeledSeries",
+    "Archive",
+]
+
+
+@dataclass(frozen=True, order=True)
+class AnomalyRegion:
+    """A half-open labeled interval ``[start, end)`` in point indices."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"region start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"region must be non-empty: start={self.start}, end={self.end}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of points covered by the region."""
+        return self.end - self.start
+
+    @property
+    def center(self) -> int:
+        """Integer midpoint of the region."""
+        return (self.start + self.end - 1) // 2
+
+    def contains(self, index: int, slop: int = 0) -> bool:
+        """True if ``index`` falls inside the region widened by ``slop``."""
+        return self.start - slop <= index < self.end + slop
+
+    def distance_to(self, index: int) -> int:
+        """Distance from ``index`` to the region (0 if inside)."""
+        if index < self.start:
+            return self.start - index
+        if index >= self.end:
+            return index - self.end + 1
+        return 0
+
+    def overlaps(self, other: "AnomalyRegion") -> bool:
+        """True if the two half-open intervals intersect."""
+        return self.start < other.end and other.start < self.end
+
+    def expanded(self, slop: int, n: int | None = None) -> "AnomalyRegion":
+        """Region widened by ``slop`` on both sides, clipped to ``[0, n)``."""
+        start = max(0, self.start - slop)
+        end = self.end + slop
+        if n is not None:
+            end = min(end, n)
+        return AnomalyRegion(start, max(end, start + 1))
+
+
+def _merge_regions(regions: Iterable[AnomalyRegion]) -> tuple[AnomalyRegion, ...]:
+    """Sort regions and merge any that touch or overlap."""
+    ordered = sorted(regions)
+    merged: list[AnomalyRegion] = []
+    for region in ordered:
+        if merged and region.start <= merged[-1].end:
+            previous = merged.pop()
+            region = AnomalyRegion(previous.start, max(previous.end, region.end))
+        merged.append(region)
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class Labels:
+    """Ground-truth anomaly labels for a series of length ``n``.
+
+    Regions are stored sorted and non-overlapping (overlapping or touching
+    input regions are merged).  An empty region tuple means "no anomaly".
+    """
+
+    n: int
+    regions: tuple[AnomalyRegion, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"series length must be positive, got {self.n}")
+        merged = _merge_regions(self.regions)
+        if merged and merged[-1].end > self.n:
+            raise ValueError(
+                f"region {merged[-1]} exceeds series length {self.n}"
+            )
+        object.__setattr__(self, "regions", merged)
+
+    # -- constructors ------------------------------------------------
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Labels":
+        """Build labels from a boolean per-point mask."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 1:
+            raise ValueError(f"mask must be 1-D, got shape {mask.shape}")
+        padded = np.concatenate(([False], mask, [False]))
+        changes = np.flatnonzero(padded[1:] != padded[:-1])
+        starts, ends = changes[0::2], changes[1::2]
+        regions = tuple(
+            AnomalyRegion(int(s), int(e)) for s, e in zip(starts, ends)
+        )
+        return cls(n=mask.size, regions=regions)
+
+    @classmethod
+    def from_points(cls, n: int, points: Iterable[int]) -> "Labels":
+        """Build labels where each listed point is its own unit region."""
+        regions = tuple(AnomalyRegion(int(p), int(p) + 1) for p in points)
+        return cls(n=n, regions=regions)
+
+    @classmethod
+    def single(cls, n: int, start: int, end: int) -> "Labels":
+        """Build labels holding exactly one region ``[start, end)``."""
+        return cls(n=n, regions=(AnomalyRegion(start, end),))
+
+    @classmethod
+    def empty(cls, n: int) -> "Labels":
+        """Build anomaly-free labels."""
+        return cls(n=n, regions=())
+
+    # -- views -------------------------------------------------------
+
+    def to_mask(self) -> np.ndarray:
+        """Boolean per-point mask of shape ``(n,)``."""
+        mask = np.zeros(self.n, dtype=bool)
+        for region in self.regions:
+            mask[region.start : region.end] = True
+        return mask
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def num_anomalous_points(self) -> int:
+        return sum(region.length for region in self.regions)
+
+    @property
+    def anomaly_rate(self) -> float:
+        """Fraction of points labeled anomalous."""
+        return self.num_anomalous_points / self.n
+
+    @property
+    def rightmost(self) -> AnomalyRegion | None:
+        """The region with the greatest end index, or None."""
+        return self.regions[-1] if self.regions else None
+
+    def covers(self, index: int, slop: int = 0) -> bool:
+        """True if any (slop-widened) region contains ``index``."""
+        return any(region.contains(index, slop) for region in self.regions)
+
+    def nearest_region(self, index: int) -> AnomalyRegion | None:
+        """Region minimizing distance to ``index``, or None if unlabeled."""
+        if not self.regions:
+            return None
+        return min(self.regions, key=lambda region: region.distance_to(index))
+
+    def restricted(self, start: int, end: int) -> "Labels":
+        """Labels for the slice ``[start, end)``, indices re-based to 0."""
+        if not 0 <= start < end <= self.n:
+            raise ValueError(f"bad slice [{start}, {end}) for n={self.n}")
+        regions = []
+        for region in self.regions:
+            lo = max(region.start, start)
+            hi = min(region.end, end)
+            if lo < hi:
+                regions.append(AnomalyRegion(lo - start, hi - start))
+        return Labels(n=end - start, regions=tuple(regions))
+
+    def shifted(self, offset: int, n: int | None = None) -> "Labels":
+        """Labels translated by ``offset`` into a series of length ``n``."""
+        n = self.n if n is None else n
+        regions = tuple(
+            AnomalyRegion(region.start + offset, region.end + offset)
+            for region in self.regions
+        )
+        return Labels(n=n, regions=regions)
+
+
+@dataclass
+class LabeledSeries:
+    """A univariate series with ground truth and optional train prefix.
+
+    ``values[:train_len]`` is the anomaly-free training prefix (0 when the
+    benchmark provides no training split, as with Yahoo).  ``meta`` carries
+    provenance such as the planted anomaly type or solvability family.
+    """
+
+    name: str
+    values: np.ndarray
+    labels: Labels
+    train_len: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1:
+            raise ValueError(
+                f"series must be 1-D, got shape {self.values.shape}"
+            )
+        if self.values.size != self.labels.n:
+            raise ValueError(
+                f"series length {self.values.size} != labels length "
+                f"{self.labels.n}"
+            )
+        if not 0 <= self.train_len <= self.values.size:
+            raise ValueError(f"bad train_len {self.train_len}")
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def train(self) -> np.ndarray:
+        """The anomaly-free training prefix (may be empty)."""
+        return self.values[: self.train_len]
+
+    @property
+    def test(self) -> np.ndarray:
+        """The evaluation suffix ``values[train_len:]``."""
+        return self.values[self.train_len :]
+
+    @property
+    def test_labels(self) -> Labels:
+        """Labels restricted to the test region, re-based to 0."""
+        return self.labels.restricted(self.train_len, self.n)
+
+    def with_values(self, values: np.ndarray, suffix: str = "") -> "LabeledSeries":
+        """Copy of this series with substituted values (same labels)."""
+        return LabeledSeries(
+            name=self.name + suffix,
+            values=np.asarray(values, dtype=float),
+            labels=self.labels,
+            train_len=self.train_len,
+            meta=dict(self.meta),
+        )
+
+
+class Archive(Mapping[str, LabeledSeries]):
+    """An ordered, named collection of :class:`LabeledSeries`.
+
+    Behaves as a read-only mapping from series name to series; also keeps
+    archive-level metadata (e.g. which flaws the simulator planted).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        series: Sequence[LabeledSeries],
+        meta: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.meta = dict(meta or {})
+        self._series: dict[str, LabeledSeries] = {}
+        for item in series:
+            if item.name in self._series:
+                raise ValueError(f"duplicate series name: {item.name}")
+            self._series[item.name] = item
+
+    def __getitem__(self, key: str) -> LabeledSeries:
+        return self._series[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:
+        return f"Archive({self.name!r}, {len(self)} series)"
+
+    @property
+    def series(self) -> list[LabeledSeries]:
+        """All series in insertion order."""
+        return list(self._series.values())
+
+    def subset(self, names: Iterable[str], name: str | None = None) -> "Archive":
+        """New archive restricted to ``names`` (insertion order kept)."""
+        wanted = set(names)
+        kept = [s for s in self.series if s.name in wanted]
+        return Archive(name or self.name, kept, meta=dict(self.meta))

@@ -1,0 +1,106 @@
+"""Terminal visualization helpers.
+
+The paper argues (§4.3) that TSAD research must *look at the data*.  This
+environment has no plotting stack, so the benches and examples render
+series, anomaly-score overlays and histograms as compact ASCII panels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .types import Labels
+
+__all__ = ["sparkline", "ascii_plot", "ascii_histogram", "label_ruler"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _resample(values: np.ndarray, width: int, how: str = "mean") -> np.ndarray:
+    """Bucket ``values`` into ``width`` bins using mean/max per bin."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.zeros(width)
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    out = np.empty(width)
+    for i in range(width):
+        lo, hi = edges[i], max(edges[i + 1], edges[i] + 1)
+        chunk = values[lo:hi]
+        out[i] = chunk.max() if how == "max" else chunk.mean()
+    return out
+
+
+def sparkline(values: np.ndarray, width: int = 80, how: str = "mean") -> str:
+    """One-row unicode sparkline of ``values`` resampled to ``width``."""
+    data = _resample(values, width, how)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return " " * width
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+    chars = []
+    for value in data:
+        if not np.isfinite(value):
+            chars.append("?")
+            continue
+        level = int((value - lo) / span * (len(_SPARK_CHARS) - 1))
+        chars.append(_SPARK_CHARS[level])
+    return "".join(chars)
+
+
+def label_ruler(labels: Labels, width: int = 80) -> str:
+    """One-row ruler marking labeled anomaly regions with ``#``."""
+    mask = labels.to_mask().astype(float)
+    data = _resample(mask, width, how="max")
+    return "".join("#" if value > 0 else "." for value in data)
+
+
+def ascii_plot(
+    values: np.ndarray,
+    labels: Labels | None = None,
+    width: int = 80,
+    height: int = 8,
+    title: str = "",
+) -> str:
+    """Multi-row ASCII line plot with an optional anomaly ruler."""
+    data = _resample(values, width)
+    finite = data[np.isfinite(data)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, value in enumerate(data):
+        if not np.isfinite(value):
+            continue
+        y = int((value - lo) / span * (height - 1))
+        grid[height - 1 - y][x] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={hi:.4g}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min={lo:.4g}")
+    if labels is not None:
+        lines.append(label_ruler(labels, width) + "  (# = labeled anomaly)")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    counts: Sequence[float],
+    bin_labels: Sequence[str] | None = None,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart, one row per bin (used for Fig 10)."""
+    counts = list(counts)
+    peak = max(counts) if counts and max(counts) > 0 else 1.0
+    if bin_labels is None:
+        bin_labels = [str(i) for i in range(len(counts))]
+    label_width = max(len(str(label)) for label in bin_labels) if counts else 0
+    lines = [title] if title else []
+    for label, count in zip(bin_labels, counts):
+        bar = "█" * int(round(count / peak * width))
+        lines.append(f"{str(label):>{label_width}} | {bar} {count:g}")
+    return "\n".join(lines)

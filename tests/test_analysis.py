@@ -1,0 +1,176 @@
+"""Tests for transforms and the invariance harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    STANDARD_TRANSFORMS,
+    AddNoise,
+    AmplitudeScale,
+    BaselineWander,
+    Identity,
+    LinearTrend,
+    Occlusion,
+    Offset,
+    UniformScale,
+    discrimination,
+    run_invariance,
+)
+from repro.detectors import DiffDetector, MovingZScoreDetector
+from repro.types import LabeledSeries, Labels
+
+
+def spike_series(n=1200, at=800, height=20.0, seed=0, train=200):
+    rng = np.random.default_rng(seed)
+    values = np.sin(np.arange(n) / 9.0) + rng.uniform(-0.1, 0.1, n)
+    values[at] += height
+    return LabeledSeries(
+        "spike", values, Labels.from_points(n, [at]), train_len=train
+    )
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestTransforms:
+    def test_identity_preserves_values(self):
+        series = spike_series()
+        out = Identity().apply(series, RNG)
+        np.testing.assert_array_equal(out.values, series.values)
+        assert out.labels == series.labels
+
+    def test_add_noise_changes_values_not_labels(self):
+        series = spike_series()
+        out = AddNoise(0.5).apply(series, np.random.default_rng(1))
+        assert not np.allclose(out.values, series.values)
+        assert out.labels == series.labels
+        measured = np.std(out.values - series.values)
+        assert measured == pytest.approx(0.5 * series.values.std(), rel=0.1)
+
+    def test_amplitude_scale(self):
+        series = spike_series()
+        out = AmplitudeScale(5.0).apply(series, RNG)
+        np.testing.assert_allclose(out.values, 5.0 * series.values)
+
+    def test_offset(self):
+        series = spike_series()
+        out = Offset(10.0).apply(series, RNG)
+        delta = out.values - series.values
+        assert np.ptp(delta) < 1e-9
+        assert delta[0] == pytest.approx(10.0 * series.values.std())
+
+    def test_linear_trend_monotone_ramp(self):
+        series = spike_series()
+        out = LinearTrend(3.0).apply(series, RNG)
+        ramp = out.values - series.values
+        assert ramp[0] == pytest.approx(0.0)
+        assert (np.diff(ramp) >= 0).all()
+
+    def test_baseline_wander_is_slow(self):
+        series = spike_series()
+        out = BaselineWander(2.0).apply(series, np.random.default_rng(2))
+        wander = out.values - series.values
+        # drift changes slowly relative to the signal
+        assert np.abs(np.diff(wander)).max() < 0.1 * np.abs(wander).max()
+
+    def test_occlusion_avoids_label(self):
+        series = spike_series()
+        out = Occlusion(num_segments=3, segment_length=30).apply(
+            series, np.random.default_rng(3)
+        )
+        region = series.labels.regions[0]
+        np.testing.assert_array_equal(
+            out.values[region.start : region.end],
+            series.values[region.start : region.end],
+        )
+        assert not np.allclose(out.values, series.values)
+
+    def test_uniform_scale_remaps_labels(self):
+        series = spike_series(at=800)
+        out = UniformScale(1.5).apply(series, RNG)
+        assert out.n == 1800
+        assert out.train_len == 300
+        region = out.labels.regions[0]
+        assert region.start == 1200
+
+    def test_uniform_scale_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            UniformScale(0.0).apply(spike_series(), RNG)
+
+    def test_standard_panel_names_unique(self):
+        names = [t.name for t in STANDARD_TRANSFORMS]
+        assert len(names) == len(set(names))
+
+
+class TestDiscrimination:
+    def test_peaked_scores_high(self):
+        scores = np.zeros(1000)
+        scores[500] = 50.0
+        assert discrimination(scores) > 10
+
+    def test_flat_scores_zero(self):
+        assert discrimination(np.zeros(100)) == 0.0
+
+    def test_ignores_prefix(self):
+        scores = np.zeros(1000)
+        scores[10] = 100.0  # inside the skipped prefix
+        assert discrimination(scores, start=200) == 0.0
+
+    def test_non_finite_ignored(self):
+        scores = np.full(100, -np.inf)
+        scores[50] = 1.0
+        scores[60] = 2.0
+        assert np.isfinite(discrimination(scores))
+
+
+class TestInvarianceHarness:
+    def test_diff_detector_noise_fragile_scale_invariant(self):
+        series = spike_series(height=3.0)
+        study = run_invariance(
+            series,
+            [DiffDetector()],
+            transforms=(Identity(), AddNoise(3.0), AmplitudeScale(5.0)),
+            seed=1,
+        )
+        assert study.cell("DiffDetector", "Identity").correct
+        assert study.cell("DiffDetector", "AmplitudeScale(x5)").correct
+        # diff scores scale with the data: noise 3x the signal std buries
+        # a 3-sigma spike
+        assert not study.cell("DiffDetector", "AddNoise(3σ)").correct
+
+    def test_offset_invariance_of_moving_zscore(self):
+        series = spike_series(height=20.0)
+        study = run_invariance(
+            series,
+            [MovingZScoreDetector(k=25)],
+            transforms=(Identity(), Offset(10.0), LinearTrend(3.0)),
+            seed=2,
+        )
+        for transform in ("Identity", "Offset(10σ)", "LinearTrend(3σ)"):
+            assert study.cell("MovingZScoreDetector", transform).correct
+
+    def test_invariant_transforms_listing(self):
+        series = spike_series(height=20.0)
+        study = run_invariance(
+            series, [DiffDetector()], transforms=(Identity(),), seed=3
+        )
+        assert study.invariant_transforms("DiffDetector") == ["Identity"]
+
+    def test_format_matrix(self):
+        series = spike_series(height=20.0)
+        study = run_invariance(
+            series, [DiffDetector()], transforms=(Identity(), Offset(10.0)), seed=4
+        )
+        text = study.format()
+        assert "Identity" in text and "DiffDetector" in text
+
+    def test_unlabeled_series_rejected(self):
+        series = LabeledSeries("u", np.zeros(300), Labels.empty(300))
+        with pytest.raises(ValueError):
+            run_invariance(series, [DiffDetector()])
+
+    def test_missing_cell_raises(self):
+        series = spike_series()
+        study = run_invariance(series, [DiffDetector()], transforms=(Identity(),))
+        with pytest.raises(KeyError):
+            study.cell("DiffDetector", "Warp")

@@ -1,0 +1,194 @@
+"""Tests for archive builder, IO round-trip and validation."""
+
+import numpy as np
+import pytest
+
+from repro.archive import (
+    freeze,
+    from_injection,
+    from_natural,
+    load_archive,
+    save_archive,
+    spike,
+    validate_archive,
+    validate_series,
+)
+from repro.types import AnomalyRegion, Archive, LabeledSeries, Labels
+
+
+def clean_wave(n=5000, seed=0):
+    # integer period 50 plus bounded (uniform) noise: uniform extremes
+    # are dense everywhere, so a one-liner cannot accidentally separate a
+    # subtle labeled region by catching a lone noise maximum inside it
+    rng = np.random.default_rng(seed)
+    return np.sin(2 * np.pi * np.arange(n) / 50.0) + rng.uniform(-0.08, 0.08, n)
+
+
+class TestBuilder:
+    def test_from_injection_names_and_labels(self):
+        series = from_injection(
+            "wave1", clean_wave(), 1000, freeze, start=3000, length=100
+        )
+        assert series.name == "UCR_Anomaly_wave1_1000_3000_3099"
+        assert series.labels.regions == (AnomalyRegion(3000, 3100),)
+        assert series.train_len == 1000
+        assert series.meta["origin"] == "synthetic"
+        assert series.meta["injector"] == "freeze"
+
+    def test_from_injection_rejects_train_overlap(self):
+        with pytest.raises(ValueError):
+            from_injection("w", clean_wave(), 4000, freeze, start=3000, length=10)
+
+    def test_from_natural_requires_evidence(self):
+        with pytest.raises(ValueError, match="evidence"):
+            from_natural("b", clean_wave(), AnomalyRegion(3000, 3100), 1000, "")
+
+    def test_from_natural_metadata(self):
+        series = from_natural(
+            "BIDMC1",
+            clean_wave(10_000),
+            AnomalyRegion(5400, 5601),
+            2500,
+            evidence="PVC observed in parallel ECG",
+        )
+        assert series.name == "UCR_Anomaly_BIDMC1_2500_5400_5600"
+        assert series.meta["origin"] == "natural"
+        assert "ECG" in series.meta["evidence"]
+
+
+class TestArchiveIO:
+    def test_save_load_round_trip(self, tmp_path):
+        series = [
+            from_injection("a", clean_wave(seed=1), 1000, freeze, start=2000, length=50),
+            from_injection("b", clean_wave(seed=2), 1500, spike, start=3000, magnitude=9.0),
+        ]
+        archive = Archive("toy-ucr", series)
+        paths = save_archive(archive, tmp_path)
+        assert len(paths) == 2
+        loaded = load_archive(tmp_path)
+        assert len(loaded) == 2
+        for original in series:
+            copy = loaded[original.name]
+            np.testing.assert_allclose(copy.values, original.values, atol=1e-5)
+            assert copy.labels == original.labels
+            assert copy.train_len == original.train_len
+
+    def test_load_ignores_foreign_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        np.savetxt(tmp_path / "UCR_Anomaly_x_100_200_210.txt", np.zeros(400))
+        loaded = load_archive(tmp_path)
+        assert len(loaded) == 1
+
+
+class TestValidation:
+    def _good(self):
+        return from_injection(
+            "good", clean_wave(), 1000, freeze, start=3000, length=100
+        )
+
+    def test_good_series_passes(self):
+        result = validate_series(self._good())
+        assert result.ok
+        assert result.issues == []
+
+    def test_multi_region_fails(self):
+        labels = Labels(
+            n=5000, regions=(AnomalyRegion(2000, 2010), AnomalyRegion(3000, 3010))
+        )
+        series = LabeledSeries("two", clean_wave(), labels, train_len=1000)
+        result = validate_series(series)
+        assert not result.ok
+        assert any("exactly 1" in issue for issue in result.issues)
+
+    def test_nan_fails(self):
+        values = clean_wave()
+        values[42] = np.nan
+        series = LabeledSeries(
+            "nan", values, Labels.single(5000, 3000, 3100), train_len=1000
+        )
+        assert not validate_series(series).ok
+
+    def test_short_train_fails(self):
+        series = LabeledSeries(
+            "short", clean_wave(), Labels.single(5000, 3000, 3100), train_len=10
+        )
+        assert not validate_series(series).ok
+
+    def test_region_in_train_fails(self):
+        series = LabeledSeries(
+            "overlap", clean_wave(), Labels.single(5000, 500, 600), train_len=1000
+        )
+        result = validate_series(series)
+        assert any("training prefix" in issue for issue in result.issues)
+
+    def test_name_mismatch_fails(self):
+        series = self._good()
+        renamed = LabeledSeries(
+            "UCR_Anomaly_good_1000_3000_3999",  # wrong end
+            series.values,
+            series.labels,
+            train_len=1000,
+        )
+        result = validate_series(renamed)
+        assert any("disagrees" in issue for issue in result.issues)
+
+    def test_triviality_screen_flags_huge_spike(self):
+        series = from_injection(
+            "trivial", clean_wave(), 1000, spike, start=3000, magnitude=50.0
+        )
+        result = validate_series(series, check_triviality=True)
+        assert result.trivially_solvable is True
+
+    def test_triviality_screen_passes_subtle_anomaly(self):
+        from repro.archive import triangle_cycle
+
+        # a shape swap with bounded slopes has no diff/threshold signature
+        series = from_injection(
+            "subtle",
+            clean_wave(),
+            1000,
+            triangle_cycle,
+            start=3000,
+            length=50,
+            rng=np.random.default_rng(9),
+            noise=0.08,
+        )
+        result = validate_series(series, check_triviality=True)
+        assert result.trivially_solvable is False
+
+    def test_archive_validation_aggregates(self):
+        archive = Archive(
+            "v",
+            [
+                self._good(),
+                from_injection(
+                    "subtle2",
+                    clean_wave(seed=5),
+                    1000,
+                    freeze,
+                    start=2500,
+                    length=80,
+                ),
+            ],
+        )
+        validation = validate_archive(archive, check_triviality=False)
+        assert validation.ok
+        assert "OK" in validation.format()
+
+    def test_archive_validation_trivial_bound(self):
+        trivial = [
+            from_injection(
+                f"t{i}",
+                clean_wave(seed=i),
+                1000,
+                spike,
+                start=3000 + i,
+                magnitude=40.0,
+            )
+            for i in range(3)
+        ]
+        validation = validate_archive(
+            Archive("t", trivial), check_triviality=True, max_trivial_fraction=0.2
+        )
+        assert not validation.ok
+        assert validation.trivial_fraction == 1.0

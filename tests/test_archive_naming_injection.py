@@ -1,0 +1,198 @@
+"""Tests for archive naming and injection operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive import (
+    amplitude_change,
+    dropout,
+    format_name,
+    freeze,
+    local_warp,
+    missing_sentinel,
+    name_series,
+    noise_burst,
+    parse_name,
+    reverse_segment,
+    smooth_segment,
+    spike,
+    swap_cycle,
+)
+from repro.types import AnomalyRegion, LabeledSeries, Labels
+
+
+class TestNaming:
+    def test_parse_paper_example(self):
+        parsed = parse_name("UCR_Anomaly_BIDMC1_2500_5400_5600")
+        assert parsed.base == "BIDMC1"
+        assert parsed.train_len == 2500
+        assert parsed.region == AnomalyRegion(5400, 5601)
+
+    def test_parse_strips_txt(self):
+        parsed = parse_name("UCR_Anomaly_park3m_60000_72150_72495.txt")
+        assert parsed.base == "park3m"
+        assert parsed.region == AnomalyRegion(72150, 72496)
+
+    def test_parse_base_with_underscores(self):
+        parsed = parse_name("UCR_Anomaly_insect_epg_3_1000_2000_2100")
+        assert parsed.base == "insect_epg_3"
+
+    def test_reject_non_archive_name(self):
+        with pytest.raises(ValueError):
+            parse_name("yahoo_A1_real_1")
+
+    def test_reject_anomaly_in_train(self):
+        with pytest.raises(ValueError, match="training prefix"):
+            parse_name("UCR_Anomaly_x_5000_2000_2100")
+
+    def test_reject_reversed_region(self):
+        with pytest.raises(ValueError):
+            parse_name("UCR_Anomaly_x_100_300_200")
+
+    def test_format_round_trip(self):
+        name = format_name("gait1", 60000, AnomalyRegion(72150, 72496))
+        assert name == "UCR_Anomaly_gait1_60000_72150_72495"
+        assert parse_name(name).region == AnomalyRegion(72150, 72496)
+
+    def test_format_rejects_train_overlap(self):
+        with pytest.raises(ValueError):
+            format_name("x", 5000, AnomalyRegion(2000, 2100))
+
+    def test_name_series(self):
+        series = LabeledSeries(
+            "ecg", np.zeros(10_000), Labels.single(10_000, 5400, 5601), train_len=2500
+        )
+        assert name_series(series, "BIDMC1") == "UCR_Anomaly_BIDMC1_2500_5400_5600"
+
+    def test_name_series_rejects_multi_region(self):
+        labels = Labels(
+            n=100,
+            regions=(AnomalyRegion(50, 52), AnomalyRegion(70, 72)),
+        )
+        series = LabeledSeries("x", np.zeros(100), labels, train_len=10)
+        with pytest.raises(ValueError):
+            name_series(series)
+
+    @given(st.integers(100, 10_000), st.integers(0, 5_000), st.integers(1, 500))
+    @settings(max_examples=50)
+    def test_round_trip_property(self, train, offset, width):
+        region = AnomalyRegion(train + offset, train + offset + width)
+        parsed = parse_name(format_name("base", train, region))
+        assert parsed.region == region
+        assert parsed.train_len == train
+
+
+class TestInjection:
+    def _clean(self, n=1000, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.sin(np.arange(n) / 10.0) + rng.normal(0, 0.05, n)
+
+    def test_freeze(self):
+        values, region = freeze(self._clean(), 400, 50)
+        assert region == AnomalyRegion(400, 450)
+        assert np.ptp(values[400:450]) == 0.0
+
+    def test_dropout_default_level_below_min(self):
+        clean = self._clean()
+        values, region = dropout(clean, 300, 3)
+        assert values[300] < clean.min()
+        assert region.length == 3
+
+    def test_spike(self):
+        clean = self._clean()
+        values, region = spike(clean, 500, 10.0)
+        assert values[500] == pytest.approx(clean[500] + 10.0)
+        assert region == AnomalyRegion(500, 501)
+
+    def test_noise_burst(self):
+        rng = np.random.default_rng(1)
+        clean = self._clean()
+        values, region = noise_burst(clean, 200, 40, 2.0, rng)
+        assert np.std(values[200:240]) > np.std(clean[200:240])
+
+    def test_amplitude_change_preserves_mean(self):
+        clean = self._clean()
+        values, _ = amplitude_change(clean, 100, 60, 0.3)
+        assert values[100:160].mean() == pytest.approx(clean[100:160].mean())
+        assert np.ptp(values[100:160]) < np.ptp(clean[100:160])
+
+    def test_reverse_segment_is_involution(self):
+        clean = self._clean()
+        once, _ = reverse_segment(clean, 100, 60)
+        twice, _ = reverse_segment(once, 100, 60)
+        np.testing.assert_array_equal(twice, clean)
+
+    def test_smooth_segment_reduces_roughness(self):
+        rng = np.random.default_rng(2)
+        clean = rng.normal(0, 1, 500)
+        values, _ = smooth_segment(clean, 100, 100)
+        rough = np.abs(np.diff(clean[100:200])).mean()
+        smooth = np.abs(np.diff(values[100:200])).mean()
+        assert smooth < rough
+
+    def test_local_warp_changes_segment_only(self):
+        clean = self._clean()
+        values, region = local_warp(clean, 300, 100, factor=1.5)
+        np.testing.assert_array_equal(values[:300], clean[:300])
+        np.testing.assert_array_equal(values[400:], clean[400:])
+        assert not np.allclose(values[300:400], clean[300:400])
+
+    def test_local_warp_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            local_warp(self._clean(), 300, 100, factor=0.0)
+
+    def test_triangle_cycle_continuous_and_bounded(self):
+        from repro.archive import triangle_cycle
+
+        t = np.arange(1000)
+        clean = np.sin(2 * np.pi * t / 50.0)
+        values, region = triangle_cycle(clean, 500, 50)
+        assert region == AnomalyRegion(500, 550)
+        # endpoint-matched: no jump at the boundaries
+        assert abs(values[500] - clean[500]) < 1e-9
+        assert abs(values[549] - clean[549]) < 1e-9
+        # slopes bounded by the sine's own maximum slope
+        assert np.abs(np.diff(values[500:550])).max() <= 2 * np.pi / 50 + 1e-9
+
+    def test_triangle_cycle_needs_rng_for_noise(self):
+        from repro.archive import triangle_cycle
+
+        with pytest.raises(ValueError, match="rng"):
+            triangle_cycle(np.zeros(100), 10, 20, noise=0.1)
+
+    def test_triangle_cycle_too_short(self):
+        from repro.archive import triangle_cycle
+
+        with pytest.raises(ValueError):
+            triangle_cycle(np.zeros(100), 10, 3)
+
+    def test_missing_sentinel(self):
+        values, _ = missing_sentinel(self._clean(), 700, 2)
+        assert (values[700:702] == -9999.0).all()
+
+    def test_swap_cycle_paper_construction(self):
+        right = self._clean(seed=3)
+        left = self._clean(seed=4) * 0.6
+        values, region = swap_cycle(right, left, 500, 80, shift=40)
+        np.testing.assert_array_equal(values[500:580], left[540:620])
+        assert region == AnomalyRegion(500, 580)
+
+    def test_swap_cycle_shift_out_of_bounds(self):
+        right = self._clean()
+        with pytest.raises(ValueError):
+            swap_cycle(right, right, 950, 80, shift=40)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            freeze(self._clean(), 990, 50)
+        with pytest.raises(ValueError):
+            spike(self._clean(), 1000, 1.0)
+
+    def test_inputs_not_mutated(self):
+        clean = self._clean()
+        copy = clean.copy()
+        freeze(clean, 400, 50)
+        spike(clean, 10, 5.0)
+        np.testing.assert_array_equal(clean, copy)

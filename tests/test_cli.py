@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_audit_benchmark_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "webscope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.seed == 7
+        args = build_parser().parse_args(["build-archive", "/tmp/x"])
+        assert args.size == 30
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "86.1%" in out
+        assert "Subtotal" in out
+
+    def test_audit_nasa(self, capsys):
+        assert main(["audit", "nasa"]) == 0
+        out = capsys.readouterr().out
+        assert "VERDICT" in out
+        assert "unrealistic density" in out
+
+    def test_build_and_score_archive(self, tmp_path, capsys):
+        # tiny archive: the two fixed exemplars dominate the trivial
+        # fraction, so give the validator headroom
+        assert (
+            main(
+                ["build-archive", str(tmp_path), "--size", "8", "--max-trivial", "0.5"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote 8 datasets" in out
+
+        assert main(["score", str(tmp_path), "--detectors", "moving_zscore"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_score_empty_directory(self, tmp_path, capsys):
+        assert main(["score", str(tmp_path)]) == 1
+
+    def test_taxi(self, capsys):
+        assert main(["taxi"]) == 0
+        out = capsys.readouterr().out
+        assert "unlabeled discords" in out

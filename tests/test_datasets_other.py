@@ -1,0 +1,235 @@
+"""Tests for the Numenta, NASA and SMD simulators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FIG1_ONELINERS,
+    SLOTS_PER_DAY,
+    TAXI_EVENTS,
+    NasaConfig,
+    SmdConfig,
+    make_art_daily,
+    make_art_increase_spike_density,
+    make_g1_channel,
+    make_nasa,
+    make_numenta,
+    make_smd,
+    make_taxi,
+    taxi_index,
+)
+from repro.oneliner import (
+    DiffFamilyOneLiner,
+    FrozenSignalOneLiner,
+    MovstdOneLiner,
+    ThresholdOneLiner,
+    solves,
+)
+
+
+class TestNumentaArtificial:
+    def test_aisd_solved_by_paper_oneliner(self):
+        series = make_art_increase_spike_density()
+        report = solves(MovstdOneLiner(k=5, b=10.0), series, tolerance=4)
+        assert report.solved
+
+    def test_aisd_burst_is_labeled(self):
+        series = make_art_increase_spike_density()
+        region = series.labels.regions[0]
+        burst = series.values[region.start : region.end]
+        outside = series.values[: region.start]
+        assert burst.max() > outside.max() + 10
+
+    def test_art_daily_kinds(self):
+        for kind in ("jumpsup", "jumpsdown", "flatmiddle"):
+            series = make_art_daily(kind=kind)
+            assert series.labels.num_regions == 1, kind
+
+    def test_art_daily_control_has_no_anomaly(self):
+        assert make_art_daily(kind="small_noise").labels.num_regions == 0
+
+    def test_art_daily_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_art_daily(kind="mystery")
+
+    def test_flatmiddle_is_frozen(self):
+        series = make_art_daily(kind="flatmiddle")
+        region = series.labels.regions[0]
+        report = solves(
+            FrozenSignalOneLiner(min_run=5),
+            series,
+            tolerance=region.length,
+        )
+        assert report.solved
+
+    def test_archive_contents(self):
+        archive = make_numenta()
+        assert "nyc_taxi" in archive
+        assert "art_increase_spike_density" in archive
+        assert len(archive) == 6
+
+
+class TestTaxi:
+    @pytest.fixture(scope="class")
+    def taxi(self):
+        return make_taxi()
+
+    def test_length_is_215_days(self, taxi):
+        assert taxi.n == 215 * SLOTS_PER_DAY == 10320
+
+    def test_five_labeled_anomalies(self, taxi):
+        assert taxi.labels.num_regions == 5
+
+    def test_twelve_proposed_events(self, taxi):
+        assert len(taxi.meta["proposed_events"]) == 12
+
+    def test_labeled_events_match_nab(self, taxi):
+        labeled = {e.name for e in TAXI_EVENTS if e.labeled}
+        assert labeled == {
+            "marathon_dst",
+            "thanksgiving",
+            "christmas",
+            "new_year",
+            "blizzard",
+        }
+
+    def test_taxi_index(self):
+        from datetime import datetime
+
+        assert taxi_index(datetime(2014, 7, 1, 0, 0)) == 0
+        assert taxi_index(datetime(2014, 7, 1, 12, 30)) == 25
+        assert taxi_index(datetime(2014, 7, 2, 0, 0)) == SLOTS_PER_DAY
+
+    def test_demand_non_negative(self, taxi):
+        assert (taxi.values >= 0).all()
+
+    def test_weekly_structure_present(self, taxi):
+        # weekday mornings should be busier than weekend mornings
+        days = taxi.values.reshape(215, SLOTS_PER_DAY)
+        weekdays = [d for d in range(7, 210) if (d + 1) % 7 not in (4, 5)]
+        weekends = [d for d in range(7, 210) if (d + 1) % 7 in (4, 5)]
+        # 2014-07-01 is a Tuesday; weekday() 5,6 are Sat,Sun
+        morning = slice(16, 20)
+        weekday_morning = np.mean([days[d, morning].mean() for d in weekdays])
+        weekend_morning = np.mean([days[d, morning].mean() for d in weekends])
+        assert weekday_morning > weekend_morning
+
+    def test_blizzard_demand_collapses(self, taxi):
+        from datetime import datetime
+
+        blizzard_day2 = taxi_index(datetime(2015, 1, 27, 12, 0))
+        typical = np.median(taxi.values)
+        assert taxi.values[blizzard_day2] < 0.3 * typical
+
+
+class TestNasa:
+    @pytest.fixture(scope="class")
+    def archive(self):
+        return make_nasa()
+
+    def test_channel_count(self, archive):
+        config = NasaConfig()
+        expected = (
+            1  # G-1
+            + config.n_magnitude
+            + config.n_freeze
+            + config.n_half_density
+            + config.n_third_density
+            + config.n_subtle
+        )
+        assert len(archive) == expected
+
+    def test_g1_has_unlabeled_twins(self, archive):
+        g1 = archive["MSL_G-1"]
+        assert g1.meta["flaw"] == "unlabeled_twins"
+        for start, end in g1.meta["unlabeled_twins"]:
+            segment = g1.values[start:end]
+            assert np.ptp(segment) == 0.0  # frozen
+            assert not g1.labels.covers(start)
+
+    def test_g1_freeze_solvable_by_diff_diff(self, archive):
+        """The labeled freeze yields to diff(diff(TS))==0 — but the twins
+        make perfect solving impossible, which is the Fig 9 point."""
+        g1 = archive["MSL_G-1"]
+        report = solves(FrozenSignalOneLiner(min_run=5), g1, tolerance=3)
+        assert not report.solved  # twins are false positives
+        assert report.regions_hit == 1  # but the labeled freeze IS found
+
+    def test_magnitude_channels_trivial(self, archive):
+        channel = archive["SMAP_P-1"]
+        region = channel.labels.regions[0]
+        inside = np.abs(channel.values[region.start : region.end]).max()
+        outside_values = np.concatenate(
+            [channel.values[: region.start], channel.values[region.end :]]
+        )
+        assert inside > 10 * np.abs(outside_values).max()
+
+    def test_density_exhibits(self, archive):
+        for name in ("SMAP_D-2", "MSL_M-1", "MSL_M-2"):
+            channel = archive[name]
+            test_len = channel.n - channel.train_len
+            assert channel.labels.num_anomalous_points > 0.5 * test_len, name
+
+    def test_dozen_third_density_channels(self, archive):
+        third = [
+            s
+            for s in archive.series
+            if s.meta["kind"].startswith("density_0.35")
+        ]
+        assert len(third) == 12
+        for channel in third:
+            test_len = channel.n - channel.train_len
+            assert channel.labels.num_anomalous_points >= 0.3 * test_len
+
+    def test_labels_outside_train(self, archive):
+        for channel in archive.series:
+            for region in channel.labels.regions:
+                assert region.start >= channel.train_len, channel.name
+
+
+class TestSmd:
+    @pytest.fixture(scope="class")
+    def machines(self):
+        return make_smd(SmdConfig(length=28_000))
+
+    def test_three_machines(self, machines):
+        assert set(machines) == {"machine-1-1", "machine-2-5", "machine-3-11"}
+
+    def test_machine_shape(self, machines):
+        machine = machines["machine-3-11"]
+        assert machine.values.shape == (28_000, 38)
+
+    def test_dimension_view(self, machines):
+        dim = machines["machine-3-11"].dimension(19)
+        assert dim.name == "machine-3-11_dim19"
+        assert dim.n == 28_000
+        assert dim.meta["dimension"] == 19
+
+    def test_dimension_out_of_range(self, machines):
+        with pytest.raises(IndexError):
+            machines["machine-1-1"].dimension(38)
+
+    def test_fig1_oneliners_all_solve_dim19(self, machines):
+        """Fig 1: three different one-liners solve machine-3-11 dim 19."""
+        dim19 = machines["machine-3-11"].dimension(19)
+        liners = (
+            DiffFamilyOneLiner(use_abs=False, b=0.1),  # diff(M19) > 0.1
+            MovstdOneLiner(k=10, b=0.1),  # movstd(M19,10) > 0.1
+            ThresholdOneLiner(b=0.01, above=False),  # M19 < 0.01
+        )
+        assert len(FIG1_ONELINERS) == len(liners)
+        for liner in liners:
+            report = solves(liner, dim19, tolerance=12)
+            assert report.solved, liner.code
+
+    def test_machine_2_5_has_21_anomalies(self, machines):
+        assert machines["machine-2-5"].labels.num_regions == 21
+
+    def test_anomalies_in_test_half(self, machines):
+        for machine in machines.values():
+            for region in machine.labels.regions:
+                assert region.start >= machine.train_len
+
+    def test_small_config(self):
+        machines = make_smd(SmdConfig(length=6000, num_dims=8))
+        assert machines["machine-3-11"].values.shape == (6000, 8)

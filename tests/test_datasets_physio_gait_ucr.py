@@ -1,0 +1,197 @@
+"""Tests for the physio, gait and simulated-UCR generators."""
+
+import numpy as np
+import pytest
+
+from repro.archive import parse_name, validate_archive, validate_series
+from repro.datasets import (
+    UcrSimConfig,
+    grf_cycle,
+    make_beat_train,
+    make_bidmc1,
+    make_e0509m,
+    make_gait,
+    make_park3m,
+    make_ucr,
+    render_ecg,
+    render_pleth,
+)
+
+
+class TestBeatTrain:
+    def test_beat_spacing(self):
+        train = make_beat_train(0, 10_000, fs=125.0, heart_rate=72.0)
+        gaps = np.diff(train.onsets)
+        expected = 125.0 * 60 / 72
+        assert abs(np.median(gaps) - expected) < 5
+
+    def test_pvc_timing(self):
+        train = make_beat_train(0, 10_000, fs=125.0, pvc_beats=(40,))
+        gaps = np.diff(train.onsets)
+        pvc = int(np.flatnonzero(train.is_pvc)[0])
+        # early arrival before the PVC, compensatory pause after
+        assert gaps[pvc - 1] < np.median(gaps)
+        assert gaps[pvc] > np.median(gaps)
+
+    def test_no_pvc_by_default(self):
+        train = make_beat_train(0, 5000)
+        assert not train.is_pvc.any()
+
+
+class TestEcgPleth:
+    def test_ecg_r_peaks_at_onsets(self):
+        train = make_beat_train(1, 8000, fs=125.0)
+        ecg = render_ecg(train, 1)
+        for onset in train.onsets[2:10]:
+            window = ecg[onset - 5 : onset + 6]
+            assert window.max() > 0.7  # R peak present
+
+    def test_pleth_lags_ecg(self):
+        train = make_beat_train(2, 8000, fs=125.0)
+        pleth = render_pleth(train, 2)
+        onset = train.onsets[5]
+        # pulse peak arrives after the R peak
+        peak = onset + np.argmax(pleth[onset : onset + 120])
+        assert peak > onset + 20
+
+    def test_pvc_pulse_is_weak(self):
+        train = make_beat_train(3, 12_000, fs=125.0, pvc_beats=(40,))
+        pleth = render_pleth(train, 3)
+        pvc = int(np.flatnonzero(train.is_pvc)[0])
+        pvc_onset = train.onsets[pvc]
+        normal_onset = train.onsets[pvc - 3]
+        pvc_peak = pleth[pvc_onset : pvc_onset + 140].max()
+        normal_peak = pleth[normal_onset : normal_onset + 140].max()
+        assert pvc_peak < 0.7 * normal_peak
+
+
+class TestBidmc1:
+    @pytest.fixture(scope="class")
+    def bidmc(self):
+        return make_bidmc1()
+
+    def test_name_parses(self, bidmc):
+        parsed = parse_name(bidmc["pleth"].name)
+        assert parsed.base == "BIDMC1"
+        assert parsed.train_len == 2500
+
+    def test_anomaly_near_paper_location(self, bidmc):
+        region = bidmc["pleth"].labels.regions[0]
+        assert 5200 <= region.start <= 5700  # paper: 5400
+
+    def test_out_of_band_evidence_recorded(self, bidmc):
+        assert "ECG" in bidmc["pleth"].meta["evidence"]
+
+    def test_ecg_shows_obvious_pvc(self, bidmc):
+        """The out-of-band channel certifies the label (Fig 11)."""
+        ecg = bidmc["ecg"]
+        train = bidmc["train"]
+        pvc = int(np.flatnonzero(train.is_pvc)[0])
+        onset = train.onsets[pvc]
+        # the PVC has the deepest S wave of the whole recording
+        deepest = np.argmin(ecg)
+        assert abs(deepest - onset) < 30
+
+    def test_validator_accepts(self, bidmc):
+        assert validate_series(bidmc["pleth"]).ok
+
+
+class TestGait:
+    def test_cycle_shape(self):
+        cycle = grf_cycle(345, 1000.0, 1060.0, 750.0)
+        stance = cycle[: int(345 * 0.62)]
+        swing = cycle[int(345 * 0.62) :]
+        assert (swing == 0).all()
+        assert stance.max() > 900
+
+    def test_two_peaks(self):
+        cycle = grf_cycle(345, 1000.0, 1060.0, 700.0)
+        stance_len = int(345 * 0.62)
+        first_half = cycle[: stance_len // 2]
+        second_half = cycle[stance_len // 2 : stance_len]
+        valley = cycle[int(stance_len * 0.45) : int(stance_len * 0.55)].min()
+        assert first_half.max() > valley
+        assert second_half.max() > valley
+
+    def test_antalgic_asymmetry(self):
+        recording = make_gait(seed=1, n=30_000)
+        assert recording.right.max() > 1.3 * recording.left.max()
+
+    def test_park3m_structure(self):
+        series = make_park3m(seed=1, n=30_000, train_len=20_000, target_start=24_000)
+        parsed = parse_name(series.name)
+        assert parsed.train_len == 20_000
+        region = series.labels.regions[0]
+        assert region.start >= 20_000
+
+    def test_park3m_swap_is_left_cycle(self):
+        """The labeled cycle is weak (left-foot force scale)."""
+        series = make_park3m(seed=1, n=30_000, train_len=20_000, target_start=24_000)
+        region = series.labels.regions[0]
+        swapped = series.values[region.start : region.end]
+        normal = series.values[region.start - 3000 : region.start]
+        assert swapped.max() < 0.85 * normal.max()
+
+    def test_speed_changes_in_train_and_test(self):
+        recording = make_gait(seed=2, n=40_000, speed_changes=4)
+        gaps = np.diff(recording.cycle_starts)
+        assert gaps.max() > 1.08 * gaps.min()  # speed genuinely varies
+
+
+class TestUcrArchive:
+    @pytest.fixture(scope="class")
+    def archive(self):
+        return make_ucr(UcrSimConfig(size=40))
+
+    def test_size(self, archive):
+        assert len(archive) == 40
+
+    def test_all_names_parse(self, archive):
+        for series in archive.series:
+            parsed = parse_name(series.name)
+            assert parsed.train_len == series.train_len
+
+    def test_single_anomaly_everywhere(self, archive):
+        for series in archive.series:
+            assert series.labels.num_regions == 1, series.name
+
+    def test_structurally_valid(self, archive):
+        validation = validate_archive(archive, check_triviality=False)
+        assert validation.ok, validation.format()
+
+    def test_domain_diversity(self, archive):
+        domains = {series.meta.get("domain") for series in archive.series}
+        assert len(domains - {None}) >= 5
+
+    def test_difficulty_spectrum(self, archive):
+        difficulties = [
+            series.meta.get("difficulty")
+            for series in archive.series
+            if "difficulty" in series.meta
+        ]
+        assert "easy" in difficulties or len(difficulties) < 20
+        assert "hard" in difficulties
+
+    def test_includes_paper_exemplars(self, archive):
+        names = list(archive)
+        assert any("BIDMC1" in name for name in names)
+        assert any("park3m" in name for name in names)
+
+    def test_deterministic(self):
+        a = make_ucr(UcrSimConfig(size=5))
+        b = make_ucr(UcrSimConfig(size=5))
+        for x, y in zip(a.series, b.series):
+            assert x.name == y.name
+            np.testing.assert_array_equal(x.values, y.values)
+
+
+class TestE0509m:
+    def test_structure(self):
+        series = make_e0509m()
+        assert series.n == 15_000
+        assert series.train_len == 3000
+        assert series.labels.num_regions == 1
+
+    def test_pvc_in_test_region(self):
+        series = make_e0509m()
+        assert series.labels.regions[0].start > 3000

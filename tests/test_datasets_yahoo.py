@@ -1,0 +1,151 @@
+"""Tests for the simulated Yahoo archive (Table 1 + planted flaws)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import YahooConfig, make_yahoo
+from repro.oneliner import SearchConfig, build_table1, search_series
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return make_yahoo()
+
+
+@pytest.fixture(scope="module")
+def table1(archive):
+    return build_table1(archive)
+
+
+class TestStructure:
+    def test_series_count(self, archive):
+        assert len(archive) == 367
+
+    def test_dataset_sizes(self, archive):
+        counts = {}
+        for series in archive.series:
+            counts[series.meta["dataset"]] = counts.get(series.meta["dataset"], 0) + 1
+        assert counts == {"A1": 67, "A2": 100, "A3": 100, "A4": 100}
+
+    def test_every_series_labeled(self, archive):
+        for series in archive.series:
+            assert series.labels.num_regions >= 1, series.name
+
+    def test_lengths_uniform(self, archive):
+        assert {series.n for series in archive.series} == {1421}
+
+    def test_deterministic(self):
+        a = make_yahoo(YahooConfig(seed=3, n_a1=5, n_a2=5, n_a3=5, n_a4=5, plant_flaws=False))
+        b = make_yahoo(YahooConfig(seed=3, n_a1=5, n_a2=5, n_a3=5, n_a4=5, plant_flaws=False))
+        for x, y in zip(a.series, b.series):
+            np.testing.assert_array_equal(x.values, y.values)
+            assert x.labels == y.labels
+
+    def test_seed_changes_values(self):
+        small = YahooConfig(seed=3, n_a1=3, n_a2=3, n_a3=3, n_a4=3, plant_flaws=False)
+        other = YahooConfig(seed=4, n_a1=3, n_a2=3, n_a3=3, n_a4=3, plant_flaws=False)
+        a, b = make_yahoo(small), make_yahoo(other)
+        assert not np.allclose(a.series[0].values, b.series[0].values)
+
+    def test_no_certification_failures(self, archive):
+        failed = [s.name for s in archive.series if s.meta.get("certification") == "failed"]
+        assert failed == []
+
+
+class TestTable1Reproduction:
+    """The headline numbers of the paper's Table 1."""
+
+    def test_a1_row(self, table1):
+        assert table1.subtotals["A1"] == (44, 67)
+
+    def test_a2_row(self, table1):
+        assert table1.subtotals["A2"] == (97, 100)
+
+    def test_a3_row(self, table1):
+        assert table1.subtotals["A3"] == (98, 100)
+
+    def test_a4_row(self, table1):
+        assert table1.subtotals["A4"] == (77, 100)
+
+    def test_total_matches_paper(self, table1):
+        assert table1.total_solved == 316
+        assert table1.total_series == 367
+        assert table1.total_percent == pytest.approx(86.1, abs=0.1)
+
+    def test_family_breakdown(self, table1):
+        rows = {(r.dataset, r.family): r.solved for r in table1.rows}
+        assert rows[("A1", 3)] == 30 and rows[("A1", 4)] == 14
+        assert rows[("A2", 3)] == 40 and rows[("A2", 4)] == 57
+        assert rows[("A3", 5)] == 84 and rows[("A3", 6)] == 14
+        assert rows[("A4", 5)] == 39 and rows[("A4", 6)] == 38
+
+    def test_a3_family6_uses_k5_c0(self, table1):
+        """The paper: A3's family-(6) solutions share k=5 and c=0."""
+        for result in table1.search["A3"].results.values():
+            if result.solved and result.family == 6:
+                assert result.oneliner.k == 5
+                assert result.oneliner.c == 0.0
+
+    def test_format_contains_totals(self, table1):
+        text = table1.format()
+        assert "86.1%" in text
+        assert "Subtotal" in text
+
+
+class TestPlantedFlaws:
+    def test_duplicate_pair_identical(self, archive):
+        a = archive["yahoo_A1_54"]
+        b = archive["yahoo_A1_55"]
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.meta["flaw"] == b.meta["flaw"] == "duplicate_pair"
+
+    def test_constant_region_flaw(self, archive):
+        series = archive["yahoo_A1_51"]
+        assert series.meta["flaw"] == "constant_region_half_labeled"
+        region = series.labels.regions[0]
+        # the labeled slice sits strictly inside a wider constant run
+        plateau = series.values[region.start - 5 : region.end + 5]
+        assert np.ptp(plateau) == 0.0
+
+    def test_twin_dropout_flaw(self, archive):
+        series = archive["yahoo_A1_52"]
+        assert series.meta["flaw"] == "unlabeled_twin_dropout"
+        region = series.labels.regions[0]
+        labeled_value = series.values[region.start]
+        twins = np.flatnonzero(series.values == labeled_value)
+        assert twins.size >= 2  # an identical unlabeled twin exists
+        assert any(not series.labels.covers(int(t)) for t in twins)
+
+    def test_toggling_labels_flaw(self, archive):
+        series = archive["yahoo_A1_53"]
+        assert series.meta["flaw"] == "toggling_labels"
+        assert series.labels.num_regions >= 4
+
+    def test_sandwich_density_flaw(self, archive):
+        series = archive["yahoo_A1_1"]
+        assert series.meta.get("flaw") == "sandwich_density"
+        regions = series.labels.regions
+        gaps = [
+            b.start - a.end for a, b in zip(regions, regions[1:])
+        ]
+        assert 1 in gaps  # two anomalies sandwiching one normal point
+
+    def test_flawed_series_not_solvable(self, archive):
+        for name in ("yahoo_A1_51", "yahoo_A1_52", "yahoo_A1_53"):
+            result = search_series(archive[name], SearchConfig(), (3, 4))
+            assert not result.solved, name
+
+
+class TestRunToFailureBias:
+    def test_rightmost_positions_skew_late(self, archive):
+        fractions = []
+        for series in archive.series:
+            if series.meta["dataset"] != "A1":
+                continue
+            rightmost = series.labels.rightmost
+            fractions.append(rightmost.end / series.n)
+        fractions = np.array(fractions)
+        assert np.median(fractions) > 0.7
+        assert (fractions > 0.8).mean() > 0.4
+        # Fig 10 shape: the bulk of the mass in the last three deciles
+        assert (fractions > 0.7).mean() > 0.7

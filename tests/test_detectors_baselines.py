@@ -1,0 +1,186 @@
+"""Tests for baseline and statistical detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    ConstantRunDetector,
+    CusumDetector,
+    DiffDetector,
+    EwmaDetector,
+    MovingStdDetector,
+    MovingZScoreDetector,
+    NaiveLastPointDetector,
+    OneLinerDetector,
+    RandomScoreDetector,
+    available_detectors,
+    make_detector,
+)
+from repro.oneliner import ThresholdOneLiner
+from repro.types import LabeledSeries, Labels
+
+
+def spike_series(n=500, at=250, height=12.0, seed=0, train=100):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0, 1, n)
+    values[at] += height
+    return LabeledSeries(
+        "spike", values, Labels.from_points(n, [at]), train_len=train
+    )
+
+
+class TestDiffDetector:
+    def test_locates_spike(self):
+        series = spike_series()
+        assert abs(DiffDetector().locate(series) - 250) <= 1
+
+    def test_signed_variant(self):
+        values = np.zeros(100)
+        values[50] = -10.0
+        scores = DiffDetector(absolute=False).score(values)
+        assert scores[51] > scores[50]
+
+    def test_short_series(self):
+        assert (DiffDetector().score(np.array([1.0])) == -np.inf).all()
+
+    def test_score_length(self):
+        values = np.zeros(64)
+        assert DiffDetector().score(values).size == 64
+
+
+class TestMovingZScore:
+    def test_locates_spike(self):
+        series = spike_series()
+        assert abs(MovingZScoreDetector(k=25).locate(series) - 250) <= 2
+
+    def test_scale_invariance(self):
+        series = spike_series()
+        d = MovingZScoreDetector(k=25)
+        a = d.score(series.values)
+        b = d.score(series.values * 1000.0)
+        np.testing.assert_allclose(a, b, rtol=1e-6, atol=1e-6)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            MovingZScoreDetector(k=2)
+
+    def test_empty(self):
+        assert MovingZScoreDetector().score(np.empty(0)).size == 0
+
+
+class TestMovingStd:
+    def test_flags_variance_burst(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 0.1, 400)
+        values[200:210] += rng.normal(0, 5.0, 10)
+        series = LabeledSeries(
+            "burst", values, Labels.single(400, 200, 210), train_len=50
+        )
+        location = MovingStdDetector(k=5).locate(series)
+        assert 195 <= location <= 215
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            MovingStdDetector(k=1)
+
+
+class TestConstantRun:
+    def test_scores_grow_along_run(self):
+        values = np.array([1.0, 2.0, 5.0, 5.0, 5.0, 5.0, 7.0])
+        scores = ConstantRunDetector().score(values)
+        assert scores[3] == 1 and scores[4] == 2 and scores[5] == 3
+        assert scores[6] == 0
+
+    def test_locates_freeze(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(0, 1, 300)
+        values[150:170] = values[150]
+        series = LabeledSeries(
+            "freeze", values, Labels.single(300, 150, 170), train_len=50
+        )
+        assert 150 <= ConstantRunDetector().locate(series) <= 170
+
+    def test_tolerance(self):
+        values = np.array([0.0, 1.0, 1.0 + 1e-9, 1.0, 2.0])
+        assert ConstantRunDetector(atol=1e-6).score(values)[3] == 2
+
+
+class TestNaiveLastPoint:
+    def test_always_picks_last_test_point(self):
+        series = spike_series()
+        assert NaiveLastPointDetector().locate(series) == series.n - 1
+
+
+class TestRandomScore:
+    def test_deterministic_per_seed(self):
+        values = np.zeros(50)
+        a = RandomScoreDetector(seed=3).score(values)
+        b = RandomScoreDetector(seed=3).score(values)
+        c = RandomScoreDetector(seed=4).score(values)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+
+class TestOneLinerDetector:
+    def test_wraps_expression(self):
+        detector = OneLinerDetector(ThresholdOneLiner(b=0.45))
+        values = np.array([0.1, 0.2, 0.9, 0.3])
+        assert detector.score(values).argmax() == 2
+        assert "TS > 0.45" in detector.name
+
+
+class TestCusum:
+    def test_detects_level_shift(self):
+        rng = np.random.default_rng(4)
+        values = np.concatenate([rng.normal(0, 1, 300), rng.normal(3, 1, 100)])
+        series = LabeledSeries(
+            "shift", values, Labels.single(400, 300, 400), train_len=200
+        )
+        location = CusumDetector().locate(series)
+        assert location >= 300
+
+    def test_fit_uses_train_statistics(self):
+        detector = CusumDetector().fit(np.zeros(100) + 5.0)
+        scores = detector.score(np.full(50, 5.0))
+        assert scores.max() == 0.0
+
+    def test_untrained_warmup_fallback(self):
+        values = np.concatenate([np.zeros(150), np.full(50, 8.0)])
+        scores = CusumDetector().score(values)
+        assert scores[:100].max() < scores[160:].max()
+
+    def test_empty(self):
+        assert CusumDetector().score(np.empty(0)).size == 0
+
+
+class TestEwma:
+    def test_detects_spike(self):
+        series = spike_series()
+        location = EwmaDetector(alpha=0.2).locate(series)
+        assert abs(location - 250) <= 2
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=1.5)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in available_detectors():
+            detector = make_detector(name)
+            assert hasattr(detector, "score")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            make_detector("oracle")
+
+    def test_kwargs_forwarded(self):
+        detector = make_detector("moving_zscore", k=11)
+        assert detector.k == 11
+
+    def test_expected_lineup_present(self):
+        names = available_detectors()
+        for expected in ("matrix_profile", "telemanom", "merlin", "knn", "cusum"):
+            assert expected in names

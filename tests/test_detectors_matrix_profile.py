@@ -1,0 +1,198 @@
+"""Tests for MASS/STOMP matrix profile and discord discovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import (
+    MatrixProfileDetector,
+    discords,
+    matrix_profile,
+    moving_mean_std,
+    sliding_dot_products,
+    subsequence_to_point_scores,
+)
+from repro.types import LabeledSeries, Labels
+
+
+def sine_with_anomaly(n=800, period=40, start=None, seed=0):
+    """Sine wave with one cycle flattened — a classic discord."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = np.sin(2 * np.pi * t / period) + rng.normal(0, 0.05, n)
+    if start is None:
+        start = n // 2
+    values[start : start + period] = values[start] + rng.normal(
+        0, 0.05, period
+    )
+    return values
+
+
+def brute_force_profile(values, w, exclusion):
+    """O(n^2 w) reference implementation for cross-checking."""
+    n = values.size
+    num_subs = n - w + 1
+    subs = np.lib.stride_tricks.sliding_window_view(values, w).astype(float)
+    mean = subs.mean(axis=1, keepdims=True)
+    std = subs.std(axis=1, keepdims=True)
+    profile = np.full(num_subs, np.inf)
+    for i in range(num_subs):
+        best = np.inf
+        for j in range(num_subs):
+            if abs(i - j) < exclusion:
+                continue
+            if std[i] < 1e-12 and std[j] < 1e-12:
+                d = 0.0
+            elif std[i] < 1e-12 or std[j] < 1e-12:
+                d = np.sqrt(w)
+            else:
+                a = (subs[i] - mean[i]) / std[i]
+                b = (subs[j] - mean[j]) / std[j]
+                d = float(np.linalg.norm(a - b))
+            best = min(best, d)
+        profile[i] = best
+    return profile
+
+
+class TestSlidingDotProducts:
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(0, 1, 200)
+        query = series[:16]
+        got = sliding_dot_products(query, series)
+        expected = [
+            float(query @ series[i : i + 16]) for i in range(200 - 16 + 1)
+        ]
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+    def test_rejects_long_query(self):
+        with pytest.raises(ValueError):
+            sliding_dot_products(np.zeros(10), np.zeros(5))
+
+    @given(st.integers(0, 2**16), st.integers(4, 32), st.integers(40, 120))
+    @settings(max_examples=25)
+    def test_property_matches_direct(self, seed, m, n):
+        rng = np.random.default_rng(seed)
+        series = rng.normal(0, 1, n)
+        query = rng.normal(0, 1, m)
+        got = sliding_dot_products(query, series)
+        expected = [float(query @ series[i : i + m]) for i in range(n - m + 1)]
+        np.testing.assert_allclose(got, expected, rtol=1e-8, atol=1e-8)
+
+
+class TestMovingMeanStd:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(5, 2, 100)
+        mean, std = moving_mean_std(values, 10)
+        windows = np.lib.stride_tricks.sliding_window_view(values, 10)
+        np.testing.assert_allclose(mean, windows.mean(axis=1), rtol=1e-10)
+        np.testing.assert_allclose(std, windows.std(axis=1), rtol=1e-8, atol=1e-10)
+
+    def test_constant_window_zero_std(self):
+        _, std = moving_mean_std(np.full(20, 7.0), 5)
+        np.testing.assert_allclose(std, 0.0, atol=1e-12)
+
+
+class TestMatrixProfile:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(0, 1, 120)
+        w = 12
+        result = matrix_profile(values, w)
+        expected = brute_force_profile(values, w, exclusion=w)
+        np.testing.assert_allclose(result.profile, expected, rtol=1e-6, atol=1e-6)
+
+    def test_matches_brute_force_with_constant_regions(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0, 1, 100)
+        values[30:50] = 4.2  # constant block
+        w = 10
+        result = matrix_profile(values, w)
+        expected = brute_force_profile(values, w, exclusion=w)
+        np.testing.assert_allclose(result.profile, expected, rtol=1e-6, atol=1e-6)
+
+    def test_discord_is_planted_anomaly(self):
+        values = sine_with_anomaly()
+        result = matrix_profile(values, 40)
+        assert 360 <= result.discord_index <= 440
+
+    def test_periodic_series_low_profile_outside_discord(self):
+        values = sine_with_anomaly()
+        result = matrix_profile(values, 40)
+        clean = np.concatenate([result.profile[:300], result.profile[500:]])
+        assert result.profile[result.discord_index] > 3 * np.median(clean)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            matrix_profile(np.zeros(100), 2)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            matrix_profile(np.zeros(30), 20)
+
+    def test_neighbour_indices_valid(self):
+        values = sine_with_anomaly(n=400)
+        result = matrix_profile(values, 20)
+        num_subs = values.size - 20 + 1
+        assert (result.indices >= 0).all()
+        assert (result.indices < num_subs).all()
+        assert (np.abs(result.indices - np.arange(num_subs)) >= 20).all()
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_profile_non_negative_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 150)
+        w = 10
+        result = matrix_profile(values, w)
+        finite = result.profile[np.isfinite(result.profile)]
+        assert (finite >= -1e-9).all()
+        assert (finite <= 2 * np.sqrt(w) + 1e-6).all()
+
+
+class TestDiscords:
+    def test_top_discords_non_overlapping(self):
+        values = sine_with_anomaly(n=1200)
+        found = discords(values, 40, top_k=3)
+        assert len(found) >= 2
+        for (a, _), (b, _) in zip(found, found[1:]):
+            assert abs(a - b) >= 40
+
+    def test_distances_descending(self):
+        values = sine_with_anomaly(n=1200)
+        found = discords(values, 40, top_k=3)
+        distances = [d for _, d in found]
+        assert distances == sorted(distances, reverse=True)
+
+
+class TestSubsequenceToPointScores:
+    def test_window_coverage(self):
+        profile = np.array([0.0, 5.0, 0.0, 0.0])
+        points = subsequence_to_point_scores(profile, 3, 6)
+        # subsequence 1 covers points 1..3
+        np.testing.assert_allclose(points, [0.0, 5.0, 5.0, 5.0, 0.0, 0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            subsequence_to_point_scores(np.zeros(4), 3, 10)
+
+    def test_infinite_scores_replaced(self):
+        profile = np.array([np.inf, 1.0])
+        points = subsequence_to_point_scores(profile, 2, 3)
+        assert np.isfinite(points[1:]).all()
+
+
+class TestMatrixProfileDetector:
+    def test_locates_discord(self):
+        values = sine_with_anomaly()
+        series = LabeledSeries(
+            "sine", values, Labels.single(800, 400, 440), train_len=0
+        )
+        location = MatrixProfileDetector(w=40).locate(series)
+        assert 360 <= location <= 460
+
+    def test_score_length_matches(self):
+        values = sine_with_anomaly(n=300)
+        assert MatrixProfileDetector(w=20).score(values).size == 300

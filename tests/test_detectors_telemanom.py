@@ -1,0 +1,208 @@
+"""Tests for the Telemanom-style detector and MERLIN/kNN."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    ARForecaster,
+    KnnDistanceDetector,
+    MerlinDetector,
+    TelemanomDetector,
+    dynamic_threshold,
+    merlin,
+    prune_anomalies,
+)
+from repro.types import LabeledSeries, Labels
+
+
+def periodic(n, period=50, noise=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+class TestARForecaster:
+    def test_predicts_periodic_signal(self):
+        values = periodic(2000)
+        forecaster = ARForecaster(lags=60, ridge=1e-3).fit(values[:1500])
+        errors = forecaster.errors(values)
+        assert np.median(errors[100:]) < 0.1
+
+    def test_prediction_alignment(self):
+        # forecaster trained on a ramp should predict the next ramp value
+        values = np.arange(500, dtype=float)
+        forecaster = ARForecaster(lags=5, ridge=1e-6).fit(values)
+        predictions = forecaster.predict(values)
+        np.testing.assert_allclose(predictions, values[5:], rtol=1e-4, atol=1e-3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ARForecaster(lags=5).predict(np.zeros(100))
+
+    def test_too_short_train_raises(self):
+        with pytest.raises(ValueError):
+            ARForecaster(lags=50).fit(np.zeros(20))
+
+    def test_rejects_bad_lags(self):
+        with pytest.raises(ValueError):
+            ARForecaster(lags=0)
+
+    def test_errors_zero_prefix(self):
+        values = periodic(500)
+        forecaster = ARForecaster(lags=30).fit(values)
+        errors = forecaster.errors(values)
+        assert (errors[:30] == 0).all()
+
+
+class TestDynamicThreshold:
+    def test_separates_clear_outliers(self):
+        rng = np.random.default_rng(0)
+        errors = np.abs(rng.normal(0, 0.5, 1000))
+        errors[500:505] = 10.0
+        epsilon = dynamic_threshold(errors)
+        assert 2.0 < epsilon < 10.0
+        assert (errors > epsilon).sum() == 5
+
+    def test_constant_errors(self):
+        epsilon = dynamic_threshold(np.full(100, 0.3))
+        assert epsilon == pytest.approx(0.3)
+
+    def test_prefers_few_contiguous_regions(self):
+        rng = np.random.default_rng(1)
+        errors = np.abs(rng.normal(0, 0.1, 500))
+        errors[100:110] = 5.0  # one clean region
+        epsilon = dynamic_threshold(errors)
+        flagged = errors > epsilon
+        assert flagged[100:110].all()
+        assert flagged.sum() == 10
+
+
+class TestPrune:
+    def test_keeps_dominant_region(self):
+        errors = np.zeros(100)
+        errors[10:15] = 10.0
+        errors[60:65] = 9.5
+        flagged = Labels(
+            n=100,
+            regions=(
+                Labels.single(100, 10, 15).regions[0],
+                Labels.single(100, 60, 65).regions[0],
+            ),
+        )
+        pruned = prune_anomalies(errors, flagged, minimum_drop=0.13)
+        # both survive: the drop from 9.5 to background (0) is >> 13 %
+        assert pruned.num_regions == 2
+
+    def test_prunes_marginal_region(self):
+        errors = np.zeros(100)
+        errors[10:15] = 10.0
+        errors[60:65] = 1.02
+        # background max ~1.0 → drop from 1.02 to 1.0 is under 13 %
+        errors[80] = 1.0
+        flagged = Labels(
+            n=100,
+            regions=(
+                Labels.single(100, 10, 15).regions[0],
+                Labels.single(100, 60, 65).regions[0],
+            ),
+        )
+        pruned = prune_anomalies(errors, flagged, minimum_drop=0.13)
+        assert pruned.num_regions == 1
+        assert pruned.regions[0].start == 10
+
+    def test_empty_flags_pass_through(self):
+        pruned = prune_anomalies(np.zeros(10), Labels.empty(10))
+        assert pruned.num_regions == 0
+
+
+class TestTelemanomDetector:
+    def _series(self):
+        values = periodic(3000)
+        values[2000:2050] += 3.0  # additive anomaly the forecaster misses
+        return LabeledSeries(
+            "tele", values, Labels.single(3000, 2000, 2050), train_len=1000
+        )
+
+    def test_locates_anomaly(self):
+        series = self._series()
+        location = TelemanomDetector(lags=60).locate(series)
+        assert 1990 <= location <= 2070
+
+    def test_detect_flags_anomaly_region(self):
+        series = self._series()
+        detector = TelemanomDetector(lags=60)
+        detector.fit(series.train)
+        detection = detector.detect(series.values)
+        assert detection.flagged.num_regions >= 1
+        # smoothed errors lag the event, so accept overlap with a window
+        # trailing the true region
+        hit = any(
+            region.start < 2100 and region.end > 2000
+            for region in detection.flagged.regions
+        )
+        assert hit
+
+    def test_untrained_fallback(self):
+        series = self._series()
+        scores = TelemanomDetector(lags=60).score(series.values)
+        assert scores.size == series.n
+
+    def test_score_is_smoothed_nonnegative(self):
+        series = self._series()
+        detector = TelemanomDetector(lags=60)
+        detector.fit(series.train)
+        scores = detector.score(series.values)
+        assert (scores >= 0).all()
+
+
+class TestMerlin:
+    def test_finds_discord_across_lengths(self):
+        values = periodic(900, period=45, seed=3)
+        values[450:495] = values[450]  # flattened cycle
+        result = merlin(values, min_w=20, max_w=90, num_lengths=4)
+        length, location, distance = result.best
+        assert distance > 0
+        assert 380 <= location <= 520
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            merlin(np.zeros(10), min_w=20, max_w=40)
+
+    def test_detector_interface(self):
+        values = periodic(900, period=45, seed=3)
+        values[450:495] += 2.5
+        series = LabeledSeries(
+            "m", values, Labels.single(900, 450, 495), train_len=0
+        )
+        location = MerlinDetector(min_w=30, max_w=60, num_lengths=3).locate(series)
+        assert 400 <= location <= 540
+
+
+class TestKnn:
+    def test_locates_novel_pattern(self):
+        values = periodic(2000, period=40, seed=5)
+        values[1500:1540] = values[1500]  # freeze = novel vs train
+        series = LabeledSeries(
+            "knn", values, Labels.single(2000, 1500, 1540), train_len=800
+        )
+        location = KnnDistanceDetector(w=40).locate(series)
+        assert 1460 <= location <= 1580
+
+    def test_train_patterns_score_low(self):
+        values = periodic(2000, period=40, seed=6)
+        detector = KnnDistanceDetector(w=40)
+        detector.fit(values[:1000])
+        scores = detector.score(values)
+        # periodic continuation should look familiar
+        assert np.median(scores[1000:1900]) < np.sqrt(40)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            KnnDistanceDetector(w=1)
+        with pytest.raises(ValueError):
+            KnnDistanceDetector(k=0)
+
+    def test_untrained_fallback(self):
+        values = periodic(600, period=30, seed=7)
+        scores = KnnDistanceDetector(w=30).score(values)
+        assert scores.size == values.size

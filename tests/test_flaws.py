@@ -1,0 +1,222 @@
+"""Tests for the four-flaw audit subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.flaws import (
+    audit_archive,
+    audit_density,
+    audit_run_to_failure,
+    audit_triviality,
+    density_stats,
+    discord_label_disagreement,
+    find_duplicate_series,
+    find_partially_labeled_constant_runs,
+    find_toggling_labels,
+    find_unlabeled_twins,
+    last_point_hit_rate,
+    position_histogram,
+    rightmost_fractions,
+)
+from repro.types import AnomalyRegion, Archive, LabeledSeries, Labels
+
+
+def spike_series(name="s", n=400, at=(200,), height=15.0, seed=0, train=0):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(-0.5, 0.5, n)
+    for position in at:
+        values[position] += height
+    return LabeledSeries(name, values, Labels.from_points(n, at), train_len=train)
+
+
+class TestTriviality:
+    def test_trivial_archive_flagged(self):
+        archive = Archive("t", [spike_series(f"s{i}", seed=i) for i in range(4)])
+        audit = audit_triviality(archive)
+        assert audit.trivial_fraction == 1.0
+        assert audit.num_trivial == 4
+        assert len(audit.solved_names()) == 4
+        assert "100.0%" in audit.format()
+
+    def test_hard_archive_passes(self):
+        rng = np.random.default_rng(1)
+        hard = LabeledSeries(
+            "hard", rng.uniform(-1, 1, 400), Labels.from_points(400, [200])
+        )
+        audit = audit_triviality(Archive("h", [hard]))
+        assert audit.trivial_fraction == 0.0
+
+
+class TestDensity:
+    def test_stats_basic(self):
+        series = spike_series(at=(100, 200))
+        stats = density_stats(series)
+        assert stats.num_regions == 2
+        assert stats.anomaly_rate == pytest.approx(2 / 400)
+        assert stats.min_gap == 99
+
+    def test_contiguous_fraction_uses_test_region(self):
+        values = np.zeros(1000)
+        series = LabeledSeries(
+            "big", values, Labels.single(1000, 600, 950), train_len=500
+        )
+        stats = density_stats(series)
+        assert stats.test_contiguous_fraction == pytest.approx(350 / 500)
+        assert stats.blurs_into_classification
+
+    def test_sandwich_detection(self):
+        labels = Labels(
+            n=100, regions=(AnomalyRegion(10, 12), AnomalyRegion(13, 15))
+        )
+        series = LabeledSeries("sw", np.zeros(100), labels)
+        stats = density_stats(series)
+        assert stats.num_sandwiched_points == 1
+
+    def test_audit_collects_offenders(self):
+        values = np.zeros(1000)
+        over_half = LabeledSeries(
+            "D-2", values, Labels.single(1000, 500, 990), train_len=200
+        )
+        many = LabeledSeries(
+            "machine-2-5",
+            values,
+            Labels(
+                n=1000,
+                regions=tuple(
+                    AnomalyRegion(200 + 30 * i, 210 + 30 * i) for i in range(21)
+                ),
+            ),
+        )
+        audit = audit_density(Archive("d", [over_half, many]))
+        assert [s.name for s in audit.over_half] == ["D-2"]
+        assert [s.name for s in audit.many_regions] == ["machine-2-5"]
+        assert "D-2" in audit.format()
+
+
+class TestMislabeling:
+    def test_unlabeled_twin_found(self):
+        rng = np.random.default_rng(2)
+        values = np.sin(np.arange(600) / 5.0) + rng.uniform(-0.02, 0.02, 600)
+        pattern = np.array([3.0, -3.0, 3.0, -3.0, 3.0])
+        values[100:105] = pattern
+        values[400:405] = pattern  # identical, unlabeled
+        series = LabeledSeries("twin", values, Labels.single(600, 100, 105))
+        matches = find_unlabeled_twins(series)
+        assert any(abs(m.twin_start - 398) <= 4 for m in matches)
+
+    def test_no_twin_no_match(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(-1, 1, 600)
+        values[100:105] = [5, -5, 5, -5, 5]
+        series = LabeledSeries("solo", values, Labels.single(600, 100, 105))
+        assert find_unlabeled_twins(series, max_distance=0.2) == []
+
+    def test_partially_labeled_constant_run(self):
+        values = np.sin(np.arange(500) / 3.0)
+        values[200:240] = values[200]
+        series = LabeledSeries("c", values, Labels.single(500, 210, 225))
+        offenders = find_partially_labeled_constant_runs(series)
+        assert len(offenders) == 1
+        start, end = offenders[0]
+        assert start <= 210 and end >= 225
+
+    def test_fully_labeled_constant_run_ok(self):
+        values = np.sin(np.arange(500) / 3.0)
+        values[200:240] = values[200]
+        series = LabeledSeries("ok", values, Labels.single(500, 195, 245))
+        assert find_partially_labeled_constant_runs(series) == []
+
+    def test_toggling_labels(self):
+        regions = tuple(AnomalyRegion(100 + 8 * i, 102 + 8 * i) for i in range(6))
+        series = LabeledSeries(
+            "tog", np.zeros(400), Labels(n=400, regions=regions)
+        )
+        spans = find_toggling_labels(series)
+        assert len(spans) == 1
+        assert spans[0][0] == 100
+
+    def test_spread_labels_not_toggling(self):
+        regions = (AnomalyRegion(50, 52), AnomalyRegion(200, 202))
+        series = LabeledSeries("sp", np.zeros(400), Labels(n=400, regions=regions))
+        assert find_toggling_labels(series) == []
+
+    def test_duplicate_series_found(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(0, 1, 300)
+        a = LabeledSeries("a", values, Labels.empty(300))
+        b = LabeledSeries("b", values.copy(), Labels.empty(300))
+        c = LabeledSeries("c", rng.normal(0, 1, 300), Labels.empty(300))
+        assert find_duplicate_series(Archive("x", [a, b, c])) == [("a", "b")]
+
+    def test_discord_label_disagreement(self):
+        rng = np.random.default_rng(5)
+        t = np.arange(1200)
+        values = np.sin(2 * np.pi * t / 60) + rng.uniform(-0.05, 0.05, 1200)
+        values[300:360] = values[300]  # labeled anomaly
+        values[800:860] += 2.5  # unlabeled event
+        series = LabeledSeries("d", values, Labels.single(1200, 300, 360))
+        report = discord_label_disagreement(series, w=60, top_k=2)
+        assert report.num_candidate_false_negatives >= 1
+        assert any(740 <= start <= 900 for start, _ in report.unlabeled_discords)
+        assert len(report.labeled_hits) >= 1
+
+
+class TestRunToFailure:
+    def _biased_archive(self):
+        series = [
+            spike_series(f"late{i}", at=(380 + i,), seed=i) for i in range(8)
+        ]
+        return Archive("rtf", series)
+
+    def test_fractions(self):
+        fractions = rightmost_fractions(self._biased_archive())
+        assert fractions.size == 8
+        assert (fractions > 0.9).all()
+
+    def test_histogram_shape(self):
+        counts, edges = position_histogram(np.array([0.95, 0.97, 0.5]))
+        assert counts.sum() == 3
+        assert counts[-1] == 2
+        assert edges.size == 11
+
+    def test_last_point_hit_rate(self):
+        assert last_point_hit_rate(self._biased_archive()) == 1.0
+
+    def test_unbiased_archive(self):
+        series = [
+            spike_series(f"mid{i}", at=(100 + 20 * i,), seed=i) for i in range(5)
+        ]
+        audit = audit_run_to_failure(Archive("u", series))
+        assert not audit.biased
+        assert audit.last_point_rate == 0.0
+
+    def test_audit_format(self):
+        audit = audit_run_to_failure(self._biased_archive())
+        assert audit.biased
+        assert "BIASED" in audit.format()
+
+
+class TestFullReport:
+    def test_flawed_archive_verdict(self):
+        series = [spike_series(f"s{i}", at=(390,), seed=i) for i in range(5)]
+        twin = LabeledSeries("dup", series[0].values.copy(), series[0].labels)
+        archive = Archive("flawed", series + [twin])
+        report = audit_archive(archive)
+        assert "flawed" in report.verdict
+        assert "mostly trivial" in report.verdict
+        assert "duplicated data" in report.verdict
+        assert ("s0", "dup") in report.duplicate_pairs
+        assert "VERDICT" in report.format()
+
+    def test_clean_archive_verdict(self):
+        rng = np.random.default_rng(6)
+        series = [
+            LabeledSeries(
+                f"h{i}",
+                rng.uniform(-1, 1, 400),
+                Labels.from_points(400, [150 + 17 * i]),
+            )
+            for i in range(5)
+        ]
+        report = audit_archive(Archive("clean", series))
+        assert report.verdict == "no flaws detected"

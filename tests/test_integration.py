@@ -1,0 +1,132 @@
+"""Cross-module integration tests: archive → audit → score pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AddNoise, Identity, run_invariance
+from repro.archive import load_archive, save_archive, validate_archive
+from repro.datasets import (
+    SLOTS_PER_DAY,
+    NasaConfig,
+    UcrSimConfig,
+    YahooConfig,
+    make_e0509m,
+    make_nasa,
+    make_taxi,
+    make_ucr,
+    make_yahoo,
+)
+from repro.detectors import (
+    MatrixProfileDetector,
+    MovingZScoreDetector,
+    TelemanomDetector,
+    discords,
+    make_detector,
+)
+from repro.flaws import audit_archive
+from repro.oneliner import YAHOO_FAMILY_POLICY
+from repro.scoring import score_archive
+
+
+class TestYahooAuditPipeline:
+    def test_small_yahoo_flaw_verdict(self):
+        config = YahooConfig(seed=5, n_a1=12, n_a2=8, n_a3=8, n_a4=8, plant_flaws=False)
+        archive = make_yahoo(config)
+
+        def families(series):
+            return YAHOO_FAMILY_POLICY[series.meta["dataset"]]
+
+        report = audit_archive(archive, families_for=families)
+        # the planted mix keeps most series trivially solvable
+        assert report.triviality.trivial_fraction > 0.5
+        assert "mostly trivial" in report.verdict
+        assert "run-to-failure" in report.verdict
+
+    def test_nasa_audit_pipeline(self):
+        archive = make_nasa(NasaConfig(n_magnitude=3, n_freeze=2, n_third_density=4))
+        report = audit_archive(archive, check_duplicates=False)
+        assert "unrealistic density" in report.verdict
+
+
+class TestUcrPipeline:
+    @pytest.fixture(scope="class")
+    def archive(self):
+        return make_ucr(UcrSimConfig(size=14))
+
+    def test_validate_save_load_score(self, archive, tmp_path):
+        validation = validate_archive(
+            archive, check_triviality=True, max_trivial_fraction=0.35
+        )
+        assert not validation.structural_failures
+
+        save_archive(archive, tmp_path)
+        reloaded = load_archive(tmp_path, name="reloaded")
+        assert len(reloaded) == len(archive)
+
+        summary = score_archive(
+            reloaded, MovingZScoreDetector(k=50).locate
+        )
+        assert 0.0 <= summary.accuracy <= 1.0
+        assert len(summary.outcomes) == len(archive)
+
+    def test_certified_non_easy_fraction(self, archive):
+        validation = validate_archive(archive, check_triviality=True)
+        trivially = {
+            r.name for r in validation.results if r.trivially_solvable
+        }
+        non_easy_trivial = [
+            s.name
+            for s in archive.series
+            if s.name in trivially and s.meta.get("difficulty") not in ("easy", None)
+        ]
+        assert non_easy_trivial == []
+
+
+class TestTaxiPipeline:
+    def test_blizzard_is_top_discord(self):
+        taxi = make_taxi()
+        (top, distance), *_ = discords(taxi.values, w=SLOTS_PER_DAY, top_k=1)
+        blizzard = next(
+            e for e in taxi.meta["proposed_events"] if e["name"] == "blizzard"
+        )
+        center = top + SLOTS_PER_DAY // 2
+        assert blizzard["start"] - SLOTS_PER_DAY <= center < blizzard["end"] + SLOTS_PER_DAY
+        assert distance > 0
+
+
+class TestFig13Pipeline:
+    def test_noise_breaks_forecaster_not_discord(self):
+        series = make_e0509m()
+        study = run_invariance(
+            series,
+            [TelemanomDetector(lags=60), MatrixProfileDetector(w=280)],
+            transforms=(Identity(), AddNoise(1.0)),
+            seed=0,
+            slop=300,
+        )
+        assert study.cell("Telemanom(lags=60)", "Identity").correct
+        assert study.cell("MatrixProfile(w=280)", "Identity").correct
+        assert not study.cell("Telemanom(lags=60)", "AddNoise(1σ)").correct
+        assert study.cell("MatrixProfile(w=280)", "AddNoise(1σ)").correct
+
+
+class TestDetectorSmoke:
+    """Every registered detector locates an unmistakable spike."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["diff", "moving_zscore", "moving_std", "cusum", "ewma", "knn", "telemanom"],
+    )
+    def test_registry_detectors_locate_spike(self, name):
+        from repro.types import LabeledSeries, Labels
+
+        rng = np.random.default_rng(1)
+        values = np.sin(np.arange(3000) / 20.0) + rng.uniform(-0.05, 0.05, 3000)
+        values[2000] += 25.0
+        series = LabeledSeries(
+            "smoke", values, Labels.from_points(3000, [2000]), train_len=1000
+        )
+        detector = make_detector(name)
+        location = detector.locate(series)
+        # CUSUM-style accumulators crest shortly after the event
+        assert abs(location - 2000) <= 120, name

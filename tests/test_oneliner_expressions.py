@@ -1,0 +1,134 @@
+"""Tests for one-liner expression objects."""
+
+import numpy as np
+import pytest
+
+from repro.oneliner import (
+    DiffFamilyOneLiner,
+    FrozenSignalOneLiner,
+    MovstdOneLiner,
+    ThresholdOneLiner,
+    make_family,
+)
+
+
+class TestDiffFamily:
+    def test_family_ids(self):
+        assert make_family(3, b=1.0).family == 3
+        assert make_family(4, k=5, c=2.0, b=0.1).family == 4
+        assert make_family(5, b=1.0).family == 5
+        assert make_family(6, k=5, c=0.0, b=0.1).family == 6
+
+    def test_general_family_detected(self):
+        liner = DiffFamilyOneLiner(use_abs=True, u=0, c=2.0, k=5, b=0.0)
+        assert liner.family == 1
+
+    def test_make_family_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_family(7)
+
+    def test_rejects_bad_u(self):
+        with pytest.raises(ValueError):
+            DiffFamilyOneLiner(use_abs=True, u=2)
+
+    def test_family3_flags_spike(self):
+        values = np.zeros(50)
+        values[20] = 10.0  # jump up at 20, jump down at 21
+        flags = make_family(3, b=5.0).flags(values)
+        np.testing.assert_array_equal(flags, [20, 21])
+
+    def test_family5_signed_flags_only_up_jump(self):
+        values = np.zeros(50)
+        values[20] = 10.0
+        flags = make_family(5, b=5.0).flags(values)
+        np.testing.assert_array_equal(flags, [20])
+
+    def test_family5_misses_negative_spike(self):
+        values = np.zeros(50)
+        values[20] = -10.0
+        assert make_family(5, b=5.0).flags(values).size == 1  # only the recovery
+        np.testing.assert_array_equal(make_family(5, b=5.0).flags(values), [21])
+
+    def test_point_zero_never_flagged(self):
+        values = np.full(10, 100.0)
+        liner = make_family(3, b=-1.0)  # score > -1 everywhere defined
+        flags = liner.flags(values)
+        assert 0 not in flags
+
+    def test_family4_adapts_to_local_scale(self):
+        # bounded-noisy first half (diffs up to ~4), quiet second half
+        # with a smaller spike: a fixed threshold must pick up first-half
+        # noise, the moving-stats family (4) isolates the spike.
+        rng = np.random.default_rng(0)
+        values = np.concatenate([rng.uniform(-2.0, 2.0, 500), np.zeros(500)])
+        values[750] = 3.5
+        fam4 = make_family(4, k=50, c=0.0, b=2.8)
+        flags = fam4.flags(values)
+        assert 750 in flags or 751 in flags
+        assert all(f >= 500 for f in flags)
+
+    def test_code_strings(self):
+        assert make_family(3, b=2.0).code == "abs(diff(TS)) > 2"
+        assert (
+            make_family(4, k=10, c=3.0, b=0.5).code
+            == "abs(diff(TS)) > movmean(abs(diff(TS)),10) + 3*movstd(abs(diff(TS)),10) + 0.5"
+        )
+        assert make_family(5, b=-1.0).code == "diff(TS) > -1"
+        assert "movmean(diff(TS),5)" in make_family(6, k=5, b=0.0).code
+
+
+class TestThresholdOneLiner:
+    def test_above(self):
+        liner = ThresholdOneLiner(b=0.45, above=True)
+        values = np.array([0.1, 0.5, 0.2, 0.9])
+        np.testing.assert_array_equal(liner.flags(values), [1, 3])
+        assert liner.code == "TS > 0.45"
+
+    def test_below(self):
+        liner = ThresholdOneLiner(b=0.01, above=False)
+        values = np.array([0.5, 0.005, 0.3])
+        np.testing.assert_array_equal(liner.flags(values), [1])
+        assert liner.code == "TS < 0.01"
+
+
+class TestMovstdOneLiner:
+    def test_flags_high_variance_burst(self):
+        values = np.zeros(200)
+        values[100:110] = [0, 30, -30, 30, -30, 30, -30, 30, -30, 0]
+        liner = MovstdOneLiner(k=5, b=10.0)
+        flags = liner.flags(values)
+        assert flags.size > 0
+        assert flags.min() >= 97 and flags.max() <= 112
+
+    def test_code(self):
+        assert MovstdOneLiner(k=5, b=10).code == "movstd(TS,5) > 10"
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            MovstdOneLiner(k=1, b=1.0)
+
+
+class TestFrozenSignal:
+    def test_flags_frozen_run_only(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 1, 100)
+        values[40:50] = values[40]  # freeze
+        flags = FrozenSignalOneLiner(min_run=3).flags(values)
+        assert flags.size > 0
+        assert flags.min() >= 40 and flags.max() <= 50
+
+    def test_ignores_linear_ramp(self):
+        values = np.arange(50, dtype=float)  # diff(diff) == 0 but not frozen
+        assert FrozenSignalOneLiner(min_run=3).flags(values).size == 0
+
+    def test_respects_min_run(self):
+        values = np.array([0.0, 1.0, 1.0, 2.0, 3.0, 3.0, 3.0, 4.0])
+        assert FrozenSignalOneLiner(min_run=3).flags(values).size == 1
+        assert FrozenSignalOneLiner(min_run=2).flags(values).size == 3
+
+    def test_tolerance(self):
+        values = np.array([0.0, 5.0, 5.0 + 1e-9, 5.0 - 1e-9, 9.0, 1.0])
+        assert FrozenSignalOneLiner(min_run=3, atol=1e-6).flags(values).size > 0
+
+    def test_short_series(self):
+        assert FrozenSignalOneLiner().flags(np.array([1.0])).size == 0

@@ -1,0 +1,189 @@
+"""Tests for the solve criterion and the brute-force search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oneliner import (
+    SearchConfig,
+    evaluate_flags,
+    make_family,
+    search_series,
+    solve_with_family,
+    solves,
+    threshold_for,
+)
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def spike_series(n=300, at=(150,), height=10.0, noise=0.1, seed=0, name="spike"):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0, noise, n)
+    for position in at:
+        values[position] += height
+    labels = Labels.from_points(n, at)
+    return LabeledSeries(name, values, labels)
+
+
+class TestEvaluateFlags:
+    def test_perfect_match_solves(self):
+        labels = Labels.from_points(100, [40])
+        report = evaluate_flags(np.array([40]), labels, tolerance=0)
+        assert report.solved
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+
+    def test_no_flags_never_solves(self):
+        labels = Labels.from_points(100, [40])
+        report = evaluate_flags(np.array([], dtype=int), labels)
+        assert not report.solved
+        assert report.precision == 0.0
+
+    def test_false_positive_blocks_solve(self):
+        labels = Labels.from_points(100, [40])
+        report = evaluate_flags(np.array([40, 80]), labels, tolerance=2)
+        assert not report.solved
+        assert report.false_positives == 1
+        assert report.precision == pytest.approx(0.5)
+
+    def test_missed_region_blocks_solve(self):
+        labels = Labels.from_points(100, [40, 70])
+        report = evaluate_flags(np.array([40]), labels, tolerance=2)
+        assert not report.solved
+        assert report.recall == pytest.approx(0.5)
+
+    def test_tolerance_expands_regions(self):
+        labels = Labels.from_points(100, [40])
+        assert not evaluate_flags(np.array([43]), labels, tolerance=2).solved
+        assert evaluate_flags(np.array([42]), labels, tolerance=2).solved
+
+    def test_unlabeled_series_never_solved(self):
+        report = evaluate_flags(np.array([5]), Labels.empty(100))
+        assert not report.solved
+        assert report.recall == 0.0
+
+
+class TestThresholdFor:
+    def test_separable_case(self):
+        score = np.zeros(100)
+        score[50] = 10.0
+        labels = Labels.from_points(100, [50])
+        b = threshold_for(score, labels, tolerance=0)
+        assert b is not None
+        assert 0.0 < b < 10.0
+
+    def test_not_separable(self):
+        score = np.zeros(100)
+        score[50] = 10.0
+        score[80] = 10.0  # equal score outside the label
+        labels = Labels.from_points(100, [50])
+        assert threshold_for(score, labels, tolerance=0) is None
+
+    def test_all_inside_expanded_regions(self):
+        score = np.linspace(0, 1, 5)
+        labels = Labels.single(5, 0, 5)
+        b = threshold_for(score, labels, tolerance=0)
+        assert b is not None
+        assert b < 1.0
+
+    def test_empty_labels(self):
+        assert threshold_for(np.zeros(10), Labels.empty(10)) is None
+
+    def test_infinite_inside_rejected(self):
+        score = np.full(10, -np.inf)
+        labels = Labels.from_points(10, [5])
+        assert threshold_for(score, labels) is None
+
+
+class TestSolveWithFamily:
+    def test_family3_solves_simple_spike(self):
+        result = solve_with_family(spike_series(), 3)
+        assert result.solved
+        assert result.family == 3
+        assert result.oneliner is not None
+        assert result.report is not None and result.report.solved
+
+    @staticmethod
+    def _contextual_spike():
+        # First half: bounded uniform noise (diffs up to ~4).  Second
+        # half: near-silence with a spike of 3.5 — smaller than the noisy
+        # half's diffs, so a global diff threshold (family 3) cannot
+        # separate it, while the moving-stats family (4) can.
+        rng = np.random.default_rng(3)
+        values = np.concatenate(
+            [rng.uniform(-2.0, 2.0, 500), rng.normal(0, 0.001, 500)]
+        )
+        values[750] += 3.5
+        return LabeledSeries("ctx", values, Labels.from_points(1000, [750]))
+
+    def test_family3_fails_on_contextual_spike(self):
+        assert not solve_with_family(self._contextual_spike(), 3).solved
+
+    def test_family4_solves_contextual_spike(self):
+        result = solve_with_family(
+            self._contextual_spike(),
+            4,
+            SearchConfig(ks=(20, 50), cs=(0.0, 1.0, 3.0)),
+        )
+        assert result.solved
+        assert result.family == 4
+
+    def test_family5_solves_signed_dip_recovery(self):
+        # negative dip: only the *recovery* is a positive diff; family 5
+        # flags index dip+1 which is within default tolerance.
+        values = np.zeros(200)
+        values[100] = -8.0
+        series = LabeledSeries("dip", values, Labels.from_points(200, [100]))
+        result = solve_with_family(series, 5)
+        assert result.solved
+
+    def test_solved_oneliner_reproduces_report(self):
+        result = solve_with_family(spike_series(), 3)
+        series = spike_series()
+        assert solves(result.oneliner, series, tolerance=2).solved
+
+
+class TestSearchSeries:
+    def test_family_order_respected(self):
+        series = spike_series()
+        result = search_series(series, families=(3, 4))
+        assert result.family == 3  # first family that solves wins
+
+    def test_unsolvable_series(self):
+        # labels point at an unremarkable location in pure noise
+        rng = np.random.default_rng(5)
+        values = rng.normal(0, 1, 400)
+        series = LabeledSeries("hard", values, Labels.from_points(400, [200]))
+        result = search_series(series, SearchConfig(ks=(5, 10), cs=(0.0, 1.0)))
+        assert not result.solved
+        assert result.family is None
+
+    @given(st.integers(20, 280), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_big_spike_always_solvable(self, position, seed):
+        series = spike_series(at=(position,), height=50.0, seed=seed)
+        assert search_series(series, families=(3,)).solved
+
+
+class TestSearchArchive:
+    def test_counts(self):
+        from repro.oneliner import search_archive
+
+        archive = Archive(
+            "toy",
+            [
+                spike_series(name="easy1", seed=1),
+                spike_series(name="easy2", seed=2),
+                LabeledSeries(
+                    "hard",
+                    np.random.default_rng(9).normal(0, 1, 300),
+                    Labels.from_points(300, [150]),
+                ),
+            ],
+        )
+        result = search_archive(archive, SearchConfig(ks=(5,), cs=(0.0,)))
+        assert result.num_series == 3
+        assert result.num_solved == 2
+        assert result.solved_fraction == pytest.approx(2 / 3)
+        assert result.solved_by_family() == {3: 2}

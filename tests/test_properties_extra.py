@@ -1,0 +1,111 @@
+"""Cross-cutting property tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import subsequence_to_point_scores
+from repro.detectors.telemanom import dynamic_threshold, exponential_smooth
+from repro.oneliner import evaluate_flags, threshold_for
+from repro.scoring import nab_score, nab_windows
+from repro.types import Labels
+
+
+class TestThresholdForProperty:
+    @given(st.integers(0, 2**16), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_returned_threshold_always_solves(self, seed, num_regions):
+        """Whenever threshold_for returns b, flagging score > b solves."""
+        rng = np.random.default_rng(seed)
+        n = 300
+        score = rng.normal(0, 1, n)
+        starts = rng.choice(np.arange(10, n - 20, 25), num_regions, replace=False)
+        regions = Labels(
+            n=n,
+            regions=tuple(
+                Labels.single(n, int(s), int(s) + 5).regions[0] for s in starts
+            ),
+        )
+        # make the labeled regions separable on purpose
+        for region in regions.regions:
+            score[region.start : region.end] += 10.0
+        b = threshold_for(score, regions, tolerance=2)
+        assert b is not None
+        flags = np.flatnonzero(score > b)
+        assert evaluate_flags(flags, regions, tolerance=2).solved
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=40)
+    def test_unseparable_returns_none(self, seed):
+        """If an outside point dominates every region, no threshold."""
+        rng = np.random.default_rng(seed)
+        n = 200
+        score = rng.normal(0, 1, n)
+        labels = Labels.single(n, 100, 110)
+        score[50] = score.max() + 100.0  # unbeatable outsider
+        assert threshold_for(score, labels, tolerance=2) is None
+
+
+class TestPointScoreLifting:
+    @given(st.integers(0, 2**16), st.integers(3, 12), st.integers(30, 80))
+    @settings(max_examples=40)
+    def test_matches_bruteforce_max(self, seed, w, num_subs):
+        rng = np.random.default_rng(seed)
+        profile = rng.normal(0, 1, num_subs)
+        n = num_subs + w - 1
+        points = subsequence_to_point_scores(profile, w, n)
+        for i in range(n):
+            covering = [
+                profile[j]
+                for j in range(max(0, i - w + 1), min(num_subs, i + 1))
+            ]
+            assert points[i] == max(covering)
+
+    @given(st.integers(0, 2**16), st.integers(3, 12))
+    @settings(max_examples=30)
+    def test_global_max_preserved(self, seed, w):
+        rng = np.random.default_rng(seed)
+        profile = rng.normal(0, 1, 50)
+        points = subsequence_to_point_scores(profile, w, 50 + w - 1)
+        assert np.isclose(points.max(), profile.max())
+
+
+class TestNabProperties:
+    @given(st.lists(st.integers(50, 950), min_size=1, max_size=5, unique=True))
+    @settings(max_examples=40)
+    def test_perfect_detector_scores_100(self, anomalies):
+        labels = Labels.from_points(1000, anomalies)
+        windows = nab_windows(labels)
+        detections = np.array([w.start for w in windows])
+        result = nab_score(detections, labels)
+        assert result.score == np.float64(100.0) or abs(result.score - 100.0) < 1e-6
+
+    @given(st.lists(st.integers(50, 950), min_size=1, max_size=5, unique=True))
+    @settings(max_examples=40)
+    def test_null_detector_scores_0(self, anomalies):
+        labels = Labels.from_points(1000, anomalies)
+        result = nab_score(np.array([], dtype=int), labels)
+        assert abs(result.score) < 1e-9
+
+
+class TestTelemanomProperties:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30)
+    def test_dynamic_threshold_at_least_mean(self, seed):
+        rng = np.random.default_rng(seed)
+        errors = np.abs(rng.normal(0, 1, 500))
+        epsilon = dynamic_threshold(errors)
+        assert epsilon >= errors.mean() - 1e-9
+
+    @given(st.integers(0, 2**16), st.floats(0.01, 1.0))
+    @settings(max_examples=30)
+    def test_smoothing_preserves_range(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 200)
+        smooth = exponential_smooth(values, alpha)
+        assert smooth.min() >= values.min() - 1e-9
+        assert smooth.max() <= values.max() + 1e-9
+
+    def test_smoothing_alpha_one_is_identity(self):
+        values = np.arange(10.0)
+        np.testing.assert_allclose(exponential_smooth(values, 1.0), values)

@@ -1,0 +1,43 @@
+"""Tests for the deterministic RNG helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import child_seed, rng_for
+
+
+class TestChildSeed:
+    def test_deterministic(self):
+        assert child_seed(7, "yahoo", "A1", 3) == child_seed(7, "yahoo", "A1", 3)
+
+    def test_path_sensitivity(self):
+        assert child_seed(7, "yahoo", "A1", 3) != child_seed(7, "yahoo", "A2", 3)
+
+    def test_seed_sensitivity(self):
+        assert child_seed(7, "x") != child_seed(8, "x")
+
+    def test_int_vs_str_path_differ(self):
+        assert child_seed(7, 1) != child_seed(7, "1")
+
+    def test_non_negative(self):
+        assert child_seed(0) >= 0
+        assert child_seed(2**62, "deep", 9999) >= 0
+
+    @given(st.integers(0, 2**31), st.text(max_size=20), st.integers(0, 10**6))
+    def test_stable_and_bounded(self, seed, label, index):
+        a = child_seed(seed, label, index)
+        b = child_seed(seed, label, index)
+        assert a == b
+        assert 0 <= a < 2**63
+
+
+class TestRngFor:
+    def test_same_path_same_stream(self):
+        a = rng_for(1, "m").standard_normal(5)
+        b = rng_for(1, "m").standard_normal(5)
+        assert (a == b).all()
+
+    def test_different_path_different_stream(self):
+        a = rng_for(1, "m").standard_normal(5)
+        b = rng_for(1, "n").standard_normal(5)
+        assert not (a == b).all()

@@ -1,0 +1,102 @@
+"""Tests for the NAB scoring model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scoring import PROFILES, nab_score, nab_windows
+from repro.types import Labels
+
+
+class TestNabWindows:
+    def test_no_labels_no_windows(self):
+        assert nab_windows(Labels.empty(100)) == []
+
+    def test_window_contains_label(self):
+        labels = Labels.from_points(1000, [500])
+        (window,) = nab_windows(labels)
+        assert window.contains(500)
+        assert window.length >= 1
+
+    def test_window_width_scales_with_series(self):
+        short = nab_windows(Labels.from_points(100, [50]))[0]
+        long = nab_windows(Labels.from_points(10_000, [5000]))[0]
+        assert long.length > short.length
+
+    def test_width_splits_across_anomalies(self):
+        one = nab_windows(Labels.from_points(1000, [500]))[0]
+        two = nab_windows(Labels.from_points(1000, [300, 700]))[0]
+        assert two.length <= one.length
+
+
+class TestNabScore:
+    def test_perfect_early_detection_near_100(self):
+        labels = Labels.from_points(1000, [500])
+        window = nab_windows(labels)[0]
+        result = nab_score(np.array([window.start]), labels)
+        assert result.score == pytest.approx(100.0, abs=1e-6)
+        assert result.tp_windows == 1
+        assert result.fp_count == 0
+
+    def test_null_detector_scores_zero(self):
+        labels = Labels.from_points(1000, [500])
+        result = nab_score(np.array([], dtype=int), labels)
+        assert result.score == pytest.approx(0.0, abs=1e-9)
+        assert result.fn_windows == 1
+
+    def test_late_detection_scores_less_than_early(self):
+        labels = Labels.from_points(1000, [500])
+        window = nab_windows(labels)[0]
+        early = nab_score(np.array([window.start]), labels).score
+        late = nab_score(np.array([window.end - 1]), labels).score
+        assert early > late > 0
+
+    def test_false_positives_penalized(self):
+        labels = Labels.from_points(1000, [500])
+        window = nab_windows(labels)[0]
+        clean = nab_score(np.array([window.start]), labels).score
+        noisy = nab_score(np.array([window.start, 50, 900]), labels).score
+        assert noisy < clean
+
+    def test_fp_penalty_grows_with_distance(self):
+        # NAB treats an FP just after a window as a near-miss (cheap) and
+        # an FP far from every window as a full false alarm (expensive).
+        labels = Labels.from_points(1000, [100])
+        window = nab_windows(labels)[0]
+        near = nab_score(np.array([window.start, window.end + 2]), labels).score
+        far = nab_score(np.array([window.start, 990]), labels).score
+        assert far < near
+
+    def test_reward_low_fp_profile_punishes_harder(self):
+        labels = Labels.from_points(1000, [500])
+        window = nab_windows(labels)[0]
+        detections = np.array([window.start, 50])
+        standard = nab_score(detections, labels, "standard").score
+        strict = nab_score(detections, labels, "reward_low_fp").score
+        assert strict < standard
+
+    def test_reward_low_fn_profile_punishes_misses_in_raw_score(self):
+        # normalization rescales by the null detector, so the FN weight
+        # shows up in the *raw* score
+        labels = Labels.from_points(1000, [200, 800])
+        window = nab_windows(labels)[0]
+        detections = np.array([window.start])  # hits one window, misses one
+        standard = nab_score(detections, labels, "standard").raw
+        strict = nab_score(detections, labels, "reward_low_fn").raw
+        assert strict < standard
+
+    def test_profile_object_accepted(self):
+        labels = Labels.from_points(1000, [500])
+        result = nab_score(np.array([500]), labels, PROFILES["standard"])
+        assert result.tp_windows == 1
+
+    @given(
+        st.lists(st.integers(0, 999), max_size=20),
+        st.lists(st.integers(5, 990), min_size=1, max_size=5),
+    )
+    @settings(max_examples=40)
+    def test_score_bounded_above_by_100(self, detections, anomalies):
+        labels = Labels.from_points(1000, anomalies)
+        result = nab_score(np.array(detections, dtype=int), labels)
+        assert result.score <= 100.0 + 1e-9

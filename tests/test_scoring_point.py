@@ -1,0 +1,143 @@
+"""Tests for point-wise scoring and the point-adjust protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.scoring import (
+    best_f1,
+    confusion,
+    f1_curve,
+    point_adjust_mask,
+    precision_recall_f1,
+)
+from repro.types import Labels
+
+MASKS = hnp.arrays(dtype=np.bool_, shape=st.integers(2, 80))
+
+
+class TestConfusion:
+    def test_perfect(self):
+        labels = Labels.single(10, 3, 5)
+        c = confusion(labels.to_mask(), labels)
+        assert (c.tp, c.fp, c.fn, c.tn) == (2, 0, 0, 8)
+        assert c.precision == 1.0 and c.recall == 1.0 and c.f1 == 1.0
+
+    def test_all_negative_prediction(self):
+        labels = Labels.single(10, 3, 5)
+        c = confusion(np.zeros(10, dtype=bool), labels)
+        assert c.precision == 0.0 and c.recall == 0.0 and c.f1 == 0.0
+
+    def test_index_input(self):
+        labels = Labels.single(10, 3, 5)
+        c = confusion(np.array([3, 9]), labels)
+        assert c.tp == 1 and c.fp == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion(np.zeros(5, dtype=bool), Labels.single(10, 3, 5))
+
+    def test_counts_sum_to_n(self):
+        labels = Labels.single(20, 5, 9)
+        pred = np.zeros(20, dtype=bool)
+        pred[7:12] = True
+        c = confusion(pred, labels)
+        assert c.tp + c.fp + c.fn + c.tn == 20
+
+    @given(MASKS, st.data())
+    @settings(max_examples=50)
+    def test_precision_recall_bounds(self, pred, data):
+        n = pred.size
+        true = data.draw(hnp.arrays(dtype=np.bool_, shape=n))
+        labels = Labels.from_mask(true)
+        p, r, f = precision_recall_f1(pred, labels)
+        assert 0.0 <= p <= 1.0
+        assert 0.0 <= r <= 1.0
+        assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12
+
+
+class TestPointAdjust:
+    def test_single_hit_fills_region(self):
+        labels = Labels.single(20, 5, 15)
+        pred = np.zeros(20, dtype=bool)
+        pred[9] = True
+        adjusted = point_adjust_mask(pred, labels)
+        assert adjusted[5:15].all()
+        assert not adjusted[:5].any() and not adjusted[15:].any()
+
+    def test_miss_leaves_region_empty(self):
+        labels = Labels.single(20, 5, 15)
+        pred = np.zeros(20, dtype=bool)
+        pred[2] = True
+        adjusted = point_adjust_mask(pred, labels)
+        assert not adjusted[5:15].any()
+        assert adjusted[2]
+
+    def test_inflation_effect(self):
+        # one lucky hit in a 50-point region: raw F1 is tiny, adjusted is high
+        labels = Labels.single(100, 25, 75)
+        pred = np.zeros(100, dtype=bool)
+        pred[30] = True
+        _, _, raw_f1 = precision_recall_f1(pred, labels)
+        _, _, adj_f1 = precision_recall_f1(point_adjust_mask(pred, labels), labels)
+        assert raw_f1 < 0.05
+        assert adj_f1 == 1.0
+
+    @given(MASKS, st.data())
+    @settings(max_examples=50)
+    def test_adjusted_is_superset(self, pred, data):
+        true = data.draw(hnp.arrays(dtype=np.bool_, shape=pred.size))
+        labels = Labels.from_mask(true)
+        adjusted = point_adjust_mask(pred, labels)
+        assert (adjusted | pred == adjusted).all()
+
+    @given(MASKS, st.data())
+    @settings(max_examples=50)
+    def test_adjust_never_lowers_f1(self, pred, data):
+        true = data.draw(hnp.arrays(dtype=np.bool_, shape=pred.size))
+        labels = Labels.from_mask(true)
+        raw = confusion(pred, labels).f1
+        adjusted = confusion(point_adjust_mask(pred, labels), labels).f1
+        assert adjusted >= raw - 1e-12
+
+
+class TestBestF1:
+    def test_clean_spike_scores_perfectly(self):
+        labels = Labels.from_points(100, [50])
+        scores = np.zeros(100)
+        scores[50] = 5.0
+        assert best_f1(scores, labels) == 1.0
+
+    def test_oracle_threshold_beats_fixed(self):
+        rng = np.random.default_rng(0)
+        labels = Labels.single(200, 100, 110)
+        scores = rng.normal(0, 1, 200)
+        scores[100:110] += 2.0
+        swept = best_f1(scores, labels)
+        fixed = confusion(scores > 3.0, labels).f1
+        assert swept >= fixed
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            best_f1(np.zeros(5), Labels.single(10, 2, 4))
+
+    def test_curve_shapes_match(self):
+        labels = Labels.single(50, 10, 15)
+        thresholds, f1s = f1_curve(np.linspace(0, 1, 50), labels)
+        assert thresholds.shape == f1s.shape
+        assert thresholds.size > 0
+
+    def test_non_finite_scores(self):
+        labels = Labels.single(10, 2, 4)
+        scores = np.full(10, -np.inf)
+        assert best_f1(scores, labels) == 0.0
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=20)
+    def test_adjust_never_lowers_best_f1(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = Labels.single(120, 40, 80)
+        scores = rng.normal(0, 1, 120)
+        assert best_f1(scores, labels, adjust=True) >= best_f1(scores, labels) - 1e-9

@@ -1,0 +1,144 @@
+"""Tests for range-based precision/recall (Tatbul et al.)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scoring import (
+    positional_bias,
+    range_f1,
+    range_precision,
+    range_recall,
+    score_ranges,
+)
+from repro.types import AnomalyRegion, Labels
+
+R = AnomalyRegion
+
+
+def random_regions(data, n=200, max_regions=4):
+    raw = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 12), st.integers(1, 10)),
+            max_size=max_regions,
+        )
+    )
+    return [R(s, s + w) for s, w in raw]
+
+
+class TestPositionalBias:
+    def test_flat_uniform(self):
+        delta = positional_bias("flat")
+        assert delta(1, 10) == delta(10, 10) == 1.0
+
+    def test_front_decreasing(self):
+        delta = positional_bias("front")
+        assert delta(1, 10) > delta(10, 10)
+
+    def test_back_increasing(self):
+        delta = positional_bias("back")
+        assert delta(1, 10) < delta(10, 10)
+
+    def test_middle_peaks_centrally(self):
+        delta = positional_bias("middle")
+        assert delta(5, 10) > delta(1, 10)
+        assert delta(5, 10) > delta(10, 10)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            positional_bias("sideways")
+
+
+class TestRangeRecall:
+    def test_exact_match_is_one(self):
+        real = [R(10, 20)]
+        assert range_recall(real, [R(10, 20)]) == 1.0
+
+    def test_no_overlap_is_zero(self):
+        assert range_recall([R(10, 20)], [R(30, 40)]) == 0.0
+
+    def test_no_predictions_is_zero(self):
+        assert range_recall([R(10, 20)], []) == 0.0
+
+    def test_no_real_is_zero(self):
+        assert range_recall([], [R(10, 20)]) == 0.0
+
+    def test_existence_reward_alpha(self):
+        # a 1-point overlap of a 10-point range: existence dominates alpha
+        real = [R(10, 20)]
+        predicted = [R(19, 25)]
+        low_alpha = range_recall(real, predicted, alpha=0.0)
+        high_alpha = range_recall(real, predicted, alpha=1.0)
+        assert high_alpha == 1.0
+        assert low_alpha == pytest.approx(0.1)
+
+    def test_front_bias_rewards_early_overlap(self):
+        real = [R(0, 10)]
+        early = range_recall(real, [R(0, 3)], alpha=0.0, bias="front")
+        late = range_recall(real, [R(7, 10)], alpha=0.0, bias="front")
+        assert early > late
+
+    def test_cardinality_reciprocal_penalizes_fragmentation(self):
+        real = [R(0, 10)]
+        whole = [R(0, 10)]
+        fragmented = [R(0, 2), R(4, 6), R(8, 10)]
+        full = range_recall(real, whole, alpha=0.0, gamma="reciprocal")
+        split = range_recall(real, fragmented, alpha=0.0, gamma="reciprocal")
+        assert full == 1.0
+        assert split < full
+
+    def test_gamma_one_ignores_fragmentation_count(self):
+        real = [R(0, 10)]
+        fragmented = [R(0, 2), R(4, 6), R(8, 10)]
+        assert range_recall(real, fragmented, alpha=0.0, gamma="one") == pytest.approx(0.6)
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_bounded(self, data):
+        real = random_regions(data)
+        predicted = random_regions(data)
+        value = range_recall(real, predicted)
+        assert 0.0 <= value <= 1.0
+
+
+class TestRangePrecision:
+    def test_exact_match_is_one(self):
+        assert range_precision([R(10, 20)], [R(10, 20)]) == 1.0
+
+    def test_spurious_prediction_lowers_precision(self):
+        real = [R(10, 20)]
+        assert range_precision(real, [R(10, 20), R(50, 60)]) == pytest.approx(0.5)
+
+    def test_empty_predictions(self):
+        assert range_precision([R(10, 20)], []) == 0.0
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_symmetric_roles(self, data):
+        # precision(real, pred) == recall(pred, real) with alpha=0, flat bias
+        real = random_regions(data)
+        predicted = random_regions(data)
+        if not real or not predicted:
+            return
+        p = range_precision(real, predicted)
+        r = range_recall(predicted, real, alpha=0.0)
+        assert p == pytest.approx(r)
+
+
+class TestScoreRanges:
+    def test_mask_interface(self):
+        labels = Labels.single(100, 40, 60)
+        pred = np.zeros(100, dtype=bool)
+        pred[45:55] = True
+        score = score_ranges(pred, labels)
+        assert score.precision == 1.0
+        assert 0.0 < score.recall < 1.0
+        assert 0.0 < score.f1 < 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_ranges(np.zeros(5, dtype=bool), Labels.single(10, 2, 4))
+
+    def test_f1_zero_when_both_zero(self):
+        assert range_f1(0.0, 0.0) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for UCR single-anomaly accuracy scoring."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import score_archive, ucr_correct, ucr_slop
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def ucr_series(name="d1", n=2000, start=1000, end=1050, train=500):
+    values = np.zeros(n)
+    values[start:end] += 5.0
+    return LabeledSeries(
+        name, values, Labels.single(n, start, end), train_len=train
+    )
+
+
+class TestUcrSlop:
+    def test_minimum_applies(self):
+        assert ucr_slop(ucr_series(end=1010)) == 100
+
+    def test_long_region_wins(self):
+        assert ucr_slop(ucr_series(end=1300)) == 300
+
+    def test_unlabeled_rejected(self):
+        series = LabeledSeries("x", np.zeros(10), Labels.empty(10))
+        with pytest.raises(ValueError):
+            ucr_slop(series)
+
+
+class TestUcrCorrect:
+    def test_inside_region(self):
+        assert ucr_correct(ucr_series(), 1025)
+
+    def test_within_slop(self):
+        assert ucr_correct(ucr_series(), 1050 + 99)
+
+    def test_outside_slop(self):
+        assert not ucr_correct(ucr_series(), 1050 + 101)
+
+    def test_left_slop(self):
+        assert ucr_correct(ucr_series(), 1000 - 99)
+        assert not ucr_correct(ucr_series(), 1000 - 101)
+
+    def test_multi_region_rejected(self):
+        values = np.zeros(100)
+        labels = Labels(n=100, regions=(
+            Labels.single(100, 10, 12).regions[0],
+            Labels.single(100, 50, 52).regions[0],
+        ))
+        series = LabeledSeries("bad", values, labels)
+        with pytest.raises(ValueError):
+            ucr_correct(series, 11)
+
+
+class TestScoreArchive:
+    def _archive(self):
+        return Archive(
+            "ucr-toy",
+            [
+                ucr_series("d1", start=1000, end=1050),
+                ucr_series("d2", start=200, end=260),
+                ucr_series("d3", start=1500, end=1510),
+            ],
+        )
+
+    def test_perfect_locator(self):
+        summary = score_archive(self._archive(), lambda s: s.labels.regions[0].center)
+        assert summary.accuracy == 1.0
+        assert summary.num_correct == 3
+
+    def test_constant_locator(self):
+        summary = score_archive(self._archive(), lambda s: 0)
+        assert summary.accuracy < 1.0
+
+    def test_argmax_locator_on_spikes(self):
+        summary = score_archive(self._archive(), lambda s: int(np.argmax(s.values)))
+        assert summary.accuracy == 1.0
+
+    def test_format_mentions_accuracy(self):
+        summary = score_archive(self._archive(), lambda s: 0)
+        assert "accuracy" in summary.format()
+
+    def test_empty_archive(self):
+        summary = score_archive(Archive("empty", []), lambda s: 0)
+        assert summary.accuracy == 0.0

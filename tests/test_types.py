@@ -1,0 +1,223 @@
+"""Unit and property tests for repro.types."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import AnomalyRegion, Archive, LabeledSeries, Labels
+
+
+class TestAnomalyRegion:
+    def test_length_and_center(self):
+        region = AnomalyRegion(10, 20)
+        assert region.length == 10
+        assert region.center == 14
+
+    def test_center_of_unit_region(self):
+        assert AnomalyRegion(5, 6).center == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AnomalyRegion(5, 5)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            AnomalyRegion(7, 3)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            AnomalyRegion(-1, 3)
+
+    def test_contains_half_open(self):
+        region = AnomalyRegion(10, 20)
+        assert region.contains(10)
+        assert region.contains(19)
+        assert not region.contains(20)
+        assert not region.contains(9)
+
+    def test_contains_with_slop(self):
+        region = AnomalyRegion(10, 20)
+        assert region.contains(8, slop=2)
+        assert region.contains(21, slop=2)
+        assert not region.contains(7, slop=2)
+
+    def test_distance_inside_is_zero(self):
+        assert AnomalyRegion(10, 20).distance_to(15) == 0
+
+    def test_distance_left_and_right(self):
+        region = AnomalyRegion(10, 20)
+        assert region.distance_to(7) == 3
+        assert region.distance_to(22) == 3
+
+    def test_overlaps(self):
+        a = AnomalyRegion(0, 10)
+        assert a.overlaps(AnomalyRegion(9, 12))
+        assert not a.overlaps(AnomalyRegion(10, 12))
+
+    def test_expanded_clips(self):
+        region = AnomalyRegion(2, 5).expanded(4, n=6)
+        assert region == AnomalyRegion(0, 6)
+
+    def test_ordering(self):
+        assert AnomalyRegion(1, 3) < AnomalyRegion(2, 3)
+
+
+class TestLabels:
+    def test_merges_overlapping_regions(self):
+        labels = Labels(n=100, regions=(AnomalyRegion(10, 20), AnomalyRegion(15, 30)))
+        assert labels.regions == (AnomalyRegion(10, 30),)
+
+    def test_merges_touching_regions(self):
+        labels = Labels(n=100, regions=(AnomalyRegion(10, 20), AnomalyRegion(20, 25)))
+        assert labels.regions == (AnomalyRegion(10, 25),)
+
+    def test_sorts_regions(self):
+        labels = Labels(n=100, regions=(AnomalyRegion(50, 60), AnomalyRegion(5, 7)))
+        assert labels.regions[0].start == 5
+
+    def test_rejects_region_past_end(self):
+        with pytest.raises(ValueError):
+            Labels(n=10, regions=(AnomalyRegion(5, 11),))
+
+    def test_mask_round_trip(self):
+        mask = np.zeros(50, dtype=bool)
+        mask[3:7] = True
+        mask[20] = True
+        labels = Labels.from_mask(mask)
+        assert labels.regions == (AnomalyRegion(3, 7), AnomalyRegion(20, 21))
+        np.testing.assert_array_equal(labels.to_mask(), mask)
+
+    def test_from_points(self):
+        labels = Labels.from_points(10, [2, 5])
+        assert labels.num_regions == 2
+        assert labels.num_anomalous_points == 2
+
+    def test_from_adjacent_points_merges(self):
+        labels = Labels.from_points(10, [2, 3])
+        assert labels.regions == (AnomalyRegion(2, 4),)
+
+    def test_empty(self):
+        labels = Labels.empty(10)
+        assert labels.num_regions == 0
+        assert labels.anomaly_rate == 0.0
+        assert labels.rightmost is None
+
+    def test_anomaly_rate(self):
+        labels = Labels.single(100, 10, 20)
+        assert labels.anomaly_rate == pytest.approx(0.1)
+
+    def test_covers(self):
+        labels = Labels.single(100, 10, 20)
+        assert labels.covers(10)
+        assert not labels.covers(25)
+        assert labels.covers(22, slop=3)
+
+    def test_nearest_region(self):
+        labels = Labels(
+            n=100, regions=(AnomalyRegion(10, 20), AnomalyRegion(80, 90))
+        )
+        assert labels.nearest_region(70) == AnomalyRegion(80, 90)
+        assert labels.nearest_region(25) == AnomalyRegion(10, 20)
+
+    def test_restricted(self):
+        labels = Labels(n=100, regions=(AnomalyRegion(10, 20), AnomalyRegion(80, 90)))
+        sub = labels.restricted(15, 85)
+        assert sub.n == 70
+        assert sub.regions == (AnomalyRegion(0, 5), AnomalyRegion(65, 70))
+
+    def test_restricted_drops_outside_regions(self):
+        labels = Labels.single(100, 10, 20)
+        assert labels.restricted(30, 60).num_regions == 0
+
+    def test_shifted(self):
+        labels = Labels.single(50, 10, 20)
+        shifted = labels.shifted(5, n=60)
+        assert shifted.regions == (AnomalyRegion(15, 25),)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 180), st.integers(1, 20)), max_size=8
+        )
+    )
+    def test_mask_round_trip_property(self, raw_regions):
+        regions = tuple(AnomalyRegion(s, s + w) for s, w in raw_regions)
+        labels = Labels(n=200, regions=regions)
+        recovered = Labels.from_mask(labels.to_mask())
+        assert recovered == labels
+
+    @given(st.data())
+    def test_restricted_matches_mask_slice(self, data):
+        starts = data.draw(
+            st.lists(st.tuples(st.integers(0, 90), st.integers(1, 10)), max_size=5)
+        )
+        regions = tuple(AnomalyRegion(s, s + w) for s, w in starts)
+        labels = Labels(n=100, regions=regions)
+        lo = data.draw(st.integers(0, 98))
+        hi = data.draw(st.integers(lo + 1, 100))
+        sub = labels.restricted(lo, hi)
+        np.testing.assert_array_equal(sub.to_mask(), labels.to_mask()[lo:hi])
+
+
+class TestLabeledSeries:
+    def _series(self, n=100, train=20):
+        values = np.arange(n, dtype=float)
+        return LabeledSeries(
+            name="s", values=values, labels=Labels.single(n, 50, 60), train_len=train
+        )
+
+    def test_train_test_split(self):
+        series = self._series()
+        assert series.train.size == 20
+        assert series.test.size == 80
+        assert series.test[0] == 20.0
+
+    def test_test_labels_rebased(self):
+        series = self._series()
+        assert series.test_labels.regions == (AnomalyRegion(30, 40),)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledSeries("s", np.zeros(5), Labels.empty(6))
+
+    def test_2d_values_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledSeries("s", np.zeros((5, 2)), Labels.empty(5))
+
+    def test_bad_train_len_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledSeries("s", np.zeros(5), Labels.empty(5), train_len=9)
+
+    def test_with_values(self):
+        series = self._series()
+        noisy = series.with_values(series.values + 1, suffix="_noise")
+        assert noisy.name == "s_noise"
+        assert noisy.labels == series.labels
+        assert noisy.values[0] == 1.0
+
+
+class TestArchive:
+    def _archive(self):
+        series = [
+            LabeledSeries(f"s{i}", np.zeros(10), Labels.empty(10)) for i in range(3)
+        ]
+        return Archive("toy", series, meta={"kind": "test"})
+
+    def test_mapping_protocol(self):
+        archive = self._archive()
+        assert len(archive) == 3
+        assert list(archive) == ["s0", "s1", "s2"]
+        assert archive["s1"].name == "s1"
+
+    def test_duplicate_names_rejected(self):
+        series = [LabeledSeries("x", np.zeros(5), Labels.empty(5))] * 2
+        with pytest.raises(ValueError):
+            Archive("dup", series)
+
+    def test_subset_preserves_order(self):
+        archive = self._archive()
+        sub = archive.subset(["s2", "s0"])
+        assert [s.name for s in sub.series] == ["s0", "s2"]
+
+    def test_repr(self):
+        assert "3 series" in repr(self._archive())

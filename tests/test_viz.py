@@ -1,0 +1,71 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+
+from repro.types import Labels
+from repro.viz import ascii_histogram, ascii_plot, label_ruler, sparkline
+
+
+class TestSparkline:
+    def test_width(self):
+        assert len(sparkline(np.sin(np.arange(1000)), width=40)) == 40
+
+    def test_constant_series(self):
+        line = sparkline(np.full(100, 3.0), width=20)
+        assert len(line) == 20
+
+    def test_monotone_ramp_ends_high(self):
+        line = sparkline(np.arange(100.0), width=10)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty(self):
+        assert len(sparkline(np.empty(0), width=10)) == 10
+
+    def test_nan_marked(self):
+        values = np.full(40, np.nan)
+        values[:20] = 1.0
+        assert "?" in sparkline(values, width=10)
+
+
+class TestLabelRuler:
+    def test_marks_regions(self):
+        labels = Labels.single(100, 50, 60)
+        ruler = label_ruler(labels, width=100)
+        assert ruler[55] == "#"
+        assert ruler[10] == "."
+
+    def test_resampled_width(self):
+        labels = Labels.single(1000, 500, 600)
+        ruler = label_ruler(labels, width=50)
+        assert len(ruler) == 50
+        assert "#" in ruler
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_extremes(self):
+        values = np.sin(np.arange(500) / 20.0)
+        text = ascii_plot(values, title="wave", width=60, height=6)
+        assert "wave" in text
+        assert "max=" in text and "min=" in text
+
+    def test_with_labels_appends_ruler(self):
+        values = np.zeros(200)
+        labels = Labels.single(200, 100, 120)
+        text = ascii_plot(values, labels=labels, width=40)
+        assert "labeled anomaly" in text
+
+
+class TestAsciiHistogram:
+    def test_bars_scale(self):
+        text = ascii_histogram([1, 2, 4], bin_labels=["a", "b", "c"], width=8)
+        lines = text.splitlines()
+        assert lines[0].count("█") < lines[2].count("█")
+
+    def test_title(self):
+        text = ascii_histogram([1], title="hist")
+        assert text.startswith("hist")
+
+    def test_zero_counts(self):
+        text = ascii_histogram([0, 0])
+        assert "█" not in text
