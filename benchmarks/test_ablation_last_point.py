@@ -8,13 +8,8 @@ labeled region.
 
 from conftest import once
 
-from repro.detectors import (
-    CusumDetector,
-    DiffDetector,
-    MovingZScoreDetector,
-    NaiveLastPointDetector,
-    RandomScoreDetector,
-)
+from repro.detectors import DetectorSpec
+from repro.runner import EvalEngine, FractionalScoring
 
 
 def test_last_point_baseline(benchmark, emit, yahoo_archive):
@@ -22,34 +17,23 @@ def test_last_point_baseline(benchmark, emit, yahoo_archive):
         [s.name for s in yahoo_archive.series if s.meta["dataset"] == "A1"],
         name="yahoo-A1",
     )
-    detectors = [
-        NaiveLastPointDetector(),
-        RandomScoreDetector(seed=2),
-        DiffDetector(),
-        MovingZScoreDetector(k=50),
-        CusumDetector(),
-    ]
+    engine = EvalEngine(
+        [
+            DetectorSpec.create("last_point"),
+            DetectorSpec.create("random", seed=2),
+            DetectorSpec.create("diff"),
+            DetectorSpec.create("moving_zscore", k=50),
+            DetectorSpec.create("cusum"),
+        ],
+        scoring=FractionalScoring(0.05),
+    )
 
-    def evaluate():
-        rates = {}
-        for detector in detectors:
-            hits = 0
-            for series in a1.series:
-                location = detector.locate(series)
-                slop = int(0.05 * series.n)
-                if any(
-                    region.contains(location, slop=slop)
-                    for region in series.labels.regions
-                ):
-                    hits += 1
-            rates[detector.name] = hits / len(a1)
-        return rates
-
-    rates = once(benchmark, evaluate)
+    report = once(benchmark, engine.run, a1)
+    rates = report.accuracies()
 
     lines = [f"top-location hit rate on {len(a1)} A1 series (5% slop):"]
-    for name, rate in sorted(rates.items(), key=lambda kv: kv[1], reverse=True):
-        lines.append(f"  {name:<26} {rate:6.1%}")
+    for label, rate in sorted(rates.items(), key=lambda kv: kv[1], reverse=True):
+        lines.append(f"  {label:<26} {rate:6.1%}")
     lines += [
         "",
         "paper (§2.5): the last-point strategy 'has an excellent chance of "
@@ -58,9 +42,7 @@ def test_last_point_baseline(benchmark, emit, yahoo_archive):
     ]
     emit("ablation_last_point", "\n".join(lines))
 
-    assert rates["NaiveLastPointDetector"] > 2.5 * max(
-        rates["RandomScoreDetector"], 0.04
-    )
-    assert rates["NaiveLastPointDetector"] > 0.15
+    assert rates["last_point"] > 2.5 * max(rates["random(seed=2)"], 0.04)
+    assert rates["last_point"] > 0.15
     # real detectors still beat it on this archive (anomalies are big)…
-    assert rates["DiffDetector"] > rates["NaiveLastPointDetector"]
+    assert rates["diff"] > rates["last_point"]

@@ -7,19 +7,21 @@ detectors with the archive's binary accuracy protocol.  The paper's
 deep-learning proxy (the forecaster), and discords lead.
 """
 
-from conftest import once
+from conftest import OUT_DIR, once
 
 from repro.archive import validate_archive
-from repro.detectors import (
-    CusumDetector,
-    DiffDetector,
-    KnnDistanceDetector,
-    MatrixProfileDetector,
-    MovingZScoreDetector,
-    NaiveLastPointDetector,
-    TelemanomDetector,
-)
-from repro.scoring import score_archive
+from repro.detectors import DetectorSpec
+from repro.runner import EvalEngine, ResultsStore
+
+SHOOTOUT_SPECS = [
+    DetectorSpec.create("last_point"),
+    DetectorSpec.create("diff"),
+    DetectorSpec.create("moving_zscore", k=50),
+    DetectorSpec.create("cusum"),
+    DetectorSpec.create("telemanom", lags=50),
+    DetectorSpec.create("knn", w=100),
+    DetectorSpec.create("matrix_profile", w=100),
+]
 
 
 def test_ucr_archive_validates(benchmark, emit, ucr_archive):
@@ -32,46 +34,36 @@ def test_ucr_archive_validates(benchmark, emit, ucr_archive):
 
 
 def test_ucr_detector_shootout(benchmark, emit, ucr_archive):
-    detectors = [
-        NaiveLastPointDetector(),
-        DiffDetector(),
-        MovingZScoreDetector(k=50),
-        CusumDetector(),
-        TelemanomDetector(lags=50),
-        KnnDistanceDetector(w=100),
-        MatrixProfileDetector(w=100),
-    ]
+    engine = EvalEngine(SHOOTOUT_SPECS)
 
-    def shootout():
-        accuracies = {}
-        for detector in detectors:
-            summary = score_archive(ucr_archive, detector.locate)
-            accuracies[detector.name] = summary.accuracy
-        return accuracies
-
-    accuracies = once(benchmark, shootout)
+    report = once(benchmark, engine.run, ucr_archive)
+    accuracies = report.accuracies()
 
     ranked = sorted(accuracies.items(), key=lambda kv: kv[1], reverse=True)
     lines = [f"UCR accuracy over {len(ucr_archive)} datasets:"]
-    for name, accuracy in ranked:
-        lines.append(f"  {name:<28} {accuracy:6.1%}")
+    for label, accuracy in ranked:
+        lines.append(f"  {label:<28} {accuracy:6.1%}")
     lines += [
         "",
         "paper (§4.5): simple, decades-old methods are competitive; no "
         "forceful evidence that learned forecasters dominate",
     ]
     emit("ucr_detector_shootout", "\n".join(lines))
+    # durable artifacts: per-cell JSONL + reproducible manifest
+    ResultsStore(OUT_DIR).write(report, "ucr_detector_shootout")
 
+    # every grid cell was evaluated exactly once, in deterministic order
+    assert report.stats.cells == len(SHOOTOUT_SPECS) * len(ucr_archive)
     # shape claims: pattern-based methods beat the degenerate baseline…
-    assert accuracies["MatrixProfile(w=100)"] > accuracies["NaiveLastPointDetector"]
+    assert accuracies["matrix_profile(w=100)"] > accuracies["last_point"]
     # …the discord is the strongest or near-strongest method…
     best = max(accuracies.values())
-    assert accuracies["MatrixProfile(w=100)"] >= best - 0.10
+    assert accuracies["matrix_profile(w=100)"] >= best - 0.10
     # …and the simple methods are competitive with the forecaster proxy
     # (within 10 accuracy points — the paper's claim is qualitative)
     simple_best = max(
-        accuracies["MatrixProfile(w=100)"],
-        accuracies["kNN(w=100,k=1)"],
-        accuracies["MovingZScoreDetector"],
+        accuracies["matrix_profile(w=100)"],
+        accuracies["knn(w=100)"],
+        accuracies["moving_zscore(k=50)"],
     )
-    assert simple_best >= accuracies["Telemanom(lags=50)"] - 0.10
+    assert simple_best >= accuracies["telemanom(lags=50)"] - 0.10

@@ -16,6 +16,8 @@ Public surface:
   mislabeling, run-to-failure).
 * :mod:`repro.archive` — UCR anomaly-archive builder and validator.
 * :mod:`repro.analysis` — invariance experiments (Fig 13).
+* :mod:`repro.runner` — parallel evaluation engine with a
+  content-addressed result cache and reproducible run manifests.
 """
 
 from .types import AnomalyRegion, Archive, LabeledSeries, Labels

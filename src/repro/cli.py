@@ -10,6 +10,12 @@ Commands mirror the paper's workflow:
   archive to a directory.
 * ``score <dir>`` — score the registered detectors on a saved archive
   with UCR accuracy.
+* ``run <dir>`` — full evaluation run through the engine: parallel
+  execution, content-addressed caching, manifest + JSONL artifacts.
+
+``score`` and ``run`` both execute through :mod:`repro.runner`, so
+``--jobs`` parallelizes and ``--cache-dir`` makes re-runs skip every
+already-computed cell.
 """
 
 from __future__ import annotations
@@ -18,6 +24,32 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for uncached cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (default: no cache)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--slop",
+        type=int,
+        default=100,
+        help="minimum UCR scoring slop in points (default: 100)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,8 +85,34 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument(
         "--detectors",
         default="moving_zscore,matrix_profile",
-        help="comma-separated registry names",
+        help="comma-separated registry names, with optional params: "
+        "'diff,matrix_profile(w=100)'",
     )
+    _add_engine_options(score)
+
+    run = sub.add_parser(
+        "run",
+        help="evaluate a detector grid on a saved archive and write "
+        "manifest + JSONL + summary artifacts",
+    )
+    run.add_argument("directory")
+    run.add_argument(
+        "--detectors",
+        default="moving_zscore,matrix_profile",
+        help="comma-separated registry names, with optional params: "
+        "'diff,matrix_profile(w=100)'",
+    )
+    run.add_argument(
+        "--out",
+        default="benchmarks/out",
+        help="artifact directory (default: benchmarks/out)",
+    )
+    run.add_argument(
+        "--name",
+        default="run",
+        help="artifact basename (default: run)",
+    )
+    _add_engine_options(run)
     return parser
 
 
@@ -125,19 +183,101 @@ def _cmd_build_archive(args) -> int:
     return 0
 
 
-def _cmd_score(args) -> int:
+def _parse_lineup(text: str):
+    """Detector text → validated specs, or None after an exit-2 message.
+
+    An unknown registry name (or bad parameters) must not escape as a
+    traceback: print what went wrong plus the available names.
+    """
+    from .detectors import available_detectors, parse_detectors
+
+    try:
+        specs = parse_detectors(text)
+        if not specs:
+            raise ValueError("--detectors names no detectors")
+        for spec in specs:
+            spec.build()
+    except (ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "available detectors: " + ", ".join(available_detectors()),
+            file=sys.stderr,
+        )
+        return None
+    return specs
+
+
+def _build_engine(args, specs, config=None):
+    from .runner import EvalEngine, UcrScoring
+
+    return EvalEngine(
+        specs,
+        scoring=UcrScoring(minimum_slop=args.slop),
+        cache=args.cache_dir,
+        jobs=args.jobs,
+        config=config,
+    )
+
+
+def _load_scored_archive(directory: str):
     from .archive import load_archive
-    from .detectors import make_detector
+
+    archive = load_archive(directory)
+    if len(archive) == 0:
+        print(f"no UCR_Anomaly_*.txt files in {directory}", file=sys.stderr)
+        return None
+    return archive
+
+
+def _cmd_score(args) -> int:
+    archive = _load_scored_archive(args.directory)
+    if archive is None:
+        return 1
+    specs = _parse_lineup(args.detectors)
+    if specs is None:
+        return 2
     from .scoring import score_archive
 
-    archive = load_archive(args.directory)
-    if len(archive) == 0:
-        print(f"no UCR_Anomaly_*.txt files in {args.directory}", file=sys.stderr)
+    report = _build_engine(args, specs).run(archive)
+    if args.format == "json":
+        print(report.manifest().to_json(), end="")
+    else:
+        # the engine owns execution; UCR scoring aggregates the
+        # precomputed locations
+        for spec in specs:
+            locations = {
+                cell.series: cell.location for cell in report.cells_for(spec)
+            }
+            summary = score_archive(
+                archive, minimum_slop=args.slop, locations=locations
+            )
+            print(f"{spec.label:<28} accuracy {summary.accuracy:6.1%}")
+        print(report.stats.format(), file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .runner import ResultsStore, format_report
+
+    archive = _load_scored_archive(args.directory)
+    if archive is None:
         return 1
-    for name in args.detectors.split(","):
-        detector = make_detector(name.strip())
-        summary = score_archive(archive, detector.locate)
-        print(f"{detector.name:<28} accuracy {summary.accuracy:6.1%}")
+    specs = _parse_lineup(args.detectors)
+    if specs is None:
+        return 2
+    config = {
+        "archive_directory": args.directory,
+        "detectors": [spec.label for spec in specs],
+    }
+    report = _build_engine(args, specs, config).run(archive)
+    paths = ResultsStore(args.out).write(report, args.name)
+    if args.format == "json":
+        print(report.manifest().to_json(), end="")
+    else:
+        print(format_report(report))
+        print(report.stats.format(), file=sys.stderr)
+        for kind, path in paths.items():
+            print(f"wrote {kind}: {path}", file=sys.stderr)
     return 0
 
 
@@ -147,6 +287,7 @@ _COMMANDS = {
     "taxi": _cmd_taxi,
     "build-archive": _cmd_build_archive,
     "score": _cmd_score,
+    "run": _cmd_run,
 }
 
 

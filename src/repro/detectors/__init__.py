@@ -21,7 +21,13 @@ from .matrix_profile import (
     subsequence_to_point_scores,
 )
 from .merlin import MerlinDetector, MerlinResult, merlin
-from .registry import DETECTORS, available_detectors, make_detector
+from .registry import (
+    DETECTORS,
+    DetectorSpec,
+    available_detectors,
+    make_detector,
+    parse_detectors,
+)
 from .stats import CusumDetector, EwmaDetector
 from .telemanom import (
     ARForecaster,
@@ -57,6 +63,8 @@ __all__ = [
     "prune_anomalies",
     "KnnDistanceDetector",
     "DETECTORS",
+    "DetectorSpec",
     "make_detector",
     "available_detectors",
+    "parse_detectors",
 ]

@@ -1,0 +1,160 @@
+"""Disk-backed, content-addressed cache for evaluation cells.
+
+A cell is one ``detector spec × series`` evaluation.  Its cache key is
+the SHA-256 of everything the answer depends on — detector name and
+parameters, the series values and training split, and the scoring
+configuration — so a re-run with identical inputs hits, while any change
+to a parameter or a single sample value misses.  Only the detector's
+*location* is stored; correctness is recomputed from the labels at read
+time, which keeps relabeled archives from serving stale verdicts.
+
+Entries are small JSON files sharded by key prefix
+(``<dir>/<key[:2]>/<key>.json``), written atomically so a crashed or
+concurrent run can never leave a half-written entry that poisons later
+runs — a corrupt or unreadable entry simply counts as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .. import __version__
+from ..detectors import DETECTORS, DetectorSpec
+from ..types import LabeledSeries
+
+__all__ = ["cache_key", "resolved_params", "CacheStats", "ResultCache"]
+
+
+def resolved_params(spec: DetectorSpec) -> dict:
+    """Spec params merged over the factory's constructor defaults.
+
+    A spec like ``moving_zscore`` leaves ``k=50`` implicit; resolving
+    defaults into the cache key means a later change to that default
+    invalidates cached cells instead of silently serving results
+    computed with the old value.
+    """
+    defaults = {}
+    factory = DETECTORS.get(spec.name)
+    if factory is not None:
+        for parameter in inspect.signature(factory).parameters.values():
+            if parameter.default is not inspect.Parameter.empty:
+                defaults[parameter.name] = parameter.default
+    return {**defaults, **dict(spec.params)}
+
+
+def cache_key(
+    spec: DetectorSpec,
+    series: LabeledSeries,
+    scoring: Mapping | None = None,
+) -> str:
+    """Content hash of one evaluation cell.
+
+    Covers the detector identity (name + params, with constructor
+    defaults resolved), the data the detector sees (values + train
+    split), the scoring configuration, and the library version (the
+    coarse guard against detector *implementation* changes).  The
+    series *name* is deliberately excluded: a renamed but bit-identical
+    series is the same computation.  Including the scoring config is
+    conservative — stored locations do not depend on it — but it keeps
+    the key aligned with the manifest's cell contract; a slop sweep
+    recomputes rather than risking cross-protocol reuse.
+    """
+    header = {
+        "library": __version__,
+        "detector": {"name": spec.name, "params": resolved_params(spec)},
+        "scoring": dict(scoring or {}),
+        "train_len": int(series.train_len),
+    }
+    digest = hashlib.sha256()
+    digest.update(json.dumps(header, sort_keys=True, default=str).encode())
+    digest.update(b"\x00")
+    digest.update(np.ascontiguousarray(series.values, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def format(self) -> str:
+        return f"cache: {self.hits} hits, {self.misses} misses, {self.stores} stores"
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store mapping cell keys to small JSON payloads."""
+
+    directory: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Payload for ``key``, or None on miss (or corrupt entry)."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping) -> None:
+        """Atomically persist ``payload`` (a JSON-able mapping)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # suffix must not be ".json": pathlib's glob matches dotfiles,
+        # so a crash-orphaned temp file would otherwise count in len()
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".part"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(dict(payload), handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        """Number of persisted entries."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("??/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,293 @@
+"""Parallel evaluation engine for detector × archive grids.
+
+`EvalEngine` expands a line-up of :class:`DetectorSpec` against an
+archive into one task per ``(spec, series)`` cell, resolves what it can
+from the content-addressed :class:`ResultCache`, and executes the rest —
+serially, or across a ``ProcessPoolExecutor`` with ``jobs > 1``.
+
+Determinism is the design constraint: tasks are enumerated in grid
+order (specs in line-up order, series in archive order) and results are
+reassembled into that order whatever subset was cached and however the
+pool scheduled the remainder, so a parallel run's manifest and
+artifacts are byte-identical to a serial run's.  Detectors are built
+fresh inside each task from the spec (every detector in the registry is
+deterministic given its parameters), which is what makes tasks safe to
+ship to worker processes in the first place.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..detectors import DetectorSpec
+from ..scoring.ucr import UcrOutcome, UcrSummary, ucr_correct
+from ..types import Archive, LabeledSeries
+from .cache import ResultCache, cache_key
+from .manifest import RunManifest, archive_fingerprint
+
+__all__ = [
+    "UcrScoring",
+    "FractionalScoring",
+    "CellResult",
+    "RunStats",
+    "RunReport",
+    "EvalEngine",
+]
+
+
+@dataclass(frozen=True)
+class UcrScoring:
+    """The archive protocol: correct iff inside the region ± slop."""
+
+    minimum_slop: int = 100
+
+    def describe(self) -> dict:
+        return {"protocol": "ucr", "minimum_slop": self.minimum_slop}
+
+    def correct(self, series: LabeledSeries, location: int) -> bool:
+        return ucr_correct(series, location, self.minimum_slop)
+
+
+@dataclass(frozen=True)
+class FractionalScoring:
+    """Hit iff within ``fraction * n`` points of any labeled region.
+
+    The relaxed criterion some multi-anomaly ablations use (e.g. the
+    §2.5 last-point study scores hits within 5 % of the series length).
+    """
+
+    fraction: float = 0.05
+
+    def describe(self) -> dict:
+        return {"protocol": "fractional", "fraction": self.fraction}
+
+    def correct(self, series: LabeledSeries, location: int) -> bool:
+        return series.labels.covers(location, slop=int(self.fraction * series.n))
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One evaluated grid cell.
+
+    ``region_start``/``region_end`` describe the labeled region nearest
+    to the prediction (the region, under UCR's single-anomaly rule), or
+    ``None`` for an unlabeled series.  ``cached`` is runtime-only — it
+    never enters manifests or artifacts, which must not depend on cache
+    temperature.
+    """
+
+    detector: str
+    series: str
+    location: int
+    correct: bool
+    region_start: int | None
+    region_end: int | None
+    cached: bool = False
+
+    def to_json(self) -> dict:
+        region = None
+        if self.region_start is not None:
+            region = [self.region_start, self.region_end]
+        return {
+            "detector": self.detector,
+            "series": self.series,
+            "location": self.location,
+            "correct": self.correct,
+            "region": region,
+        }
+
+
+@dataclass
+class RunStats:
+    """How a run was satisfied: total cells, detector calls, cache hits."""
+
+    cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+
+    def format(self) -> str:
+        return (
+            f"{self.cells} cells: {self.executed} executed, "
+            f"{self.cache_hits} from cache"
+        )
+
+
+@dataclass
+class RunReport:
+    """Everything one engine run produced, still in memory."""
+
+    archive_name: str
+    archive_size: int
+    archive_fingerprint: str
+    specs: list[DetectorSpec]
+    scoring: dict
+    cells: list[CellResult]
+    config: dict = field(default_factory=dict)
+    stats: RunStats = field(default_factory=RunStats)
+
+    def cells_for(self, spec: DetectorSpec | str) -> list[CellResult]:
+        label = spec.label if isinstance(spec, DetectorSpec) else spec
+        return [cell for cell in self.cells if cell.detector == label]
+
+    def summary(self, spec: DetectorSpec | str) -> UcrSummary:
+        """One spec's cells in the existing :class:`UcrSummary` shape."""
+        outcomes = [
+            UcrOutcome(
+                name=cell.series,
+                location=cell.location,
+                correct=cell.correct,
+                region_start=-1 if cell.region_start is None else cell.region_start,
+                region_end=-1 if cell.region_end is None else cell.region_end,
+            )
+            for cell in self.cells_for(spec)
+        ]
+        return UcrSummary(outcomes=outcomes)
+
+    def summaries(self) -> dict[str, UcrSummary]:
+        """Label → summary for every spec, in line-up order."""
+        return {spec.label: self.summary(spec) for spec in self.specs}
+
+    def accuracies(self) -> dict[str, float]:
+        """Label → archive accuracy for every spec, in line-up order."""
+        return {
+            label: summary.accuracy
+            for label, summary in self.summaries().items()
+        }
+
+    def manifest(self) -> RunManifest:
+        """The run's reproducibility record (cache/parallelism free)."""
+        return RunManifest(
+            archive={
+                "name": self.archive_name,
+                "num_series": self.archive_size,
+                "fingerprint": self.archive_fingerprint,
+            },
+            scoring=dict(self.scoring),
+            specs=[spec.to_json() for spec in self.specs],
+            cells=[cell.to_json() for cell in self.cells],
+            config=dict(self.config),
+        )
+
+
+def _locate_cell(task: tuple[DetectorSpec, LabeledSeries]) -> int:
+    """Worker entry point: build the detector and run the UCR protocol."""
+    spec, series = task
+    return int(spec.build().locate(series))
+
+
+class EvalEngine:
+    """Single execution path for detector × archive evaluation.
+
+    Parameters
+    ----------
+    specs:
+        Detector line-up — :class:`DetectorSpec` instances or parseable
+        strings (``"matrix_profile(w=100)"``).
+    scoring:
+        Correctness protocol; defaults to :class:`UcrScoring`.
+    cache:
+        A :class:`ResultCache`, a directory path to open one in, or
+        None to recompute every cell.
+    jobs:
+        Worker processes for uncached cells; 1 means in-process serial.
+    config:
+        Free-form run parameters (seeds, CLI arguments…) recorded
+        verbatim in the manifest.
+    """
+
+    def __init__(
+        self,
+        specs,
+        *,
+        scoring=None,
+        cache: ResultCache | str | None = None,
+        jobs: int = 1,
+        config: dict | None = None,
+    ) -> None:
+        parsed = [
+            spec if isinstance(spec, DetectorSpec) else DetectorSpec.parse(spec)
+            for spec in specs
+        ]
+        # dedupe preserving order: a repeated spec is the same
+        # computation, and keeping it would double-count its summary
+        self.specs = list(dict.fromkeys(parsed))
+        if not self.specs:
+            raise ValueError("EvalEngine needs at least one detector spec")
+        self.scoring = scoring if scoring is not None else UcrScoring()
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.config = dict(config or {})
+
+    def run(self, archive: Archive) -> RunReport:
+        """Evaluate every spec on every series and aggregate."""
+        for spec in self.specs:
+            spec.build()  # fail fast on unknown names or bad params
+        scoring_desc = self.scoring.describe()
+        tasks = [
+            (spec, series) for spec in self.specs for series in archive.series
+        ]
+
+        locations: list[int | None] = [None] * len(tasks)
+        keys: list[str | None] = [None] * len(tasks)
+        pending: list[int] = []
+        for index, (spec, series) in enumerate(tasks):
+            if self.cache is not None:
+                keys[index] = cache_key(spec, series, scoring_desc)
+                payload = self.cache.get(keys[index])
+                try:
+                    locations[index] = int(payload["location"])
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    locations[index] = None  # malformed entry: miss
+            pending.append(index)
+
+        if pending:
+            batch = [tasks[index] for index in pending]
+            if self.jobs > 1 and len(batch) > 1:
+                chunksize = max(1, len(batch) // (self.jobs * 4))
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    found = list(
+                        pool.map(_locate_cell, batch, chunksize=chunksize)
+                    )
+            else:
+                found = [_locate_cell(task) for task in batch]
+            for index, location in zip(pending, found):
+                locations[index] = location
+                if self.cache is not None:
+                    self.cache.put(keys[index], {"location": location})
+
+        executed = set(pending)
+        cells = []
+        for index, ((spec, series), location) in enumerate(
+            zip(tasks, locations)
+        ):
+            nearest = series.labels.nearest_region(location)
+            cells.append(
+                CellResult(
+                    detector=spec.label,
+                    series=series.name,
+                    location=location,
+                    correct=self.scoring.correct(series, location),
+                    region_start=None if nearest is None else nearest.start,
+                    region_end=None if nearest is None else nearest.end,
+                    cached=index not in executed,
+                )
+            )
+
+        return RunReport(
+            archive_name=archive.name,
+            archive_size=len(archive),
+            archive_fingerprint=archive_fingerprint(archive),
+            specs=list(self.specs),
+            scoring=scoring_desc,
+            cells=cells,
+            config=dict(self.config),
+            stats=RunStats(
+                cells=len(tasks),
+                executed=len(pending),
+                cache_hits=len(tasks) - len(pending),
+            ),
+        )

@@ -1,0 +1,171 @@
+"""Reproducible run manifests.
+
+A manifest is the durable record of one evaluation run: which archive
+(by content fingerprint), which detector specs, which scoring protocol
+and seeds, and every per-cell outcome.  Serialization is canonical —
+sorted keys, fixed separators, no timestamps or host details — so two
+runs that computed the same thing produce *byte-identical* manifests
+regardless of parallelism or cache state, and ``diff`` can explain
+exactly what changed when they did not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..types import Archive
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "archive_fingerprint",
+    "RunManifest",
+    "ManifestDiff",
+]
+
+MANIFEST_VERSION = 1
+
+
+def archive_fingerprint(archive: Archive) -> str:
+    """SHA-256 over every series' name, values, labels and train split.
+
+    Any relabeling, renaming, reordering or single-sample edit changes
+    the fingerprint, so a manifest pins down exactly which data it was
+    computed on.
+    """
+    digest = hashlib.sha256()
+    for series in archive.series:
+        header = {
+            "name": series.name,
+            "train_len": int(series.train_len),
+            "regions": [[r.start, r.end] for r in series.labels.regions],
+        }
+        digest.update(json.dumps(header, sort_keys=True).encode())
+        digest.update(b"\x00")
+        digest.update(
+            np.ascontiguousarray(series.values, dtype=np.float64).tobytes()
+        )
+    return digest.hexdigest()
+
+
+def _cell_key(cell: dict) -> tuple[str, str]:
+    return (cell["detector"], cell["series"])
+
+
+@dataclass
+class RunManifest:
+    """The reproducibility record of one engine run.
+
+    ``cells`` holds one dict per evaluation —
+    ``{"detector", "series", "location", "correct", "region"}`` — in
+    deterministic grid order (specs in line-up order, series in archive
+    order).  ``config`` carries caller-provided run parameters such as
+    seeds; it is recorded verbatim and compared by ``diff``.
+    """
+
+    archive: dict
+    scoring: dict
+    specs: list[dict]
+    cells: list[dict]
+    config: dict = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    # -- serialization ----------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON text (stable across runs and platforms)."""
+        payload = {
+            "version": self.version,
+            "archive": self.archive,
+            "scoring": self.scoring,
+            "config": self.config,
+            "specs": self.specs,
+            "cells": self.cells,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        payload = json.loads(text)
+        return cls(
+            archive=payload["archive"],
+            scoring=payload["scoring"],
+            specs=payload["specs"],
+            cells=payload["cells"],
+            config=payload.get("config", {}),
+            version=payload.get("version", MANIFEST_VERSION),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        return cls.from_json(Path(path).read_text())
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical JSON text."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    # -- comparison --------------------------------------------------
+
+    def diff(self, other: "RunManifest") -> "ManifestDiff":
+        """Structured comparison against another manifest."""
+        mine = {_cell_key(cell): cell for cell in self.cells}
+        theirs = {_cell_key(cell): cell for cell in other.cells}
+        added = sorted(key for key in theirs if key not in mine)
+        removed = sorted(key for key in mine if key not in theirs)
+        changed = []
+        for key in sorted(set(mine) & set(theirs)):
+            if mine[key] != theirs[key]:
+                changed.append((key, mine[key], theirs[key]))
+        context = {}
+        for label in ("archive", "scoring", "config"):
+            before, after = getattr(self, label), getattr(other, label)
+            if before != after:
+                context[label] = (before, after)
+        return ManifestDiff(
+            added=added, removed=removed, changed=changed, context=context
+        )
+
+
+@dataclass
+class ManifestDiff:
+    """What separates two manifests: cell churn plus context changes."""
+
+    added: list[tuple[str, str]]
+    removed: list[tuple[str, str]]
+    changed: list[tuple[tuple[str, str], dict, dict]]
+    context: dict
+
+    @property
+    def identical(self) -> bool:
+        return not (self.added or self.removed or self.changed or self.context)
+
+    def format(self) -> str:
+        if self.identical:
+            return "manifests are identical"
+        lines = []
+        for label, (before, after) in sorted(self.context.items()):
+            lines.append(f"{label} changed:")
+            lines.append(f"  - {json.dumps(before, sort_keys=True)}")
+            lines.append(f"  + {json.dumps(after, sort_keys=True)}")
+        for detector, series in self.removed:
+            lines.append(f"- cell {detector} x {series}")
+        for detector, series in self.added:
+            lines.append(f"+ cell {detector} x {series}")
+        for (detector, series), before, after in self.changed:
+            lines.append(
+                f"~ cell {detector} x {series}: "
+                f"location {before['location']} -> {after['location']}, "
+                f"correct {before['correct']} -> {after['correct']}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Results store: turn engine runs into durable, diffable artifacts.
+
+Bridges the engine to the repo's existing reporting shapes: per-spec
+cells aggregate into :class:`~repro.scoring.UcrSummary` (via
+``RunReport.summaries``) and the store writes the flaw-report-style
+text tables plus machine-readable JSONL and a manifest under
+``benchmarks/out/`` (or any directory).  All artifacts are emitted in
+deterministic order with canonical JSON, so re-running a grid — warm or
+cold cache, serial or parallel — rewrites byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .engine import RunReport
+
+__all__ = ["format_report", "ResultsStore", "DEFAULT_OUT_DIR"]
+
+DEFAULT_OUT_DIR = Path("benchmarks") / "out"
+
+
+def format_report(report: RunReport, per_cell: bool = False) -> str:
+    """Ranked accuracy table; with ``per_cell`` also every outcome."""
+    lines = [
+        f"archive {report.archive_name}: {report.archive_size} series, "
+        f"{len(report.specs)} detectors "
+        f"[{report.scoring.get('protocol', '?')} scoring]"
+    ]
+    summaries = report.summaries()
+    ranked = sorted(
+        summaries.items(), key=lambda kv: (-kv[1].accuracy, kv[0])
+    )
+    for label, summary in ranked:
+        lines.append(
+            f"  {label:<36} accuracy {summary.accuracy:6.1%} "
+            f"({summary.num_correct}/{len(summary.outcomes)})"
+        )
+    if per_cell:
+        for label, summary in summaries.items():
+            lines += ["", f"== {label} ==", summary.format()]
+    return "\n".join(lines)
+
+
+class ResultsStore:
+    """Writes one run's artifacts under a single directory.
+
+    ``write`` produces three files per basename:
+
+    * ``<name>.cells.jsonl`` — one canonical JSON object per cell;
+    * ``<name>.summary.txt`` — the ranked accuracy table;
+    * ``<name>.manifest.json`` — the full run manifest.
+    """
+
+    def __init__(self, out_dir: str | Path = DEFAULT_OUT_DIR) -> None:
+        self.out_dir = Path(out_dir)
+
+    def write(self, report: RunReport, basename: str) -> dict[str, Path]:
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "cells": self.out_dir / f"{basename}.cells.jsonl",
+            "summary": self.out_dir / f"{basename}.summary.txt",
+            "manifest": self.out_dir / f"{basename}.manifest.json",
+        }
+        cell_lines = [
+            json.dumps(cell.to_json(), sort_keys=True) for cell in report.cells
+        ]
+        paths["cells"].write_text("\n".join(cell_lines) + "\n")
+        paths["summary"].write_text(format_report(report) + "\n")
+        report.manifest().save(paths["manifest"])
+        return paths

@@ -13,6 +13,7 @@ points or the anomaly length, whichever is larger.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -89,18 +90,33 @@ class UcrSummary:
 
 def score_archive(
     archive: Archive,
-    locate,
+    locate=None,
     minimum_slop: int = 100,
+    *,
+    locations: Mapping[str, int] | None = None,
 ) -> UcrSummary:
-    """Run ``locate(series) -> int`` on every dataset and aggregate.
+    """Score every dataset and aggregate.
 
-    ``locate`` receives the full :class:`LabeledSeries` (so it can use the
-    training prefix) and must return the index of the single most
-    anomalous location in the *full-series* coordinate system.
+    Either run ``locate(series) -> int`` on each series, or — when the
+    evaluation engine (:mod:`repro.runner`) owns execution — pass the
+    precomputed ``locations`` mapping series name to predicted index.
+    Indices are in the *full-series* coordinate system; ``locate``
+    receives the full :class:`LabeledSeries` so it can use the training
+    prefix.
     """
+    if (locate is None) == (locations is None):
+        raise ValueError("pass exactly one of `locate` or `locations`")
     outcomes = []
     for series in archive.series:
-        location = int(locate(series))
+        if locations is not None:
+            try:
+                location = int(locations[series.name])
+            except KeyError:
+                raise ValueError(
+                    f"no precomputed location for series {series.name!r}"
+                ) from None
+        else:
+            location = int(locate(series))
         region = series.labels.regions[0]
         outcomes.append(
             UcrOutcome(

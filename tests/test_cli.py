@@ -25,6 +25,21 @@ class TestParser:
         args = build_parser().parse_args(["build-archive", "/tmp/x"])
         assert args.size == 30
 
+    def test_engine_option_defaults(self):
+        for command in ("score", "run"):
+            args = build_parser().parse_args([command, "/tmp/x"])
+            assert args.jobs == 1
+            assert args.cache_dir is None
+            assert args.format == "text"
+            assert args.slop == 100
+        args = build_parser().parse_args(["run", "/tmp/x"])
+        assert args.out == "benchmarks/out"
+        assert args.name == "run"
+
+    def test_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["score", "/tmp/x", "--format", "xml"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -57,6 +72,68 @@ class TestCommands:
 
     def test_score_empty_directory(self, tmp_path, capsys):
         assert main(["score", str(tmp_path)]) == 1
+
+    def test_unknown_detector_exits_2_with_names(self, tmp_path, capsys):
+        assert main(["build-archive", str(tmp_path), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["score", str(tmp_path), "--detectors", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp_drive" in err
+        assert "available detectors" in err
+        assert "matrix_profile" in err
+
+    def test_empty_detectors_exit_2(self, tmp_path, capsys):
+        assert main(["build-archive", str(tmp_path), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["score", str(tmp_path), "--detectors", ""]) == 2
+        assert "available detectors" in capsys.readouterr().err
+
+    def test_bad_detector_params_exit_2(self, tmp_path, capsys):
+        assert main(["build-archive", str(tmp_path), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["score", str(tmp_path), "--detectors", "diff(bogus=1)"]) == 2
+        assert "available detectors" in capsys.readouterr().err
+
+    def test_run_writes_artifacts_and_caches(self, tmp_path, capsys):
+        archive_dir = tmp_path / "arch"
+        cache_dir = tmp_path / "cache"
+        out_dir = tmp_path / "out"
+        assert main(["build-archive", str(archive_dir), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+
+        base = ["run", str(archive_dir), "--detectors", "diff,moving_zscore(k=50)",
+                "--cache-dir", str(cache_dir), "--out", str(out_dir)]
+        assert main(base + ["--name", "first"]) == 0
+        captured = capsys.readouterr()
+        assert "accuracy" in captured.out
+        assert "8 executed" in captured.err
+
+        # warm re-run (parallel, different basename): zero executions,
+        # byte-identical manifest and summary
+        assert main(base + ["--name", "second", "--jobs", "2"]) == 0
+        assert "0 executed, 8 from cache" in capsys.readouterr().err
+        for suffix in ("manifest.json", "summary.txt", "cells.jsonl"):
+            first = (out_dir / f"first.{suffix}").read_bytes()
+            second = (out_dir / f"second.{suffix}").read_bytes()
+            assert first == second
+
+    def test_run_json_format_is_the_manifest(self, tmp_path, capsys):
+        archive_dir = tmp_path / "arch"
+        assert main(["build-archive", str(archive_dir), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["run", str(archive_dir), "--detectors", "diff",
+                     "--out", str(tmp_path / "out"), "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        manifest_text = (tmp_path / "out" / "run.manifest.json").read_text()
+        assert out == manifest_text
+
+    def test_run_empty_directory(self, tmp_path):
+        assert main(["run", str(tmp_path)]) == 1
 
     def test_taxi(self, capsys):
         assert main(["taxi"]) == 0

@@ -1,0 +1,114 @@
+"""Tests for hashable detector specs and line-up parsing."""
+
+import pytest
+
+from repro.detectors import (
+    DetectorSpec,
+    MatrixProfileDetector,
+    make_detector,
+    parse_detectors,
+)
+
+
+class TestDetectorSpec:
+    def test_create_sorts_params(self):
+        a = DetectorSpec.create("knn", w=100, k=2)
+        b = DetectorSpec.create("knn", k=2, w=100)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.params == (("k", 2), ("w", 100))
+
+    def test_usable_as_dict_key(self):
+        grid = {DetectorSpec.create("diff"): 1}
+        assert grid[DetectorSpec.create("diff")] == 1
+
+    def test_label(self):
+        assert DetectorSpec.create("diff").label == "diff"
+        spec = DetectorSpec.create("matrix_profile", w=100)
+        assert spec.label == "matrix_profile(w=100)"
+
+    def test_build(self):
+        detector = DetectorSpec.create("matrix_profile", w=64).build()
+        assert isinstance(detector, MatrixProfileDetector)
+        assert detector.w == 64
+
+    def test_build_unknown_name(self):
+        with pytest.raises(ValueError, match="available"):
+            DetectorSpec.create("warp_drive").build()
+
+    def test_make_detector_accepts_spec(self):
+        detector = make_detector(DetectorSpec.create("matrix_profile", w=32))
+        assert detector.w == 32
+
+    def test_json_round_trip(self):
+        spec = DetectorSpec.create("telemanom", lags=50, ridge=0.5)
+        assert DetectorSpec.from_json(spec.to_json()) == spec
+
+    def test_fingerprint_changes_with_params(self):
+        base = DetectorSpec.create("moving_zscore", k=50)
+        assert base.fingerprint == DetectorSpec.create("moving_zscore", k=50).fingerprint
+        assert base.fingerprint != DetectorSpec.create("moving_zscore", k=51).fingerprint
+
+
+class TestParse:
+    def test_bare_name(self):
+        assert DetectorSpec.parse("diff") == DetectorSpec.create("diff")
+
+    def test_params_are_literals(self):
+        spec = DetectorSpec.parse("knn(w=100, k=2, znorm=True)")
+        assert spec == DetectorSpec.create("knn", w=100, k=2, znorm=True)
+        assert isinstance(dict(spec.params)["znorm"], bool)
+
+    def test_float_param(self):
+        spec = DetectorSpec.parse("ewma(alpha=0.25)")
+        assert dict(spec.params)["alpha"] == 0.25
+
+    def test_bad_item_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            DetectorSpec.parse("knn(100)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ValueError, match="unbalanced"):
+            DetectorSpec.parse("diff)")
+        # the shell-quoting typo reaches parse() via the line-up splitter
+        with pytest.raises(ValueError, match="unbalanced"):
+            parse_detectors("moving_zscore(k=50),cusum)")
+
+    def test_non_literal_value_rejected(self):
+        # `w=abc` must fail at parse time (exit-2 territory), not as a
+        # mid-run crash once the string reaches the detector
+        with pytest.raises(ValueError, match="not a Python literal"):
+            DetectorSpec.parse("matrix_profile(w=abc)")
+
+    def test_quoted_string_value_accepted(self):
+        spec = DetectorSpec.parse("diff(tag='abc')")
+        assert dict(spec.params)["tag"] == "abc"
+
+    def test_label_keeps_types_distinct(self):
+        numeric = DetectorSpec.create("knn", w=100)
+        stringy = DetectorSpec.create("knn", w="100")
+        assert numeric.label != stringy.label
+        assert DetectorSpec.parse(stringy.label) == stringy
+
+    def test_unhashable_param_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unhashable"):
+            DetectorSpec.create("knn", cfg={"a": 1})
+
+    def test_list_params_stay_hashable(self):
+        spec = DetectorSpec.parse("knn(ws=[1, 2])")
+        assert dict(spec.params)["ws"] == (1, 2)
+        assert {spec: 1}[DetectorSpec.create("knn", ws=(1, 2))] == 1
+        assert DetectorSpec.parse(spec.label) == spec
+
+    def test_lineup_splits_outside_parens_only(self):
+        specs = parse_detectors("diff, matrix_profile(w=100,exclusion=50) ,cusum")
+        assert [spec.label for spec in specs] == [
+            "diff",
+            "matrix_profile(exclusion=50,w=100)",
+            "cusum",
+        ]
+
+    def test_lineup_round_trips_through_labels(self):
+        lineup = "moving_zscore(k=50),knn(k=1,w=100)"
+        specs = parse_detectors(lineup)
+        assert parse_detectors(",".join(s.label for s in specs)) == specs

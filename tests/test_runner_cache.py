@@ -1,0 +1,141 @@
+"""Tests for the content-addressed result cache."""
+
+import numpy as np
+
+from repro.detectors import DETECTORS, DetectorSpec
+from repro.runner import ResultCache, cache_key
+from repro.runner.cache import resolved_params
+from repro.types import LabeledSeries, Labels
+
+
+def ucr_series(name="d1", n=600, start=300, end=330, train=100):
+    values = np.zeros(n)
+    values[start:end] += 5.0
+    return LabeledSeries(name, values, Labels.single(n, start, end), train_len=train)
+
+
+SCORING = {"protocol": "ucr", "minimum_slop": 100}
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        spec = DetectorSpec.create("moving_zscore", k=50)
+        assert cache_key(spec, ucr_series(), SCORING) == cache_key(
+            spec, ucr_series(), SCORING
+        )
+
+    def test_param_order_irrelevant(self):
+        series = ucr_series()
+        a = DetectorSpec.create("knn", w=100, k=2)
+        b = DetectorSpec.create("knn", k=2, w=100)
+        assert cache_key(a, series, SCORING) == cache_key(b, series, SCORING)
+
+    def test_param_change_invalidates(self):
+        series = ucr_series()
+        a = DetectorSpec.create("moving_zscore", k=50)
+        b = DetectorSpec.create("moving_zscore", k=51)
+        assert cache_key(a, series, SCORING) != cache_key(b, series, SCORING)
+
+    def test_detector_change_invalidates(self):
+        series = ucr_series()
+        assert cache_key(DetectorSpec.create("diff"), series, SCORING) != cache_key(
+            DetectorSpec.create("cusum"), series, SCORING
+        )
+
+    def test_value_change_invalidates(self):
+        spec = DetectorSpec.create("diff")
+        original = ucr_series()
+        edited = ucr_series()
+        edited.values[17] += 1e-9
+        assert cache_key(spec, original, SCORING) != cache_key(spec, edited, SCORING)
+
+    def test_train_len_invalidates(self):
+        spec = DetectorSpec.create("diff")
+        assert cache_key(spec, ucr_series(train=100), SCORING) != cache_key(
+            spec, ucr_series(train=101), SCORING
+        )
+
+    def test_scoring_config_invalidates(self):
+        spec = DetectorSpec.create("diff")
+        series = ucr_series()
+        other = {"protocol": "ucr", "minimum_slop": 50}
+        assert cache_key(spec, series, SCORING) != cache_key(spec, series, other)
+
+    def test_rename_is_content_neutral(self):
+        spec = DetectorSpec.create("diff")
+        assert cache_key(spec, ucr_series("a"), SCORING) == cache_key(
+            spec, ucr_series("b"), SCORING
+        )
+
+    def test_explicit_default_equals_implicit(self):
+        # moving_zscore's default is k=50: spelling it out is the same cell
+        series = ucr_series()
+        implicit = cache_key(DetectorSpec.create("moving_zscore"), series, SCORING)
+        explicit = cache_key(
+            DetectorSpec.create("moving_zscore", k=50), series, SCORING
+        )
+        assert implicit == explicit
+
+    def test_default_change_invalidates(self, monkeypatch):
+        # a code change to a constructor default must miss, not serve
+        # locations computed with the old default
+        series = ucr_series()
+        spec = DetectorSpec.create("moving_zscore")
+        before = cache_key(spec, series, SCORING)
+
+        def patched_factory(k: int = 60, epsilon: float = 1e-9):
+            raise AssertionError("never built for key computation")
+
+        monkeypatch.setitem(DETECTORS, "moving_zscore", patched_factory)
+        assert resolved_params(spec)["k"] == 60
+        assert cache_key(spec, series, SCORING) != before
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        cache.put(key, {"location": 42})
+        assert cache.get(key) == {"location": 42}
+        assert key in cache
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for index in range(3):
+            cache.put(f"{index:02d}" + "f" * 62, {"location": index})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, {"location": 7})
+        (tmp_path / key[:2] / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "2" * 62
+        cache.put(key, {"location": 7})
+        (tmp_path / key[:2] / f"{key}.json").write_text("[1, 2]")
+        assert cache.get(key) is None
+
+    def test_orphaned_temp_file_not_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "0a" + "4" * 62
+        cache.put(key, {"location": 5})
+        # simulate a crash between mkstemp and os.replace
+        (tmp_path / key[:2] / ".tmp-dead.part").write_text("{}")
+        assert len(cache) == 1
+        assert cache.clear() == 1
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert len(cache) == 0
+        assert cache.clear() == 0
+        assert cache.get("ab" + "3" * 62) is None

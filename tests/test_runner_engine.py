@@ -1,0 +1,224 @@
+"""Tests for the evaluation engine.
+
+Covers the subsystem's two contracts: ``--jobs N`` output is
+byte-identical to serial, and a warm cache re-run executes *zero*
+detector calls while reproducing the same artifacts.
+"""
+
+import numpy as np
+import pytest
+
+import repro.runner.engine as engine_module
+from repro.detectors import DetectorSpec
+from repro.runner import (
+    EvalEngine,
+    FractionalScoring,
+    ResultCache,
+    UcrScoring,
+)
+from repro.scoring import score_archive
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def ucr_series(name, n=900, start=500, length=40, train=200):
+    values = np.zeros(n)
+    values[start : start + length] += 5.0
+    return LabeledSeries(
+        name, values, Labels.single(n, start, start + length), train_len=train
+    )
+
+
+@pytest.fixture()
+def archive():
+    return Archive(
+        "toy",
+        [ucr_series(f"d{index}", start=320 + 90 * index) for index in range(5)],
+    )
+
+
+SPECS = [
+    DetectorSpec.create("diff"),
+    DetectorSpec.create("moving_zscore", k=50),
+    DetectorSpec.create("last_point"),
+]
+
+
+class CountingLocator:
+    """Wraps the engine's task executor, counting detector invocations."""
+
+    def __init__(self):
+        self.calls = 0
+        self._real = engine_module._locate_cell
+
+    def __call__(self, task):
+        self.calls += 1
+        return self._real(task)
+
+
+@pytest.fixture()
+def counter(monkeypatch):
+    counting = CountingLocator()
+    monkeypatch.setattr(engine_module, "_locate_cell", counting)
+    return counting
+
+
+class TestExecution:
+    def test_matches_score_archive(self, archive):
+        report = EvalEngine(SPECS).run(archive)
+        for spec in SPECS:
+            direct = score_archive(archive, spec.build().locate)
+            assert report.summary(spec).accuracy == direct.accuracy
+            assert [o.location for o in report.summary(spec).outcomes] == [
+                o.location for o in direct.outcomes
+            ]
+
+    def test_grid_order_is_deterministic(self, archive):
+        report = EvalEngine(SPECS).run(archive)
+        expected = [
+            (spec.label, series.name)
+            for spec in SPECS
+            for series in archive.series
+        ]
+        assert [(c.detector, c.series) for c in report.cells] == expected
+
+    def test_parallel_matches_serial_byte_identical(self, archive):
+        serial = EvalEngine(SPECS, jobs=1).run(archive)
+        parallel = EvalEngine(SPECS, jobs=4).run(archive)
+        assert parallel.manifest().to_json() == serial.manifest().to_json()
+        assert parallel.stats.executed == serial.stats.executed
+
+    def test_string_specs_accepted(self, archive):
+        report = EvalEngine(["diff", "moving_zscore(k=50)"]).run(archive)
+        assert set(report.accuracies()) == {"diff", "moving_zscore(k=50)"}
+
+    def test_empty_lineup_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EvalEngine([])
+
+    def test_duplicate_specs_deduped(self, archive, counter):
+        report = EvalEngine(["diff", "diff", "diff"]).run(archive)
+        assert counter.calls == len(archive)
+        assert report.stats.cells == len(archive)
+        assert len(report.summary("diff").outcomes) == len(archive)
+
+    def test_unknown_detector_fails_fast(self, archive, counter):
+        with pytest.raises(ValueError, match="available"):
+            EvalEngine([DetectorSpec.create("warp_drive")]).run(archive)
+        assert counter.calls == 0
+
+    def test_fractional_scoring_multi_region(self):
+        n = 1000
+        values = np.zeros(n)
+        values[900] = 50.0
+        labels = Labels(
+            n=n,
+            regions=(
+                Labels.single(n, 100, 120).regions[0],
+                Labels.single(n, 890, 910).regions[0],
+            ),
+        )
+        multi = Archive("multi", [LabeledSeries("m1", values, labels)])
+        report = EvalEngine(
+            [DetectorSpec.create("diff")], scoring=FractionalScoring(0.05)
+        ).run(multi)
+        cell = report.cells[0]
+        assert cell.correct
+        assert (cell.region_start, cell.region_end) == (890, 910)
+
+
+class TestCacheIntegration:
+    def test_cold_run_executes_everything(self, archive, tmp_path, counter):
+        report = EvalEngine(SPECS, cache=ResultCache(tmp_path)).run(archive)
+        assert counter.calls == len(SPECS) * len(archive)
+        assert report.stats.executed == counter.calls
+        assert report.stats.cache_hits == 0
+        assert not any(cell.cached for cell in report.cells)
+
+    def test_warm_run_executes_zero_detector_calls(
+        self, archive, tmp_path, counter
+    ):
+        cache = ResultCache(tmp_path)
+        cold = EvalEngine(SPECS, cache=cache).run(archive)
+        counter.calls = 0
+        warm = EvalEngine(SPECS, cache=cache).run(archive)
+        assert counter.calls == 0
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(SPECS) * len(archive)
+        assert all(cell.cached for cell in warm.cells)
+        # ...while reproducing byte-identical artifacts
+        assert warm.manifest().to_json() == cold.manifest().to_json()
+
+    def test_param_change_misses(self, archive, tmp_path, counter):
+        cache = ResultCache(tmp_path)
+        EvalEngine([DetectorSpec.create("moving_zscore", k=50)], cache=cache).run(
+            archive
+        )
+        counter.calls = 0
+        EvalEngine([DetectorSpec.create("moving_zscore", k=60)], cache=cache).run(
+            archive
+        )
+        assert counter.calls == len(archive)
+
+    def test_data_change_misses(self, archive, tmp_path, counter):
+        cache = ResultCache(tmp_path)
+        EvalEngine(SPECS[:1], cache=cache).run(archive)
+        edited = Archive(
+            "toy-edited",
+            [s.with_values(s.values + 1e-9) for s in archive.series],
+        )
+        counter.calls = 0
+        EvalEngine(SPECS[:1], cache=cache).run(edited)
+        assert counter.calls == len(archive)
+
+    def test_scoring_change_misses(self, archive, tmp_path, counter):
+        cache = ResultCache(tmp_path)
+        EvalEngine(SPECS[:1], cache=cache).run(archive)
+        counter.calls = 0
+        EvalEngine(
+            SPECS[:1], cache=cache, scoring=UcrScoring(minimum_slop=50)
+        ).run(archive)
+        assert counter.calls == len(archive)
+
+    def test_partial_warmth(self, archive, tmp_path, counter):
+        cache = ResultCache(tmp_path)
+        EvalEngine(SPECS[:1], cache=cache).run(archive)
+        counter.calls = 0
+        report = EvalEngine(SPECS, cache=cache).run(archive)
+        assert counter.calls == (len(SPECS) - 1) * len(archive)
+        assert report.stats.cache_hits == len(archive)
+
+    def test_malformed_cached_location_is_a_miss(
+        self, archive, tmp_path, counter
+    ):
+        cache = ResultCache(tmp_path)
+        EvalEngine(SPECS[:1], cache=cache).run(archive)
+        for path in tmp_path.glob("??/*.json"):
+            path.write_text('{"location": null}')
+        counter.calls = 0
+        report = EvalEngine(SPECS[:1], cache=cache).run(archive)
+        assert counter.calls == len(archive)
+        assert report.stats.executed == len(archive)
+
+    def test_cache_accepts_path(self, archive, tmp_path):
+        report = EvalEngine(SPECS[:1], cache=tmp_path / "c").run(archive)
+        assert report.stats.executed == len(archive)
+        warm = EvalEngine(SPECS[:1], cache=tmp_path / "c").run(archive)
+        assert warm.stats.executed == 0
+
+
+class TestScoreArchiveLocations:
+    def test_precomputed_locations(self, archive):
+        report = EvalEngine(SPECS[:1]).run(archive)
+        locations = {cell.series: cell.location for cell in report.cells}
+        summary = score_archive(archive, locations=locations)
+        assert summary.accuracy == report.summary(SPECS[0]).accuracy
+
+    def test_requires_exactly_one_source(self, archive):
+        with pytest.raises(ValueError, match="exactly one"):
+            score_archive(archive)
+        with pytest.raises(ValueError, match="exactly one"):
+            score_archive(archive, lambda s: 0, locations={})
+
+    def test_missing_series_rejected(self, archive):
+        with pytest.raises(ValueError, match="no precomputed location"):
+            score_archive(archive, locations={"d0": 1})

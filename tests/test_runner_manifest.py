@@ -1,0 +1,118 @@
+"""Tests for run manifests: round-trip, fingerprints and diff."""
+
+import numpy as np
+import pytest
+
+from repro.runner import RunManifest, archive_fingerprint
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def ucr_series(name="d1", n=400, start=200, end=220, train=50, bump=5.0):
+    values = np.zeros(n)
+    values[start:end] += bump
+    return LabeledSeries(name, values, Labels.single(n, start, end), train_len=train)
+
+
+def toy_manifest(location=210, correct=True):
+    return RunManifest(
+        archive={"name": "toy", "num_series": 1, "fingerprint": "f" * 64},
+        scoring={"protocol": "ucr", "minimum_slop": 100},
+        specs=[{"name": "diff", "params": {}}],
+        cells=[
+            {
+                "detector": "diff",
+                "series": "d1",
+                "location": location,
+                "correct": correct,
+                "region": [200, 220],
+            }
+        ],
+        config={"seed": 7},
+    )
+
+
+class TestArchiveFingerprint:
+    def test_deterministic(self):
+        a = Archive("x", [ucr_series()])
+        b = Archive("x", [ucr_series()])
+        assert archive_fingerprint(a) == archive_fingerprint(b)
+
+    def test_sensitive_to_values(self):
+        a = Archive("x", [ucr_series()])
+        b = Archive("x", [ucr_series(bump=5.0 + 1e-9)])
+        assert archive_fingerprint(a) != archive_fingerprint(b)
+
+    def test_sensitive_to_labels(self):
+        a = Archive("x", [ucr_series(start=200, end=220)])
+        b = Archive("x", [ucr_series(start=200, end=221)])
+        assert archive_fingerprint(a) != archive_fingerprint(b)
+
+    def test_sensitive_to_order(self):
+        first, second = ucr_series("a"), ucr_series("b")
+        assert archive_fingerprint(Archive("x", [first, second])) != (
+            archive_fingerprint(Archive("x", [second, first]))
+        )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        manifest = toy_manifest()
+        clone = RunManifest.from_json(manifest.to_json())
+        assert clone == manifest
+        assert clone.to_json() == manifest.to_json()
+
+    def test_save_load(self, tmp_path):
+        manifest = toy_manifest()
+        path = manifest.save(tmp_path / "nested" / "run.manifest.json")
+        assert RunManifest.load(path) == manifest
+
+    def test_canonical_text_is_stable(self):
+        assert toy_manifest().to_json() == toy_manifest().to_json()
+        assert toy_manifest().fingerprint == toy_manifest().fingerprint
+
+    def test_trailing_newline(self):
+        assert toy_manifest().to_json().endswith("}\n")
+
+
+class TestDiff:
+    def test_identical(self):
+        diff = toy_manifest().diff(toy_manifest())
+        assert diff.identical
+        assert diff.format() == "manifests are identical"
+
+    def test_changed_cell(self):
+        diff = toy_manifest(210, True).diff(toy_manifest(5, False))
+        assert not diff.identical
+        assert len(diff.changed) == 1
+        (key, before, after) = diff.changed[0]
+        assert key == ("diff", "d1")
+        assert before["location"] == 210
+        assert after["correct"] is False
+        assert "location 210 -> 5" in diff.format()
+
+    def test_added_and_removed_cells(self):
+        small = toy_manifest()
+        big = toy_manifest()
+        big.cells = big.cells + [
+            {
+                "detector": "cusum",
+                "series": "d1",
+                "location": 3,
+                "correct": False,
+                "region": [200, 220],
+            }
+        ]
+        forward = small.diff(big)
+        assert forward.added == [("cusum", "d1")]
+        assert forward.removed == []
+        backward = big.diff(small)
+        assert backward.removed == [("cusum", "d1")]
+
+    def test_context_changes_reported(self):
+        other = toy_manifest()
+        other.config = {"seed": 8}
+        other.archive = {**other.archive, "fingerprint": "e" * 64}
+        diff = toy_manifest().diff(other)
+        assert not diff.identical
+        assert set(diff.context) == {"archive", "config"}
+        assert "config changed" in diff.format()

@@ -1,0 +1,76 @@
+"""Tests for the results store artifacts."""
+
+import json
+
+import numpy as np
+
+from repro.detectors import DetectorSpec
+from repro.runner import ResultsStore, RunManifest, format_report
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def build_report():
+    from repro.runner import EvalEngine
+
+    series = []
+    for index in range(4):
+        n, start = 700, 300 + 60 * index
+        values = np.zeros(n)
+        values[start : start + 30] += 5.0
+        series.append(
+            LabeledSeries(
+                f"d{index}",
+                values,
+                Labels.single(n, start, start + 30),
+                train_len=150,
+            )
+        )
+    archive = Archive("toy", series)
+    specs = [DetectorSpec.create("diff"), DetectorSpec.create("last_point")]
+    return EvalEngine(specs, config={"seed": 7}).run(archive)
+
+
+class TestResultsStore:
+    def test_writes_three_artifacts(self, tmp_path):
+        report = build_report()
+        paths = ResultsStore(tmp_path).write(report, "toy")
+        assert sorted(paths) == ["cells", "manifest", "summary"]
+        for path in paths.values():
+            assert path.is_file()
+
+    def test_jsonl_has_one_line_per_cell(self, tmp_path):
+        report = build_report()
+        paths = ResultsStore(tmp_path).write(report, "toy")
+        lines = paths["cells"].read_text().splitlines()
+        assert len(lines) == len(report.cells)
+        first = json.loads(lines[0])
+        assert first["detector"] == "diff"
+        assert set(first) == {"detector", "series", "location", "correct", "region"}
+
+    def test_manifest_artifact_round_trips(self, tmp_path):
+        report = build_report()
+        paths = ResultsStore(tmp_path).write(report, "toy")
+        loaded = RunManifest.load(paths["manifest"])
+        assert loaded.diff(report.manifest()).identical
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        first = ResultsStore(tmp_path).write(build_report(), "toy")
+        before = {kind: path.read_bytes() for kind, path in first.items()}
+        second = ResultsStore(tmp_path).write(build_report(), "toy")
+        after = {kind: path.read_bytes() for kind, path in second.items()}
+        assert before == after
+
+    def test_summary_mentions_every_detector(self, tmp_path):
+        report = build_report()
+        text = format_report(report)
+        assert "diff" in text
+        assert "last_point" in text
+        assert "accuracy" in text
+        paths = ResultsStore(tmp_path).write(report, "toy")
+        assert paths["summary"].read_text().startswith("archive toy")
+
+    def test_per_cell_listing(self):
+        report = build_report()
+        text = format_report(report, per_cell=True)
+        assert "== diff ==" in text
+        assert "d3" in text
