@@ -18,6 +18,9 @@ Public surface:
 * :mod:`repro.analysis` — invariance experiments (Fig 13).
 * :mod:`repro.runner` — parallel evaluation engine with a
   content-addressed result cache and reproducible run manifests.
+* :mod:`repro.stats` — statistical comparison engine: bootstrap CIs,
+  paired permutation tests, Friedman/Nemenyi rank analysis and the
+  one-liner noise floor behind ``repro compare``.
 """
 
 from .types import AnomalyRegion, Archive, LabeledSeries, Labels

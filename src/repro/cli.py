@@ -11,11 +11,19 @@ Commands mirror the paper's workflow:
 * ``score <dir>`` — score the registered detectors on a saved archive
   with UCR accuracy.
 * ``run <dir>`` — full evaluation run through the engine: parallel
-  execution, content-addressed caching, manifest + JSONL artifacts.
+  execution, content-addressed caching, manifest + JSONL artifacts
+  (``--stats`` adds a statistical leaderboard on the spot).
+* ``compare <out-dir>`` — statistical comparison of a *saved* run:
+  bootstrap CIs, Holm-corrected paired permutation tests, Friedman/
+  Nemenyi rank cliques and the one-liner noise-floor verdict, with no
+  recompute.
+* ``cache <dir>`` — inspect or clear a content-addressed result cache.
 
 ``score`` and ``run`` both execute through :mod:`repro.runner`, so
 ``--jobs`` parallelizes and ``--cache-dir`` makes re-runs skip every
-already-computed cell.
+already-computed cell.  ``compare`` and ``run --stats`` execute through
+:mod:`repro.stats`; their output is byte-identical across repeated
+invocations and across serial vs parallel source runs.
 """
 
 from __future__ import annotations
@@ -49,6 +57,43 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=100,
         help="minimum UCR scoring slop in points (default: 100)",
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _open_unit_float(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be strictly between 0 and 1, got {value}"
+        )
+    return value
+
+
+def _add_stats_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resamples",
+        type=_positive_int,
+        default=2000,
+        help="bootstrap/permutation resamples (default: 2000)",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=_open_unit_float,
+        default=0.05,
+        help="two-sided significance level (default: 0.05)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="seed for every statistical resampling stream (default: 7)",
     )
 
 
@@ -112,7 +157,60 @@ def build_parser() -> argparse.ArgumentParser:
         default="run",
         help="artifact basename (default: run)",
     )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="also build the statistical leaderboard (bootstrap CIs, "
+        "pairwise tests, one-liner noise floor) and write "
+        "<name>.stats.json",
+    )
     _add_engine_options(run)
+    _add_stats_options(run)
+
+    compare = sub.add_parser(
+        "compare",
+        help="statistical comparison of a saved run: CIs, pairwise "
+        "tests, rank cliques and the one-liner noise floor",
+    )
+    compare.add_argument(
+        "directory",
+        help="artifact directory a previous `repro run` wrote into",
+    )
+    compare.add_argument(
+        "--name",
+        default="run",
+        help="artifact basename to compare (default: run)",
+    )
+    compare.add_argument(
+        "--archive",
+        default=None,
+        help="archive directory for the baseline pool (default: the "
+        "directory recorded in the run manifest)",
+    )
+    compare.add_argument(
+        "--baseline-pool",
+        choices=["none", "oneliners"],
+        default="oneliners",
+        help="noise-floor baseline pool (default: oneliners)",
+    )
+    compare.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
+    )
+    _add_stats_options(compare)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear a content-addressed result cache",
+    )
+    cache.add_argument("directory")
+    cache.add_argument(
+        "--clear",
+        action="store_true",
+        help="delete every cached entry after reporting the totals",
+    )
     return parser
 
 
@@ -256,6 +354,23 @@ def _cmd_score(args) -> int:
     return 0
 
 
+def _build_leaderboard(report, *, noise_floor, args):
+    from .stats import build_leaderboard
+
+    return build_leaderboard(
+        report.outcome_matrix(),
+        archive={
+            "name": report.archive_name,
+            "num_series": report.archive_size,
+            "fingerprint": report.archive_fingerprint,
+        },
+        noise_floor=noise_floor,
+        alpha=args.alpha,
+        resamples=args.resamples,
+        seed=args.seed,
+    )
+
+
 def _cmd_run(args) -> int:
     from .runner import ResultsStore, format_report
 
@@ -269,15 +384,104 @@ def _cmd_run(args) -> int:
         "archive_directory": args.directory,
         "detectors": [spec.label for spec in specs],
     }
-    report = _build_engine(args, specs, config).run(archive)
-    paths = ResultsStore(args.out).write(report, args.name)
+    engine = _build_engine(args, specs, config)
+    report = engine.run(archive)
+    store = ResultsStore(args.out)
+    paths = store.write(report, args.name)
+    leaderboard = None
+    if args.stats:
+        from .stats import fit_noise_floor
+
+        floor = fit_noise_floor(
+            archive,
+            engine.scoring,
+            resamples=args.resamples,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+        leaderboard = _build_leaderboard(report, noise_floor=floor, args=args)
+        paths["stats"] = store.write_stats(leaderboard, args.name)
     if args.format == "json":
         print(report.manifest().to_json(), end="")
     else:
         print(format_report(report))
+        if leaderboard is not None:
+            print()
+            print(leaderboard.format())
         print(report.stats.format(), file=sys.stderr)
         for kind, path in paths.items():
             print(f"wrote {kind}: {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .runner import load_report
+
+    try:
+        report = load_report(args.directory, args.name)
+    except (FileNotFoundError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    floor = None
+    if args.baseline_pool == "oneliners":
+        from .archive import load_archive
+        from .runner import archive_fingerprint, scoring_from_description
+        from .stats import fit_noise_floor
+
+        archive_dir = args.archive or report.config.get("archive_directory")
+        if not archive_dir:
+            print(
+                "error: the run manifest records no archive directory; "
+                "pass --archive (or --baseline-pool none)",
+                file=sys.stderr,
+            )
+            return 1
+        archive = load_archive(archive_dir)
+        if len(archive) == 0:
+            print(
+                f"no UCR_Anomaly_*.txt files in {archive_dir}", file=sys.stderr
+            )
+            return 1
+        if archive_fingerprint(archive) != report.archive_fingerprint:
+            print(
+                f"error: archive at {archive_dir} does not match the run "
+                f"manifest's content fingerprint; the noise floor would be "
+                f"fitted on different data (pass the original archive via "
+                f"--archive, or --baseline-pool none)",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            scoring = scoring_from_description(report.scoring)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        floor = fit_noise_floor(
+            archive,
+            scoring,
+            resamples=args.resamples,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+
+    leaderboard = _build_leaderboard(report, noise_floor=floor, args=args)
+    if args.format == "json":
+        print(leaderboard.to_json(), end="")
+    else:
+        print(leaderboard.format())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .runner import ResultCache
+
+    cache = ResultCache(args.directory)
+    entries = len(cache)
+    print(f"{args.directory}: {entries} entries, {cache.total_bytes()} bytes")
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries")
     return 0
 
 
@@ -288,6 +492,8 @@ _COMMANDS = {
     "build-archive": _cmd_build_archive,
     "score": _cmd_score,
     "run": _cmd_run,
+    "compare": _cmd_compare,
+    "cache": _cmd_cache,
 }
 
 

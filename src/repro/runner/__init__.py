@@ -20,6 +20,7 @@ from .engine import (
     RunReport,
     RunStats,
     UcrScoring,
+    scoring_from_description,
 )
 from .manifest import (
     MANIFEST_VERSION,
@@ -27,7 +28,13 @@ from .manifest import (
     RunManifest,
     archive_fingerprint,
 )
-from .results import DEFAULT_OUT_DIR, ResultsStore, format_report
+from .results import (
+    DEFAULT_OUT_DIR,
+    ResultsStore,
+    artifact_paths,
+    format_report,
+    load_report,
+)
 
 __all__ = [
     "cache_key",
@@ -35,6 +42,7 @@ __all__ = [
     "ResultCache",
     "UcrScoring",
     "FractionalScoring",
+    "scoring_from_description",
     "CellResult",
     "RunStats",
     "RunReport",
@@ -44,6 +52,8 @@ __all__ = [
     "RunManifest",
     "ManifestDiff",
     "DEFAULT_OUT_DIR",
+    "artifact_paths",
     "format_report",
+    "load_report",
     "ResultsStore",
 ]

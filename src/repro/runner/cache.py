@@ -149,6 +149,18 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.directory.glob("??/*.json"))
 
+    def total_bytes(self) -> int:
+        """Disk footprint of all persisted entries, in bytes."""
+        if not self.directory.is_dir():
+            return 0
+        total = 0
+        for path in self.directory.glob("??/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # entry evicted concurrently: not our problem
+        return total
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0

@@ -29,6 +29,7 @@ from .manifest import RunManifest, archive_fingerprint
 __all__ = [
     "UcrScoring",
     "FractionalScoring",
+    "scoring_from_description",
     "CellResult",
     "RunStats",
     "RunReport",
@@ -64,6 +65,20 @@ class FractionalScoring:
 
     def correct(self, series: LabeledSeries, location: int) -> bool:
         return series.labels.covers(location, slop=int(self.fraction * series.n))
+
+
+def scoring_from_description(description: dict):
+    """Rebuild a scoring protocol object from its ``describe()`` dict.
+
+    The inverse of ``UcrScoring.describe`` / ``FractionalScoring.describe``,
+    used when analyses run on saved manifests instead of live engines.
+    """
+    protocol = dict(description).get("protocol")
+    if protocol == "ucr":
+        return UcrScoring(minimum_slop=int(description.get("minimum_slop", 100)))
+    if protocol == "fractional":
+        return FractionalScoring(fraction=float(description.get("fraction", 0.05)))
+    raise ValueError(f"unknown scoring protocol {protocol!r}")
 
 
 @dataclass(frozen=True)
@@ -154,6 +169,16 @@ class RunReport:
             label: summary.accuracy
             for label, summary in self.summaries().items()
         }
+
+    def outcome_matrix(self):
+        """The detectors × series correctness matrix for the stats engine.
+
+        Returns a :class:`repro.stats.OutcomeMatrix` (imported lazily —
+        the runner never needs the stats machinery to execute a grid).
+        """
+        from ..stats import OutcomeMatrix
+
+        return OutcomeMatrix.from_cells(self.cells)
 
     def manifest(self) -> RunManifest:
         """The run's reproducibility record (cache/parallelism free)."""

@@ -7,6 +7,12 @@ text tables plus machine-readable JSONL and a manifest under
 ``benchmarks/out/`` (or any directory).  All artifacts are emitted in
 deterministic order with canonical JSON, so re-running a grid — warm or
 cold cache, serial or parallel — rewrites byte-identical files.
+
+The store also works in reverse: :func:`load_report` round-trips saved
+``cells.jsonl`` + manifest artifacts back into a
+:class:`~repro.runner.RunReport`-shaped object, so downstream analyses
+(``repro compare``, the stats subsystem) run on cold artifacts with no
+recompute.
 """
 
 from __future__ import annotations
@@ -14,9 +20,17 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from .engine import RunReport
+from ..detectors import DetectorSpec
+from .engine import CellResult, RunReport, RunStats
+from .manifest import RunManifest
 
-__all__ = ["format_report", "ResultsStore", "DEFAULT_OUT_DIR"]
+__all__ = [
+    "format_report",
+    "artifact_paths",
+    "load_report",
+    "ResultsStore",
+    "DEFAULT_OUT_DIR",
+]
 
 DEFAULT_OUT_DIR = Path("benchmarks") / "out"
 
@@ -43,14 +57,88 @@ def format_report(report: RunReport, per_cell: bool = False) -> str:
     return "\n".join(lines)
 
 
+def artifact_paths(out_dir: str | Path, basename: str) -> dict[str, Path]:
+    """The store's file layout for one basename."""
+    out_dir = Path(out_dir)
+    return {
+        "cells": out_dir / f"{basename}.cells.jsonl",
+        "summary": out_dir / f"{basename}.summary.txt",
+        "manifest": out_dir / f"{basename}.manifest.json",
+        "stats": out_dir / f"{basename}.stats.json",
+    }
+
+
+def _cell_from_json(payload: dict) -> CellResult:
+    region = payload.get("region")
+    return CellResult(
+        detector=str(payload["detector"]),
+        series=str(payload["series"]),
+        location=int(payload["location"]),
+        correct=bool(payload["correct"]),
+        region_start=None if region is None else int(region[0]),
+        region_end=None if region is None else int(region[1]),
+        cached=True,  # a loaded cell was, by definition, not executed now
+    )
+
+
+def load_report(out_dir: str | Path, basename: str = "run") -> RunReport:
+    """Rebuild a :class:`RunReport` from saved artifacts.
+
+    The manifest is the source of truth for archive identity, scoring,
+    specs and config; per-cell outcomes come from ``cells.jsonl`` when
+    present (falling back to the manifest's own cell list), and the two
+    are cross-checked so a stale or hand-edited JSONL cannot silently
+    disagree with the manifest it sits next to.  ``stats`` on the
+    rebuilt report reflects artifact provenance, not execution: every
+    cell counts as a cache hit.
+    """
+    paths = artifact_paths(out_dir, basename)
+    if not paths["manifest"].is_file():
+        raise FileNotFoundError(
+            f"no run manifest at {paths['manifest']}; expected artifacts "
+            f"written by `repro run --name {basename}`"
+        )
+    manifest = RunManifest.load(paths["manifest"])
+    cell_dicts = manifest.cells
+    if paths["cells"].is_file():
+        jsonl = [
+            json.loads(line)
+            for line in paths["cells"].read_text().splitlines()
+            if line.strip()
+        ]
+        if jsonl != cell_dicts:
+            raise ValueError(
+                f"{paths['cells']} disagrees with {paths['manifest']}; "
+                f"the artifacts were not written by the same run"
+            )
+        cell_dicts = jsonl
+    cells = [_cell_from_json(payload) for payload in cell_dicts]
+    return RunReport(
+        archive_name=str(manifest.archive.get("name", "?")),
+        archive_size=int(manifest.archive.get("num_series", 0)),
+        archive_fingerprint=str(manifest.archive.get("fingerprint", "")),
+        specs=[DetectorSpec.from_json(spec) for spec in manifest.specs],
+        scoring=dict(manifest.scoring),
+        cells=cells,
+        config=dict(manifest.config),
+        stats=RunStats(cells=len(cells), executed=0, cache_hits=len(cells)),
+    )
+
+
 class ResultsStore:
     """Writes one run's artifacts under a single directory.
 
     ``write`` produces three files per basename:
 
     * ``<name>.cells.jsonl`` — one canonical JSON object per cell;
-    * ``<name>.summary.txt`` — the ranked accuracy table;
+    * ``<name>.summary.txt`` — the ranked accuracy table **plus every
+      per-cell outcome** (the durable record must not hide the data the
+      stats engine runs on);
     * ``<name>.manifest.json`` — the full run manifest.
+
+    ``write_stats`` adds a fourth, ``<name>.stats.json`` — a canonical
+    leaderboard produced by :mod:`repro.stats`.  ``load`` round-trips
+    the artifacts back into a report.
     """
 
     def __init__(self, out_dir: str | Path = DEFAULT_OUT_DIR) -> None:
@@ -58,15 +146,23 @@ class ResultsStore:
 
     def write(self, report: RunReport, basename: str) -> dict[str, Path]:
         self.out_dir.mkdir(parents=True, exist_ok=True)
-        paths = {
-            "cells": self.out_dir / f"{basename}.cells.jsonl",
-            "summary": self.out_dir / f"{basename}.summary.txt",
-            "manifest": self.out_dir / f"{basename}.manifest.json",
-        }
+        paths = artifact_paths(self.out_dir, basename)
+        del paths["stats"]  # written separately, only on request
         cell_lines = [
             json.dumps(cell.to_json(), sort_keys=True) for cell in report.cells
         ]
         paths["cells"].write_text("\n".join(cell_lines) + "\n")
-        paths["summary"].write_text(format_report(report) + "\n")
+        paths["summary"].write_text(format_report(report, per_cell=True) + "\n")
         report.manifest().save(paths["manifest"])
         return paths
+
+    def write_stats(self, leaderboard, basename: str) -> Path:
+        """Persist a :class:`repro.stats.Leaderboard` as canonical JSON."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path = artifact_paths(self.out_dir, basename)["stats"]
+        path.write_text(leaderboard.to_json())
+        return path
+
+    def load(self, basename: str = "run") -> RunReport:
+        """Round-trip saved artifacts back into a report."""
+        return load_report(self.out_dir, basename)

@@ -1,0 +1,70 @@
+"""Statistical comparison engine (is the progress real?).
+
+Consumes per-cell outcomes from :class:`~repro.runner.RunReport` (or
+saved ``cells.jsonl`` artifacts — no recompute needed) and answers the
+question the paper says benchmarks dodge: is detector A *significantly*
+better than detector B, and does either clear the one-liner noise
+floor?  Bootstrap CIs, paired permutation tests, Friedman/Nemenyi rank
+analysis and deterministic leaderboard artifacts, all seeded through
+:mod:`repro.rng` so results are byte-reproducible.
+"""
+
+from .leaderboard import Leaderboard, LeaderboardEntry, build_leaderboard
+from .matrix import OutcomeMatrix
+from .noise_floor import (
+    VERDICT_BELOW,
+    VERDICT_CLEARS,
+    VERDICT_WITHIN,
+    NoiseFloor,
+    PoolMember,
+    default_pool,
+    evaluate_pool,
+    fit_noise_floor,
+)
+from .pairwise import (
+    PairwiseComparison,
+    PermutationTest,
+    holm_bonferroni,
+    paired_permutation_test,
+    pairwise_tests,
+)
+from .ranking import (
+    RankAnalysis,
+    average_ranks,
+    friedman_test,
+    nemenyi_cd,
+    rank_analysis,
+)
+from .resampling import BootstrapCI, bootstrap_ci
+from .special import chi2_sf, nemenyi_q, norm_cdf, norm_ppf
+
+__all__ = [
+    "OutcomeMatrix",
+    "BootstrapCI",
+    "bootstrap_ci",
+    "PermutationTest",
+    "PairwiseComparison",
+    "paired_permutation_test",
+    "holm_bonferroni",
+    "pairwise_tests",
+    "RankAnalysis",
+    "average_ranks",
+    "friedman_test",
+    "nemenyi_cd",
+    "rank_analysis",
+    "PoolMember",
+    "default_pool",
+    "evaluate_pool",
+    "NoiseFloor",
+    "fit_noise_floor",
+    "VERDICT_CLEARS",
+    "VERDICT_WITHIN",
+    "VERDICT_BELOW",
+    "Leaderboard",
+    "LeaderboardEntry",
+    "build_leaderboard",
+    "norm_cdf",
+    "norm_ppf",
+    "chi2_sf",
+    "nemenyi_q",
+]

@@ -1,0 +1,182 @@
+"""Deterministic leaderboards with uncertainty, not point estimates.
+
+``build_leaderboard`` is the one-stop aggregation the CLI and the
+results store call: per-detector bootstrap CIs, Holm-corrected paired
+permutation tests, the Friedman/Nemenyi rank analysis, and (when a
+fitted :class:`~repro.stats.noise_floor.NoiseFloor` is supplied) a
+real-progress verdict per detector.
+
+Both renderings are canonical: entries are ordered by accuracy then
+label, JSON is emitted with sorted keys and fixed separators, and every
+number is a pure function of (matrix, noise floor, seed, alpha,
+resamples) — so repeated invocations, and invocations fed by serial vs
+parallel source runs, produce byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .matrix import OutcomeMatrix
+from .noise_floor import NoiseFloor
+from .pairwise import PairwiseComparison, pairwise_tests
+from .ranking import RankAnalysis, rank_analysis
+from .resampling import DEFAULT_RESAMPLES, BootstrapCI, bootstrap_ci
+
+__all__ = ["LeaderboardEntry", "Leaderboard", "build_leaderboard"]
+
+LEADERBOARD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One detector's row: point estimate, interval, rank, verdict."""
+
+    label: str
+    accuracy: float
+    correct: int
+    n: int
+    ci: BootstrapCI
+    mean_rank: float
+    verdict: str | None  # None when no noise floor was fitted
+
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "accuracy": self.accuracy,
+            "correct": self.correct,
+            "n": self.n,
+            "ci": self.ci.to_json(),
+            "mean_rank": self.mean_rank,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class Leaderboard:
+    """A full statistical comparison, ready to print or persist."""
+
+    archive: dict  # name / num_series / fingerprint context (may be empty)
+    alpha: float
+    resamples: int
+    seed: int
+    ci_method: str
+    entries: tuple[LeaderboardEntry, ...]
+    pairwise: tuple[PairwiseComparison, ...]
+    ranking: RankAnalysis
+    noise_floor: NoiseFloor | None
+
+    def entry(self, label: str) -> LeaderboardEntry:
+        for entry in self.entries:
+            if entry.label == label:
+                return entry
+        raise KeyError(f"no leaderboard entry for {label!r}")
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, trailing newline)."""
+        payload = {
+            "version": LEADERBOARD_VERSION,
+            "archive": self.archive,
+            "alpha": self.alpha,
+            "resamples": self.resamples,
+            "seed": self.seed,
+            "ci_method": self.ci_method,
+            "entries": [entry.to_json() for entry in self.entries],
+            "pairwise": [comparison.to_json() for comparison in self.pairwise],
+            "ranking": self.ranking.to_json(),
+            "noise_floor": (
+                None if self.noise_floor is None else self.noise_floor.to_json()
+            ),
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    def format(self) -> str:
+        """The human-facing leaderboard table and its supporting tests."""
+        header = "leaderboard"
+        if self.archive.get("name"):
+            header += f": archive {self.archive['name']}"
+        if self.entries:
+            header += (
+                f" ({self.entries[0].n} series, {len(self.entries)} detectors)"
+            )
+        lines = [
+            header,
+            f"  alpha {self.alpha:g}, {self.resamples} resamples, "
+            f"seed {self.seed}, {self.ci_method} CIs",
+            "",
+        ]
+        for position, entry in enumerate(self.entries, start=1):
+            verdict = "" if entry.verdict is None else f"  {entry.verdict}"
+            lines.append(
+                f"  {position:>2} {entry.label:<36} {entry.ci.format()} "
+                f"rank {entry.mean_rank:5.2f}{verdict}"
+            )
+        if self.noise_floor is not None:
+            lines += ["", self.noise_floor.format()]
+        lines += ["", self.ranking.format()]
+        if self.pairwise:
+            lines += ["", "pairwise (paired permutation, Holm-corrected):"]
+            for comparison in self.pairwise:
+                lines.append("  " + comparison.format())
+        return "\n".join(lines)
+
+
+def build_leaderboard(
+    matrix: OutcomeMatrix,
+    *,
+    archive: dict | None = None,
+    noise_floor: NoiseFloor | None = None,
+    alpha: float = 0.05,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 7,
+    ci_method: str = "bca",
+) -> Leaderboard:
+    """Aggregate every analysis over one outcome matrix.
+
+    Each detector's bootstrap draws an independent rng substream keyed
+    by its label, so adding or removing detectors never perturbs the
+    others' intervals.
+    """
+    ranking = rank_analysis(matrix, alpha=alpha)
+    cis = {
+        label: bootstrap_ci(
+            matrix.row(label),
+            resamples=resamples,
+            alpha=alpha,
+            seed=seed,
+            stream=(label,),
+            method=ci_method,
+        )
+        for label in matrix.detectors
+    }
+    entries = []
+    for label in matrix.detectors:
+        row = matrix.row(label)
+        ci = cis[label]
+        entries.append(
+            LeaderboardEntry(
+                label=label,
+                accuracy=float(row.mean()),
+                correct=int(row.sum()),
+                n=int(row.size),
+                ci=ci,
+                mean_rank=ranking.rank_of(label),
+                verdict=None if noise_floor is None else noise_floor.verdict(ci),
+            )
+        )
+    entries.sort(key=lambda entry: (-entry.accuracy, entry.label))
+    comparisons = pairwise_tests(
+        matrix, alpha=alpha, resamples=resamples, seed=seed
+    )
+    return Leaderboard(
+        archive=dict(archive or {}),
+        alpha=float(alpha),
+        resamples=int(resamples),
+        seed=int(seed),
+        ci_method=ci_method,
+        entries=tuple(entries),
+        pairwise=tuple(comparisons),
+        ranking=ranking,
+        noise_floor=noise_floor,
+    )

@@ -1,0 +1,153 @@
+"""The outcome matrix: detectors × series boolean correctness.
+
+Every analysis in :mod:`repro.stats` consumes this one shape — a
+rectangular boolean matrix whose rows are detector labels and whose
+columns are series names, ``values[i, j]`` meaning "detector i answered
+series j correctly under the run's scoring protocol".  It is built from
+live :class:`~repro.runner.RunReport` cells or from saved
+``cells.jsonl`` artifacts; both paths accept anything cell-shaped
+(objects or dicts with ``detector``/``series``/``correct``), so the
+stats layer never imports the runner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OutcomeMatrix"]
+
+
+def _cell_field(cell, name: str):
+    if isinstance(cell, dict):
+        return cell[name]
+    return getattr(cell, name)
+
+
+@dataclass(frozen=True, eq=False)
+class OutcomeMatrix:
+    """Rectangular detector × series correctness matrix."""
+
+    detectors: tuple[str, ...]
+    series: tuple[str, ...]
+    values: np.ndarray  # bool, shape (len(detectors), len(series))
+
+    def __eq__(self, other) -> bool:
+        # the generated dataclass __eq__ trips over numpy broadcasting
+        if not isinstance(other, OutcomeMatrix):
+            return NotImplemented
+        return (
+            self.detectors == other.detectors
+            and self.series == other.series
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=bool)
+        expected = (len(self.detectors), len(self.series))
+        if values.shape != expected:
+            raise ValueError(
+                f"outcome matrix shape {values.shape} != {expected}"
+            )
+        if len(set(self.detectors)) != len(self.detectors):
+            raise ValueError("duplicate detector labels in outcome matrix")
+        if len(set(self.series)) != len(self.series):
+            raise ValueError("duplicate series names in outcome matrix")
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_cells(cls, cells: Iterable) -> "OutcomeMatrix":
+        """Build from cell records (dicts or ``CellResult``-likes).
+
+        Detector and series order follow first appearance, which for
+        engine output is deterministic grid order.  The grid must be
+        rectangular: every detector needs an outcome for every series.
+        """
+        by_detector: dict[str, dict[str, bool]] = {}
+        series_order: list[str] = []
+        seen_series: set[str] = set()
+        for cell in cells:
+            detector = str(_cell_field(cell, "detector"))
+            series = str(_cell_field(cell, "series"))
+            row = by_detector.setdefault(detector, {})
+            if series in row:
+                raise ValueError(
+                    f"duplicate cell {detector!r} x {series!r}"
+                )
+            row[series] = bool(_cell_field(cell, "correct"))
+            if series not in seen_series:
+                seen_series.add(series)
+                series_order.append(series)
+        if not by_detector:
+            raise ValueError("no cells to build an outcome matrix from")
+        for detector, row in by_detector.items():
+            missing = [name for name in series_order if name not in row]
+            if missing:
+                raise ValueError(
+                    f"detector {detector!r} has no outcome for series "
+                    f"{missing[0]!r}; the cell grid is not rectangular"
+                )
+        detectors = tuple(by_detector)
+        values = np.array(
+            [
+                [by_detector[d][name] for name in series_order]
+                for d in detectors
+            ],
+            dtype=bool,
+        )
+        return cls(detectors=detectors, series=tuple(series_order), values=values)
+
+    # -- views -------------------------------------------------------
+
+    @property
+    def num_detectors(self) -> int:
+        return len(self.detectors)
+
+    @property
+    def num_series(self) -> int:
+        return len(self.series)
+
+    def row(self, label: str) -> np.ndarray:
+        """One detector's correctness vector over all series."""
+        try:
+            index = self.detectors.index(label)
+        except ValueError:
+            raise KeyError(
+                f"unknown detector {label!r}; have {list(self.detectors)}"
+            ) from None
+        return self.values[index]
+
+    def accuracy(self, label: str) -> float:
+        return float(self.row(label).mean())
+
+    def accuracies(self) -> dict[str, float]:
+        """Label → accuracy, in matrix row order."""
+        return {label: self.accuracy(label) for label in self.detectors}
+
+    def stack(self, other: "OutcomeMatrix") -> "OutcomeMatrix":
+        """Concatenate another matrix's rows (must share the series axis)."""
+        if other.series != self.series:
+            raise ValueError("cannot stack matrices over different series")
+        return OutcomeMatrix(
+            detectors=self.detectors + other.detectors,
+            series=self.series,
+            values=np.vstack([self.values, other.values]),
+        )
+
+    def to_json(self) -> dict:
+        """JSON-ready mapping (bools as 0/1 row lists)."""
+        return {
+            "detectors": list(self.detectors),
+            "series": list(self.series),
+            "values": [[int(v) for v in row] for row in self.values],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "OutcomeMatrix":
+        return cls(
+            detectors=tuple(payload["detectors"]),
+            series=tuple(payload["series"]),
+            values=np.asarray(payload["values"], dtype=bool),
+        )

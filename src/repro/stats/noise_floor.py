@@ -1,0 +1,190 @@
+"""The one-liner noise floor: the bar "real progress" must clear.
+
+The paper's Table 1 shows that single-line expressions solve large
+fractions of popular benchmarks, so a detector's headline accuracy
+means little until it is compared against what those one-liners reach
+under the *same* protocol.  This module turns the
+:mod:`repro.oneliner` expression families into location predictors —
+the predicted anomaly location is simply the argmax of the family's
+per-point score, no threshold needed — scores them with the run's own
+scoring protocol, and bootstraps a confidence interval for the best
+one of the pool.
+
+A detector counts as real progress only when its CI lies entirely
+above the best one-liner's CI; overlapping intervals are "within the
+noise floor", and an interval entirely below it is, bluntly, "below".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..oneliner import MovstdOneLiner, OneLiner, make_family
+from ..types import Archive, LabeledSeries
+from .matrix import OutcomeMatrix
+from .resampling import DEFAULT_RESAMPLES, BootstrapCI, bootstrap_ci
+
+__all__ = [
+    "VERDICT_CLEARS",
+    "VERDICT_WITHIN",
+    "VERDICT_BELOW",
+    "PoolMember",
+    "default_pool",
+    "evaluate_pool",
+    "NoiseFloor",
+    "fit_noise_floor",
+]
+
+VERDICT_CLEARS = "clears noise floor"
+VERDICT_WITHIN = "within noise floor"
+VERDICT_BELOW = "below noise floor"
+
+
+@dataclass(frozen=True)
+class PoolMember:
+    """One baseline: a labeled one-liner used as a location predictor."""
+
+    label: str
+    oneliner: OneLiner
+
+    def locate(self, series: LabeledSeries) -> int:
+        """Most anomalous point in the test region, full-series coords.
+
+        Mirrors ``Detector.locate``: the anomaly-free training prefix
+        is masked out of the argmax, so the floor answers under the
+        same rules as the detectors it anchors.
+        """
+        scores = np.asarray(self.oneliner.score(series.values), dtype=float)
+        scores = np.where(np.isnan(scores), -np.inf, scores)
+        scores[: series.train_len] = -np.inf
+        return int(np.argmax(scores))
+
+
+def default_pool() -> tuple[PoolMember, ...]:
+    """The standard baseline pool: paper families (3)-(6) plus movstd.
+
+    Families 4 and 6 appear at a short and a long moving window; the
+    offset ``b`` is irrelevant because argmax location is invariant to
+    it.  Labels are prefixed ``oneliner-`` so they can never collide
+    with registry detector labels.
+    """
+    members = [
+        PoolMember("oneliner-f3", make_family(3)),
+        PoolMember("oneliner-f4(k=10)", make_family(4, k=10, c=1.0)),
+        PoolMember("oneliner-f4(k=50)", make_family(4, k=50, c=1.0)),
+        PoolMember("oneliner-f5", make_family(5)),
+        PoolMember("oneliner-f6(k=10)", make_family(6, k=10, c=1.0)),
+        PoolMember("oneliner-f6(k=50)", make_family(6, k=50, c=1.0)),
+        PoolMember("oneliner-movstd(k=5)", MovstdOneLiner(k=5, b=0.0)),
+        PoolMember("oneliner-movstd(k=20)", MovstdOneLiner(k=20, b=0.0)),
+    ]
+    return tuple(members)
+
+
+def evaluate_pool(
+    archive: Archive,
+    scoring,
+    pool: tuple[PoolMember, ...] | None = None,
+) -> OutcomeMatrix:
+    """Correctness matrix of the baseline pool under ``scoring``.
+
+    ``scoring`` is any object with ``correct(series, location) -> bool``
+    (the engine's protocol objects qualify), so the floor is judged by
+    exactly the same rules as the detectors it anchors.
+    """
+    members = default_pool() if pool is None else tuple(pool)
+    if not members:
+        raise ValueError("baseline pool is empty")
+    series_names = tuple(series.name for series in archive.series)
+    if not series_names:
+        raise ValueError("cannot evaluate a pool on an empty archive")
+    values = np.array(
+        [
+            [
+                bool(scoring.correct(series, member.locate(series)))
+                for series in archive.series
+            ]
+            for member in members
+        ],
+        dtype=bool,
+    )
+    return OutcomeMatrix(
+        detectors=tuple(member.label for member in members),
+        series=series_names,
+        values=values,
+    )
+
+
+@dataclass(frozen=True)
+class NoiseFloor:
+    """The fitted floor: the pool's outcomes and the best member's CI."""
+
+    matrix: OutcomeMatrix
+    cis: dict[str, BootstrapCI]
+    best: str
+
+    @property
+    def ci(self) -> BootstrapCI:
+        """The best pool member's confidence interval — the floor itself."""
+        return self.cis[self.best]
+
+    def verdict(self, detector_ci: BootstrapCI) -> str:
+        """Classify a detector's CI against the floor."""
+        if detector_ci.separated_above(self.ci):
+            return VERDICT_CLEARS
+        if self.ci.separated_above(detector_ci):
+            return VERDICT_BELOW
+        return VERDICT_WITHIN
+
+    def format(self) -> str:
+        lines = [f"noise floor (best one-liner: {self.best} {self.ci.format()})"]
+        ranked = sorted(
+            self.matrix.detectors,
+            key=lambda label: (-self.cis[label].mean, label),
+        )
+        for label in ranked:
+            lines.append(f"  {label:<24} {self.cis[label].format()}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "best": self.best,
+            "ci": self.ci.to_json(),
+            "pool": {
+                label: self.cis[label].to_json()
+                for label in self.matrix.detectors
+            },
+        }
+
+
+def fit_noise_floor(
+    archive: Archive,
+    scoring,
+    *,
+    pool: tuple[PoolMember, ...] | None = None,
+    resamples: int = DEFAULT_RESAMPLES,
+    alpha: float = 0.05,
+    seed: int = 7,
+    method: str = "bca",
+) -> NoiseFloor:
+    """Evaluate the pool and bootstrap every member's CI.
+
+    The "best" member maximizes accuracy, ties broken by label, so the
+    fitted floor is deterministic for a given archive and pool.
+    """
+    matrix = evaluate_pool(archive, scoring, pool)
+    cis = {
+        label: bootstrap_ci(
+            matrix.row(label),
+            resamples=resamples,
+            alpha=alpha,
+            seed=seed,
+            stream=(label,),
+            method=method,
+        )
+        for label in matrix.detectors
+    }
+    best = min(matrix.detectors, key=lambda label: (-cis[label].mean, label))
+    return NoiseFloor(matrix=matrix, cis=cis, best=best)

@@ -1,0 +1,202 @@
+"""Rank analysis: Friedman test and Nemenyi critical-difference cliques.
+
+The Demšar (2006) recipe for comparing detectors over many datasets:
+rank the detectors within every series (rank 1 best, ties get average
+ranks), test whether the mean ranks could plausibly be equal with the
+tie-corrected Friedman chi-square, and — when they cannot — group
+detectors whose mean-rank gaps fall inside the Nemenyi critical
+difference into cliques, the horizontal bars of a CD diagram.
+
+Boolean correctness makes ties the norm rather than the exception, so
+the tie-corrected statistic matters here: with *every* block fully
+tied the correction factor hits zero and the test degenerates to
+"no evidence of any difference" (statistic 0, p = 1) instead of
+dividing by zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .matrix import OutcomeMatrix
+from .special import chi2_sf, nemenyi_q
+
+__all__ = ["average_ranks", "friedman_test", "nemenyi_cd", "RankAnalysis", "rank_analysis"]
+
+
+def average_ranks(values: np.ndarray) -> np.ndarray:
+    """Within-column ranks of a (detectors × series) matrix, ties averaged.
+
+    Higher values rank better (rank 1 = best), matching "correct beats
+    incorrect" for boolean outcome matrices.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"need a 2-D matrix, got shape {values.shape}")
+    k, n = values.shape
+    ranks = np.empty((k, n), dtype=float)
+    for j in range(n):
+        column = values[:, j]
+        order = np.argsort(-column, kind="stable")
+        ordered = column[order]
+        i = 0
+        while i < k:
+            j2 = i
+            while j2 + 1 < k and ordered[j2 + 1] == ordered[i]:
+                j2 += 1
+            ranks[order[i : j2 + 1], j] = (i + j2) / 2.0 + 1.0
+            i = j2 + 1
+    return ranks
+
+
+def friedman_test(values: np.ndarray) -> tuple[float, int, float]:
+    """Tie-corrected Friedman test over a (detectors × series) matrix.
+
+    Returns ``(statistic, df, p_value)``.  With fewer than two
+    detectors, or with every block completely tied, there is nothing to
+    test and the degenerate ``(0.0, max(df, 1), 1.0)`` comes back.
+    """
+    values = np.asarray(values, dtype=float)
+    k, n = values.shape
+    if k < 2 or n < 1:
+        return 0.0, max(k - 1, 1), 1.0
+    ranks = average_ranks(values)
+    rank_sums = ranks.sum(axis=1)
+    chisq = 12.0 / (n * k * (k + 1)) * float(np.sum(rank_sums**2)) - 3.0 * n * (k + 1)
+
+    # tie correction: 1 - sum(t^3 - t) / (n (k^3 - k)) over tie groups
+    tie_mass = 0.0
+    for j in range(n):
+        _, counts = np.unique(values[:, j], return_counts=True)
+        tie_mass += float(np.sum(counts.astype(float) ** 3 - counts))
+    correction = 1.0 - tie_mass / (n * (k**3 - k))
+    if correction <= 0.0:
+        return 0.0, k - 1, 1.0
+    statistic = max(0.0, chisq / correction)
+    return statistic, k - 1, chi2_sf(statistic, k - 1)
+
+
+def nemenyi_cd(k: int, n: int, alpha: float = 0.05) -> float | None:
+    """Nemenyi critical difference for ``k`` detectors over ``n`` series.
+
+    Two detectors whose mean ranks differ by at least this much are
+    significantly different at level ``alpha``.  Returns None when the
+    studentized-range table has no entry (k outside 2..20 or an
+    untabulated alpha).
+    """
+    if n < 1:
+        return None
+    q = nemenyi_q(k, alpha)
+    if q is None:
+        return None
+    return q * float(np.sqrt(k * (k + 1) / (6.0 * n)))
+
+
+@dataclass(frozen=True)
+class RankAnalysis:
+    """Mean ranks, the Friedman verdict and the CD cliques for one matrix."""
+
+    detectors: tuple[str, ...]  # sorted by mean rank, best first
+    mean_ranks: tuple[float, ...]
+    friedman_statistic: float
+    friedman_df: int
+    friedman_p: float
+    cd: float | None
+    cd_alpha: float
+    cliques: tuple[tuple[str, ...], ...]
+
+    def rank_of(self, label: str) -> float:
+        try:
+            return self.mean_ranks[self.detectors.index(label)]
+        except ValueError:
+            raise KeyError(f"unknown detector {label!r}") from None
+
+    def format(self) -> str:
+        lines = [
+            f"Friedman chi2 = {self.friedman_statistic:.4f} "
+            f"(df = {self.friedman_df}), p = {self.friedman_p:.4f}"
+        ]
+        if self.cd is None:
+            lines.append("critical difference: not tabulated for this grid")
+        else:
+            lines.append(
+                f"critical difference (Nemenyi, alpha {self.cd_alpha:g}): "
+                f"{self.cd:.3f}"
+            )
+        for label, rank in zip(self.detectors, self.mean_ranks):
+            lines.append(f"  rank {rank:6.3f}  {label}")
+        for clique in self.cliques:
+            lines.append("  clique: " + " ~ ".join(clique))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "detectors": list(self.detectors),
+            "mean_ranks": list(self.mean_ranks),
+            "friedman": {
+                "statistic": self.friedman_statistic,
+                "df": self.friedman_df,
+                "p_value": self.friedman_p,
+            },
+            "cd": self.cd,
+            "cd_alpha": self.cd_alpha,
+            "cliques": [list(clique) for clique in self.cliques],
+        }
+
+
+def _maximal_cliques(
+    labels: list[str], ranks: list[float], cd: float
+) -> tuple[tuple[str, ...], ...]:
+    """Maximal runs of rank-sorted detectors spanning at most ``cd``."""
+    intervals = []
+    for i in range(len(labels)):
+        j = i
+        while j + 1 < len(labels) and ranks[j + 1] - ranks[i] <= cd:
+            j += 1
+        intervals.append((i, j))
+    maximal = [
+        (i, j)
+        for i, j in intervals
+        if not any(
+            (oi <= i and j <= oj and (oi, oj) != (i, j)) for oi, oj in intervals
+        )
+    ]
+    return tuple(tuple(labels[i : j + 1]) for i, j in sorted(set(maximal)))
+
+
+def rank_analysis(matrix: OutcomeMatrix, *, alpha: float = 0.05) -> RankAnalysis:
+    """Full Demšar-style rank analysis of an outcome matrix.
+
+    The Nemenyi table only covers alpha 0.05 and 0.10; any other level
+    falls back to 0.05 for the CD (and records which level was used in
+    ``cd_alpha``) while the Friedman p-value itself is level-free.
+    """
+    ranks = average_ranks(matrix.values)
+    means = ranks.mean(axis=1)
+    order = sorted(
+        range(matrix.num_detectors),
+        key=lambda i: (means[i], matrix.detectors[i]),
+    )
+    labels = [matrix.detectors[i] for i in order]
+    ordered_means = [float(means[i]) for i in order]
+
+    statistic, df, p_value = friedman_test(matrix.values)
+
+    cd_alpha = alpha if nemenyi_q(2, alpha) is not None else 0.05
+    cd = nemenyi_cd(matrix.num_detectors, matrix.num_series, cd_alpha)
+    if cd is None:
+        cliques: tuple[tuple[str, ...], ...] = ()
+    else:
+        cliques = _maximal_cliques(labels, ordered_means, cd)
+    return RankAnalysis(
+        detectors=tuple(labels),
+        mean_ranks=tuple(ordered_means),
+        friedman_statistic=float(statistic),
+        friedman_df=int(df),
+        friedman_p=float(p_value),
+        cd=cd,
+        cd_alpha=float(cd_alpha),
+        cliques=cliques,
+    )

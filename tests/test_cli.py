@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -39,6 +41,45 @@ class TestParser:
     def test_format_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["score", "/tmp/x", "--format", "xml"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "/tmp/out"])
+        assert args.name == "run"
+        assert args.archive is None
+        assert args.baseline_pool == "oneliners"
+        assert args.resamples == 2000
+        assert args.alpha == 0.05
+        assert args.seed == 7
+        assert args.format == "text"
+
+    def test_compare_pool_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "/tmp/out", "--baseline-pool", "psychics"]
+            )
+
+    def test_run_stats_defaults(self):
+        args = build_parser().parse_args(["run", "/tmp/x"])
+        assert args.stats is False
+        assert args.resamples == 2000
+        assert args.alpha == 0.05
+        assert args.seed == 7
+
+    def test_cache_defaults(self):
+        args = build_parser().parse_args(["cache", "/tmp/c"])
+        assert args.clear is False
+
+    def test_stats_options_validated_at_the_parser(self):
+        # out-of-range values must die as usage errors, not tracebacks
+        for bad in (
+            ["compare", "/tmp/out", "--alpha", "0"],
+            ["compare", "/tmp/out", "--alpha", "1"],
+            ["compare", "/tmp/out", "--resamples", "0"],
+            ["run", "/tmp/x", "--alpha", "1.5"],
+            ["run", "/tmp/x", "--resamples", "-3"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(bad)
 
 
 class TestCommands:
@@ -139,3 +180,104 @@ class TestCommands:
         assert main(["taxi"]) == 0
         out = capsys.readouterr().out
         assert "unlabeled discords" in out
+
+
+class TestCompareAndCache:
+    @pytest.fixture()
+    def saved_run(self, tmp_path, capsys):
+        archive_dir = tmp_path / "arch"
+        out_dir = tmp_path / "out"
+        assert main(["build-archive", str(archive_dir), "--size", "6",
+                     "--max-trivial", "1.0"]) == 0
+        assert main(["run", str(archive_dir), "--detectors",
+                     "diff,moving_zscore(k=50)", "--out", str(out_dir),
+                     "--name", "base"]) == 0
+        capsys.readouterr()
+        return archive_dir, out_dir
+
+    def test_compare_text_leaderboard(self, saved_run, capsys):
+        _, out_dir = saved_run
+        assert main(["compare", str(out_dir), "--name", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "leaderboard" in out
+        assert "noise floor" in out
+        assert "Friedman" in out
+        assert "pairwise" in out
+        assert "diff" in out and "moving_zscore(k=50)" in out
+
+    def test_compare_json_is_deterministic(self, saved_run, capsys):
+        _, out_dir = saved_run
+        base = ["compare", str(out_dir), "--name", "base", "--format", "json"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["noise_floor"] is not None
+        assert len(payload["entries"]) == 2
+        for entry in payload["entries"]:
+            assert entry["verdict"] is not None
+
+    def test_compare_without_pool_skips_the_floor(self, saved_run, capsys):
+        _, out_dir = saved_run
+        assert main(["compare", str(out_dir), "--name", "base",
+                     "--baseline-pool", "none", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["noise_floor"] is None
+        assert all(e["verdict"] is None for e in payload["entries"])
+
+    def test_compare_missing_run_exits_1(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path), "--name", "ghost"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_mismatched_archive_exits_1(self, saved_run, capsys, tmp_path):
+        _, out_dir = saved_run
+        other = tmp_path / "other"
+        assert main(["build-archive", str(other), "--size", "4", "--seed",
+                     "99", "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(out_dir), "--name", "base",
+                     "--archive", str(other)]) == 1
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_run_stats_writes_leaderboard_artifact(self, saved_run, capsys):
+        archive_dir, out_dir = saved_run
+        assert main(["run", str(archive_dir), "--detectors", "diff",
+                     "--out", str(out_dir), "--name", "st", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "noise floor" in captured.out
+        stats_path = out_dir / "st.stats.json"
+        assert stats_path.is_file()
+        payload = json.loads(stats_path.read_text())
+        assert payload["entries"][0]["label"] == "diff"
+
+    def test_compare_matches_run_stats_artifact(self, saved_run, capsys):
+        # the cold-artifact path and the live --stats path must agree
+        archive_dir, out_dir = saved_run
+        assert main(["run", str(archive_dir), "--detectors",
+                     "diff,moving_zscore(k=50)", "--out", str(out_dir),
+                     "--name", "st2", "--stats"]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(out_dir), "--name", "st2",
+                     "--format", "json"]) == 0
+        stdout = capsys.readouterr().out
+        assert stdout == (out_dir / "st2.stats.json").read_text()
+
+    def test_cache_reports_and_clears(self, tmp_path, capsys):
+        archive_dir = tmp_path / "arch"
+        cache_dir = tmp_path / "cache"
+        assert main(["build-archive", str(archive_dir), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        assert main(["run", str(archive_dir), "--detectors", "diff",
+                     "--cache-dir", str(cache_dir),
+                     "--out", str(tmp_path / "out")]) == 0
+        capsys.readouterr()
+        assert main(["cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 entries" in out
+        assert "bytes" in out
+        assert main(["cache", str(cache_dir), "--clear"]) == 0
+        assert "cleared 4 entries" in capsys.readouterr().out
+        assert main(["cache", str(cache_dir)]) == 0
+        assert "0 entries, 0 bytes" in capsys.readouterr().out

@@ -3,9 +3,10 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.detectors import DetectorSpec
-from repro.runner import ResultsStore, RunManifest, format_report
+from repro.runner import ResultsStore, RunManifest, format_report, load_report
 from repro.types import Archive, LabeledSeries, Labels
 
 
@@ -74,3 +75,89 @@ class TestResultsStore:
         text = format_report(report, per_cell=True)
         assert "== diff ==" in text
         assert "d3" in text
+
+    def test_summary_artifact_includes_per_cell_outcomes(self):
+        # the durable summary must carry every outcome, not just the
+        # ranked accuracy table
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = ResultsStore(tmp).write(build_report(), "toy")
+            text = paths["summary"].read_text()
+        assert "== diff ==" in text
+        assert "== last_point ==" in text
+        assert "d3" in text
+
+
+class TestLoadReport:
+    def test_round_trips_a_saved_run(self, tmp_path):
+        report = build_report()
+        ResultsStore(tmp_path).write(report, "toy")
+        loaded = load_report(tmp_path, "toy")
+        assert loaded.archive_name == report.archive_name
+        assert loaded.archive_size == report.archive_size
+        assert loaded.archive_fingerprint == report.archive_fingerprint
+        assert loaded.specs == report.specs
+        assert loaded.scoring == report.scoring
+        assert loaded.config == report.config
+        assert loaded.cells == [
+            # `cached` is runtime-only and not persisted; everything
+            # else must survive the round trip
+            type(cell)(**{**cell.__dict__, "cached": True})
+            for cell in report.cells
+        ]
+
+    def test_loaded_manifest_is_byte_identical(self, tmp_path):
+        report = build_report()
+        ResultsStore(tmp_path).write(report, "toy")
+        loaded = ResultsStore(tmp_path).load("toy")
+        assert loaded.manifest().to_json() == report.manifest().to_json()
+
+    def test_loaded_report_feeds_the_stats_engine(self, tmp_path):
+        report = build_report()
+        ResultsStore(tmp_path).write(report, "toy")
+        matrix = load_report(tmp_path, "toy").outcome_matrix()
+        assert matrix.accuracies() == report.accuracies()
+
+    def test_missing_manifest_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="repro run"):
+            load_report(tmp_path, "nothing")
+
+    def test_tampered_jsonl_is_rejected(self, tmp_path):
+        paths = ResultsStore(tmp_path).write(build_report(), "toy")
+        lines = paths["cells"].read_text().splitlines()
+        first = json.loads(lines[0])
+        first["correct"] = not first["correct"]
+        lines[0] = json.dumps(first, sort_keys=True)
+        paths["cells"].write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="disagrees"):
+            load_report(tmp_path, "toy")
+
+    def test_manifest_alone_is_enough(self, tmp_path):
+        paths = ResultsStore(tmp_path).write(build_report(), "toy")
+        paths["cells"].unlink()
+        loaded = load_report(tmp_path, "toy")
+        assert len(loaded.cells) == len(build_report().cells)
+
+    def test_stats_reflect_artifact_provenance(self, tmp_path):
+        ResultsStore(tmp_path).write(build_report(), "toy")
+        loaded = load_report(tmp_path, "toy")
+        assert loaded.stats.executed == 0
+        assert loaded.stats.cache_hits == loaded.stats.cells == len(loaded.cells)
+
+
+class TestWriteStats:
+    def test_writes_canonical_leaderboard_json(self, tmp_path):
+        from repro.stats import build_leaderboard
+
+        report = build_report()
+        store = ResultsStore(tmp_path)
+        store.write(report, "toy")
+        board = build_leaderboard(report.outcome_matrix(), seed=7)
+        path = store.write_stats(board, "toy")
+        assert path.name == "toy.stats.json"
+        assert path.read_text() == board.to_json()
+        payload = json.loads(path.read_text())
+        assert {entry["label"] for entry in payload["entries"]} == {
+            "diff", "last_point",
+        }

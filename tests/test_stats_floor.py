@@ -1,0 +1,202 @@
+"""Tests for the one-liner noise floor and the outcome matrix."""
+
+import numpy as np
+import pytest
+
+from repro.runner import UcrScoring
+from repro.stats import (
+    VERDICT_BELOW,
+    VERDICT_CLEARS,
+    VERDICT_WITHIN,
+    BootstrapCI,
+    OutcomeMatrix,
+    default_pool,
+    evaluate_pool,
+    fit_noise_floor,
+)
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def spike_archive(size: int = 10, n: int = 600) -> Archive:
+    """Trivially-flawed fixture: every anomaly is a huge level spike."""
+    series = []
+    for index in range(size):
+        start = 250 + 17 * index
+        values = np.sin(np.linspace(0, 12 * np.pi, n))
+        values[start : start + 5] += 25.0
+        series.append(
+            LabeledSeries(
+                f"spike{index}",
+                values,
+                Labels.single(n, start, start + 5),
+                train_len=100,
+            )
+        )
+    return Archive("spikes", series)
+
+
+class TestOutcomeMatrix:
+    def test_from_cells_accepts_dicts(self):
+        cells = [
+            {"detector": "a", "series": "s1", "correct": True},
+            {"detector": "a", "series": "s2", "correct": False},
+            {"detector": "b", "series": "s1", "correct": False},
+            {"detector": "b", "series": "s2", "correct": True},
+        ]
+        matrix = OutcomeMatrix.from_cells(cells)
+        assert matrix.detectors == ("a", "b")
+        assert matrix.series == ("s1", "s2")
+        assert matrix.accuracies() == {"a": 0.5, "b": 0.5}
+        assert matrix.row("a").tolist() == [True, False]
+
+    def test_from_cells_rejects_ragged_grids(self):
+        cells = [
+            {"detector": "a", "series": "s1", "correct": True},
+            {"detector": "a", "series": "s2", "correct": True},
+            {"detector": "b", "series": "s1", "correct": True},
+        ]
+        with pytest.raises(ValueError, match="rectangular"):
+            OutcomeMatrix.from_cells(cells)
+
+    def test_from_cells_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            OutcomeMatrix.from_cells([])
+        cells = [
+            {"detector": "a", "series": "s1", "correct": True},
+            {"detector": "a", "series": "s1", "correct": False},
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            OutcomeMatrix.from_cells(cells)
+
+    def test_unknown_row_raises_keyerror(self):
+        matrix = OutcomeMatrix.from_cells(
+            [{"detector": "a", "series": "s1", "correct": True}]
+        )
+        with pytest.raises(KeyError):
+            matrix.row("zzz")
+
+    def test_stack_requires_same_series(self):
+        a = OutcomeMatrix.from_cells(
+            [{"detector": "a", "series": "s1", "correct": True}]
+        )
+        b = OutcomeMatrix.from_cells(
+            [{"detector": "b", "series": "s1", "correct": False}]
+        )
+        stacked = a.stack(b)
+        assert stacked.detectors == ("a", "b")
+        c = OutcomeMatrix.from_cells(
+            [{"detector": "c", "series": "other", "correct": True}]
+        )
+        with pytest.raises(ValueError):
+            a.stack(c)
+
+    def test_json_round_trip(self):
+        matrix = OutcomeMatrix.from_cells(
+            [
+                {"detector": "a", "series": "s1", "correct": True},
+                {"detector": "a", "series": "s2", "correct": False},
+            ]
+        )
+        clone = OutcomeMatrix.from_json(matrix.to_json())
+        assert clone == matrix
+
+
+class TestNoiseFloorPool:
+    def test_default_pool_labels_are_prefixed_and_unique(self):
+        labels = [member.label for member in default_pool()]
+        assert len(set(labels)) == len(labels)
+        assert all(label.startswith("oneliner-") for label in labels)
+
+    def test_pool_solves_the_trivially_flawed_archive(self):
+        matrix = evaluate_pool(spike_archive(), UcrScoring())
+        # abs(diff) families nail a 25-sigma spike on every series
+        assert matrix.accuracy("oneliner-f3") == 1.0
+        assert max(matrix.accuracies().values()) == 1.0
+
+    def test_evaluate_pool_is_deterministic(self):
+        archive = spike_archive()
+        a = evaluate_pool(archive, UcrScoring())
+        b = evaluate_pool(archive, UcrScoring())
+        assert a == b
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_pool(spike_archive(2), UcrScoring(), pool=())
+
+    def test_locate_masks_the_training_prefix(self):
+        # a glitch inside the anomaly-free training prefix must not
+        # steal the argmax — same rule as Detector.locate
+        n = 600
+        values = np.zeros(n)
+        values[100] += 50.0  # training-region transient
+        values[400:405] += 20.0  # the real labeled anomaly
+        series = LabeledSeries(
+            "train_glitch",
+            values,
+            Labels.single(n, 400, 405),
+            train_len=200,
+        )
+        for member in default_pool():
+            assert member.locate(series) >= 200, member.label
+
+    def test_pool_agrees_with_equivalent_registry_detector(self):
+        # oneliner-f3 is abs(diff) thresholding; the registry 'diff'
+        # detector scores |diff| too — on a train-glitch series both
+        # must point at the test-region anomaly
+        from repro.detectors import make_detector
+
+        n = 600
+        values = np.sin(np.linspace(0, 20, n))
+        values[80] += 30.0
+        values[450:455] += 30.0
+        series = LabeledSeries(
+            "glitch", values, Labels.single(n, 450, 455), train_len=150
+        )
+        f3 = next(m for m in default_pool() if m.label == "oneliner-f3")
+        scoring = UcrScoring()
+        assert scoring.correct(series, f3.locate(series))
+        assert scoring.correct(series, make_detector("diff").locate(series))
+
+
+class TestNoiseFloor:
+    def fit(self, size=10):
+        return fit_noise_floor(spike_archive(size), UcrScoring(), seed=7)
+
+    def test_best_member_has_the_top_accuracy(self):
+        floor = self.fit()
+        best_mean = floor.cis[floor.best].mean
+        assert best_mean == max(ci.mean for ci in floor.cis.values())
+
+    def test_floor_is_saturated_on_flawed_archive(self):
+        floor = self.fit()
+        assert floor.ci.mean == 1.0
+        assert floor.ci.lo == floor.ci.hi == 1.0  # zero-variance bootstrap
+
+    def test_verdicts(self):
+        floor = self.fit()
+        below = BootstrapCI(0.3, 0.2, 0.4, 0.05, 100, 10, "percentile")
+        within = BootstrapCI(0.9, 0.8, 1.0, 0.05, 100, 10, "percentile")
+        assert floor.verdict(below) == VERDICT_BELOW
+        assert floor.verdict(within) == VERDICT_WITHIN
+        assert floor.verdict(floor.ci) == VERDICT_WITHIN
+        above = BootstrapCI(1.2, 1.1, 1.3, 0.05, 100, 10, "percentile")
+        assert floor.verdict(above) == VERDICT_CLEARS
+
+    def test_single_series_archive(self):
+        floor = self.fit(size=1)
+        assert floor.ci.n == 1
+        assert floor.ci.lo == floor.ci.hi
+        # degenerate interval still classifies sensibly
+        assert floor.verdict(floor.ci) == VERDICT_WITHIN
+
+    def test_seed_stability(self):
+        assert self.fit().cis == self.fit().cis
+
+    def test_format_and_json(self):
+        import json
+
+        floor = self.fit(size=3)
+        assert floor.best in floor.format()
+        payload = floor.to_json()
+        assert payload["best"] == floor.best
+        json.dumps(payload)

@@ -1,0 +1,136 @@
+"""Tests for leaderboard aggregation and engine/stats integration."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import DetectorSpec
+from repro.runner import EvalEngine, UcrScoring
+from repro.stats import (
+    VERDICT_WITHIN,
+    build_leaderboard,
+    fit_noise_floor,
+)
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def toy_archive(size: int = 8, n: int = 700) -> Archive:
+    series = []
+    for index in range(size):
+        start = 300 + 40 * index
+        values = np.zeros(n)
+        values[start : start + 30] += 5.0
+        series.append(
+            LabeledSeries(
+                f"d{index}",
+                values,
+                Labels.single(n, start, start + 30),
+                train_len=150,
+            )
+        )
+    return Archive("toy", series)
+
+
+SPECS = [
+    DetectorSpec.create("diff"),
+    DetectorSpec.create("moving_zscore", k=50),
+    DetectorSpec.create("last_point"),
+]
+
+
+def run_report(jobs: int = 1):
+    return EvalEngine(SPECS, jobs=jobs, config={"seed": 7}).run(toy_archive())
+
+
+class TestOutcomeMatrixAccessor:
+    def test_report_grows_matrix_accessor(self):
+        report = run_report()
+        matrix = report.outcome_matrix()
+        assert matrix.detectors == tuple(spec.label for spec in SPECS)
+        assert matrix.num_series == 8
+        assert matrix.accuracies() == report.accuracies()
+
+
+class TestBuildLeaderboard:
+    def leaderboard(self, **kwargs):
+        return build_leaderboard(run_report().outcome_matrix(), **kwargs)
+
+    def test_entries_sorted_by_accuracy_then_label(self):
+        board = self.leaderboard()
+        accuracies = [entry.accuracy for entry in board.entries]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_every_detector_has_ci_and_rank(self):
+        board = self.leaderboard()
+        assert len(board.entries) == len(SPECS)
+        for entry in board.entries:
+            assert entry.ci.lo <= entry.accuracy <= entry.ci.hi
+            assert 1.0 <= entry.mean_rank <= len(SPECS)
+            assert entry.verdict is None  # no noise floor supplied
+
+    def test_pairwise_covers_all_pairs(self):
+        board = self.leaderboard()
+        assert len(board.pairwise) == 3
+
+    def test_verdicts_present_with_noise_floor(self):
+        archive = toy_archive()
+        floor = fit_noise_floor(archive, UcrScoring(), seed=7)
+        board = build_leaderboard(
+            run_report().outcome_matrix(), noise_floor=floor
+        )
+        for entry in board.entries:
+            assert entry.verdict is not None
+        # spikes are one-liner food: nobody clears the floor
+        assert all(
+            entry.verdict in (VERDICT_WITHIN, "below noise floor")
+            for entry in board.entries
+        )
+
+    def test_entry_lookup(self):
+        board = self.leaderboard()
+        assert board.entry("diff").label == "diff"
+        with pytest.raises(KeyError):
+            board.entry("nope")
+
+    def test_format_mentions_everything(self):
+        board = self.leaderboard(archive={"name": "toy"})
+        text = board.format()
+        assert "archive toy" in text
+        for spec in SPECS:
+            assert spec.label in text
+        assert "Friedman" in text
+        assert "pairwise" in text
+
+
+class TestDeterminism:
+    def test_json_byte_identical_across_invocations(self):
+        a = build_leaderboard(run_report().outcome_matrix(), seed=7)
+        b = build_leaderboard(run_report().outcome_matrix(), seed=7)
+        assert a.to_json() == b.to_json()
+        assert a.format() == b.format()
+
+    def test_serial_and_parallel_source_runs_agree(self):
+        # same seed => identical CIs whether the cells came from a
+        # serial or a 4-worker engine run
+        serial = build_leaderboard(run_report(jobs=1).outcome_matrix(), seed=7)
+        parallel = build_leaderboard(run_report(jobs=4).outcome_matrix(), seed=7)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_seed_changes_intervals_not_point_estimates(self):
+        a = build_leaderboard(run_report().outcome_matrix(), seed=7)
+        b = build_leaderboard(run_report().outcome_matrix(), seed=8)
+        for entry_a, entry_b in zip(a.entries, b.entries):
+            assert entry_a.accuracy == entry_b.accuracy
+        assert a.to_json() != b.to_json()
+
+    def test_json_has_all_sections(self):
+        import json
+
+        board = build_leaderboard(
+            run_report().outcome_matrix(), archive={"name": "toy"}
+        )
+        payload = json.loads(board.to_json())
+        assert set(payload) == {
+            "version", "archive", "alpha", "resamples", "seed",
+            "ci_method", "entries", "pairwise", "ranking", "noise_floor",
+        }
+        assert payload["noise_floor"] is None

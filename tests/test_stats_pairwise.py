@@ -1,0 +1,149 @@
+"""Tests for paired permutation tests and the Holm correction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    OutcomeMatrix,
+    holm_bonferroni,
+    paired_permutation_test,
+    pairwise_tests,
+)
+
+
+def binomial_two_sided_p(m: int, statistic: int) -> float:
+    """Analytic p for boolean paired data: |2B - m| >= |statistic|."""
+    hits = sum(
+        math.comb(m, j)
+        for j in range(m + 1)
+        if abs(2 * j - m) >= abs(statistic)
+    )
+    return hits / 2.0**m
+
+
+class TestPairedPermutationTest:
+    def test_all_identical_outcomes_give_p_one(self):
+        x = np.array([1, 0, 1, 1, 0], dtype=bool)
+        result = paired_permutation_test(x, x.copy())
+        assert result.p_value == 1.0
+        assert result.exact
+        assert result.n_disagreements == 0
+        assert result.mean_diff == 0.0
+
+    def test_exact_path_matches_binomial(self):
+        # 10 disagreements, 8 favoring x: statistic = +6
+        x = np.ones(16, dtype=bool)
+        y = x.copy()
+        y[:8] = False          # x wins 8
+        x[8:10] = False        # y wins 2
+        result = paired_permutation_test(x, y)
+        assert result.exact
+        assert result.n_disagreements == 10
+        assert result.p_value == pytest.approx(binomial_two_sided_p(10, 6))
+
+    def test_one_disagreement_can_never_be_significant(self):
+        x = np.zeros(4, dtype=bool)
+        y = x.copy()
+        x[0] = True
+        result = paired_permutation_test(x, y)
+        assert result.exact
+        assert result.p_value == 1.0
+
+    def test_strong_separation_is_significant(self):
+        x = np.ones(12, dtype=bool)
+        y = np.zeros(12, dtype=bool)
+        result = paired_permutation_test(x, y)
+        assert result.exact
+        assert result.p_value == pytest.approx(2.0 / 2**12)
+
+    def test_monte_carlo_path_is_seeded(self):
+        # 30 disagreements (17 vs 13): mid-range p, so two Monte-Carlo
+        # estimates from different seeds almost surely differ
+        x = np.zeros(40, dtype=bool)
+        y = np.zeros(40, dtype=bool)
+        x[:17] = True
+        y[17:30] = True
+        a = paired_permutation_test(x, y, seed=7, stream=("a", "b"))
+        b = paired_permutation_test(x, y, seed=7, stream=("a", "b"))
+        assert not a.exact
+        assert a.n_disagreements == 30
+        assert a == b
+        c = paired_permutation_test(x, y, seed=8, stream=("a", "b"))
+        assert a.p_value != c.p_value
+
+    def test_monte_carlo_p_never_zero(self):
+        x = np.ones(64, dtype=bool)
+        y = np.zeros(64, dtype=bool)
+        result = paired_permutation_test(x, y, resamples=500)
+        assert not result.exact
+        assert result.p_value > 0.0
+
+    def test_rejects_mismatched_lengths_and_empty(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            paired_permutation_test(np.array([]), np.array([]))
+
+
+class TestHolmBonferroni:
+    def test_known_example(self):
+        assert holm_bonferroni([0.01, 0.04, 0.03, 0.2]) == [
+            pytest.approx(0.04),
+            pytest.approx(0.09),
+            pytest.approx(0.09),
+            pytest.approx(0.2),
+        ]
+
+    def test_adjusted_never_below_raw_and_capped(self):
+        raw = [0.5, 0.9, 0.04, 0.7]
+        adjusted = holm_bonferroni(raw)
+        for p, q in zip(raw, adjusted):
+            assert q >= p
+            assert q <= 1.0
+
+    def test_single_p_unchanged(self):
+        assert holm_bonferroni([0.3]) == [0.3]
+
+    def test_empty_input(self):
+        assert holm_bonferroni([]) == []
+
+
+class TestPairwiseTests:
+    def matrix(self):
+        good = np.ones(14, dtype=bool)
+        bad = np.zeros(14, dtype=bool)
+        mixed = good.copy()
+        mixed[:4] = False
+        return OutcomeMatrix(
+            detectors=("good", "mixed", "bad"),
+            series=tuple(f"s{i}" for i in range(14)),
+            values=np.array([good, mixed, bad]),
+        )
+
+    def test_every_unordered_pair_once(self):
+        comparisons = pairwise_tests(self.matrix())
+        assert [(c.a, c.b) for c in comparisons] == [
+            ("good", "mixed"), ("good", "bad"), ("mixed", "bad"),
+        ]
+
+    def test_wins_and_mean_diff(self):
+        comparisons = {(c.a, c.b): c for c in pairwise_tests(self.matrix())}
+        gm = comparisons[("good", "mixed")]
+        assert (gm.wins_a, gm.wins_b) == (4, 0)
+        assert gm.mean_diff == pytest.approx(4 / 14)
+        assert gm.n_pairs == 14
+
+    def test_holm_applied_and_significance(self):
+        comparisons = pairwise_tests(self.matrix(), alpha=0.05)
+        by_pair = {(c.a, c.b): c for c in comparisons}
+        assert by_pair[("good", "bad")].significant
+        assert not by_pair[("good", "mixed")].significant  # p = 0.125
+        for comparison in comparisons:
+            assert comparison.p_holm >= comparison.p_value
+
+    def test_deterministic_across_calls(self):
+        a = pairwise_tests(self.matrix(), seed=7)
+        b = pairwise_tests(self.matrix(), seed=7)
+        assert a == b

@@ -1,0 +1,170 @@
+"""Tests for Friedman/Nemenyi rank analysis, including heavy ties."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    OutcomeMatrix,
+    average_ranks,
+    friedman_test,
+    nemenyi_cd,
+    rank_analysis,
+)
+
+
+class TestAverageRanks:
+    def test_distinct_values_rank_descending(self):
+        ranks = average_ranks(np.array([[3.0], [1.0], [2.0]]))
+        assert ranks[:, 0].tolist() == [1.0, 3.0, 2.0]
+
+    def test_ties_get_average_ranks(self):
+        # two detectors tied at 1 share ranks (1+2)/2, loser gets 3
+        ranks = average_ranks(np.array([[1.0], [1.0], [0.0]]))
+        assert ranks[:, 0].tolist() == [1.5, 1.5, 3.0]
+
+    def test_full_tie_column(self):
+        ranks = average_ranks(np.ones((4, 2)))
+        assert np.all(ranks == 2.5)
+
+    def test_rank_sum_invariant(self):
+        rng = np.random.default_rng(5)
+        values = (rng.random((5, 9)) < 0.5).astype(float)
+        ranks = average_ranks(values)
+        k = 5
+        assert np.allclose(ranks.sum(axis=0), k * (k + 1) / 2)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            average_ranks(np.ones(5))
+
+
+class TestFriedmanTest:
+    def test_textbook_no_tie_case(self):
+        # 3 treatments, 4 blocks, always ranked A > B > C:
+        # chi2 = 12/(4*3*4) * (16+64+144) - 3*4*4 = 8, p = exp(-4)
+        values = np.array([
+            [3.0, 3.0, 3.0, 3.0],
+            [2.0, 2.0, 2.0, 2.0],
+            [1.0, 1.0, 1.0, 1.0],
+        ])
+        statistic, df, p = friedman_test(values)
+        assert statistic == pytest.approx(8.0)
+        assert df == 2
+        assert p == pytest.approx(math.exp(-4.0), rel=1e-9)
+
+    def test_all_identical_outcomes_degenerate(self):
+        statistic, df, p = friedman_test(np.ones((4, 6)))
+        assert statistic == 0.0
+        assert df == 3
+        assert p == 1.0
+
+    def test_tie_correction_boosts_statistic(self):
+        # boolean data: one detector solves everything, one nothing,
+        # one half — ties inside every block
+        values = np.array([
+            np.ones(8),
+            np.concatenate([np.ones(4), np.zeros(4)]),
+            np.zeros(8),
+        ])
+        corrected, _, p_corrected = friedman_test(values)
+        assert corrected > 0.0
+        assert 0.0 < p_corrected < 0.05
+
+    def test_single_series_block(self):
+        statistic, df, p = friedman_test(np.array([[1.0], [0.0]]))
+        assert df == 1
+        assert 0.0 <= p <= 1.0
+
+    def test_single_detector_degenerate(self):
+        statistic, df, p = friedman_test(np.ones((1, 10)))
+        assert (statistic, p) == (0.0, 1.0)
+
+
+class TestNemenyiCD:
+    def test_known_value(self):
+        # Demšar's example scale: k=5, N=30
+        assert nemenyi_cd(5, 30) == pytest.approx(
+            2.727774 * math.sqrt(5 * 6 / (6.0 * 30))
+        )
+
+    def test_more_series_shrinks_cd(self):
+        assert nemenyi_cd(4, 100) < nemenyi_cd(4, 10)
+
+    def test_out_of_table(self):
+        assert nemenyi_cd(30, 10) is None
+        assert nemenyi_cd(3, 10, alpha=0.07) is None
+        assert nemenyi_cd(3, 0) is None
+
+
+class TestRankAnalysis:
+    def matrix(self, rows, n=10):
+        return OutcomeMatrix(
+            detectors=tuple(label for label, _ in rows),
+            series=tuple(f"s{i}" for i in range(n)),
+            values=np.array([row for _, row in rows], dtype=bool),
+        )
+
+    def test_orders_by_mean_rank_best_first(self):
+        n = 10
+        rows = [
+            ("weak", np.zeros(n, dtype=bool)),
+            ("strong", np.ones(n, dtype=bool)),
+            ("half", np.arange(n) % 2 == 0),
+        ]
+        analysis = rank_analysis(self.matrix(rows, n))
+        assert analysis.detectors[0] == "strong"
+        assert analysis.detectors[-1] == "weak"
+        assert analysis.mean_ranks == tuple(sorted(analysis.mean_ranks))
+
+    def test_tied_detectors_tiebreak_by_label(self):
+        n = 6
+        rows = [
+            ("zeta", np.ones(n, dtype=bool)),
+            ("alpha", np.ones(n, dtype=bool)),
+        ]
+        analysis = rank_analysis(self.matrix(rows, n))
+        assert analysis.detectors == ("alpha", "zeta")
+        assert analysis.mean_ranks == (1.5, 1.5)
+        # fully tied: degenerate Friedman, single clique of everything
+        assert analysis.friedman_p == 1.0
+        assert analysis.cliques == (("alpha", "zeta"),)
+
+    def test_separated_detectors_form_distinct_cliques(self):
+        n = 40
+        rows = [
+            ("strong", np.ones(n, dtype=bool)),
+            ("weak", np.zeros(n, dtype=bool)),
+        ]
+        analysis = rank_analysis(self.matrix(rows, n))
+        assert analysis.cd is not None
+        # mean ranks 1 and 2 differ by 1 > CD for k=2, n=40 (~0.44)
+        assert analysis.cliques == (("strong",), ("weak",))
+        assert analysis.friedman_p < 0.001
+
+    def test_untabulated_alpha_falls_back(self):
+        n = 8
+        rows = [("a", np.ones(n, dtype=bool)), ("b", np.zeros(n, dtype=bool))]
+        analysis = rank_analysis(self.matrix(rows, n), alpha=0.20)
+        assert analysis.cd_alpha == 0.05
+        assert analysis.cd is not None
+
+    def test_rank_of_and_format(self):
+        n = 5
+        rows = [("a", np.ones(n, dtype=bool)), ("b", np.zeros(n, dtype=bool))]
+        analysis = rank_analysis(self.matrix(rows, n))
+        assert analysis.rank_of("a") == 1.0
+        assert analysis.rank_of("b") == 2.0
+        with pytest.raises(KeyError):
+            analysis.rank_of("c")
+        text = analysis.format()
+        assert "Friedman" in text and "rank" in text
+
+    def test_json_is_plain_types(self):
+        import json
+
+        n = 5
+        rows = [("a", np.ones(n, dtype=bool)), ("b", np.zeros(n, dtype=bool))]
+        payload = rank_analysis(self.matrix(rows, n)).to_json()
+        json.dumps(payload)  # raises on numpy scalars

@@ -1,0 +1,134 @@
+"""Tests for bootstrap confidence intervals (and the special functions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import BootstrapCI, bootstrap_ci, chi2_sf, nemenyi_q, norm_cdf, norm_ppf
+
+
+class TestSpecialFunctions:
+    def test_norm_ppf_matches_known_quantiles(self):
+        assert norm_ppf(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert norm_ppf(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert norm_ppf(0.025) == pytest.approx(-1.959964, abs=1e-5)
+        # deep tail (the low-region branch)
+        assert norm_ppf(1e-6) == pytest.approx(-4.753424, abs=1e-4)
+
+    def test_norm_ppf_inverts_cdf(self):
+        for p in (0.001, 0.01, 0.2, 0.5, 0.7, 0.99, 0.999):
+            assert norm_cdf(norm_ppf(p)) == pytest.approx(p, abs=1e-8)
+
+    def test_norm_ppf_rejects_boundaries(self):
+        for p in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                norm_ppf(p)
+
+    def test_chi2_sf_known_values(self):
+        # P(chi2_1 > 3.841459) = 0.05, P(chi2_2 > x) = exp(-x/2)
+        assert chi2_sf(3.841459, 1) == pytest.approx(0.05, abs=1e-6)
+        assert chi2_sf(8.0, 2) == pytest.approx(math.exp(-4.0), rel=1e-10)
+        assert chi2_sf(0.0, 5) == 1.0
+        assert chi2_sf(1000.0, 3) < 1e-100
+
+    def test_chi2_sf_continued_fraction_branch(self):
+        # x far above df exercises the Lentz continued fraction;
+        # for df=4, sf(x) = exp(-x/2) * (1 + x/2) exactly
+        assert chi2_sf(50.0, 4) == pytest.approx(
+            math.exp(-25.0) * 26.0, rel=1e-10
+        )
+
+    def test_nemenyi_table(self):
+        assert nemenyi_q(2, 0.05) == pytest.approx(1.959964)
+        assert nemenyi_q(10, 0.05) == pytest.approx(3.163684)
+        assert nemenyi_q(3, 0.10) == pytest.approx(2.052293)
+        assert nemenyi_q(25, 0.05) is None
+        assert nemenyi_q(5, 0.01) is None
+
+
+class TestBootstrapCI:
+    def vector(self):
+        rng = np.random.default_rng(0)
+        return rng.random(60) < 0.7
+
+    def test_same_seed_same_interval(self):
+        x = self.vector()
+        a = bootstrap_ci(x, seed=7, stream=("det",))
+        b = bootstrap_ci(x, seed=7, stream=("det",))
+        assert a == b
+
+    def test_different_seed_different_interval(self):
+        # a single quantile pair can coincide on discrete accuracy data,
+        # so compare intervals across several levels at once
+        x = self.vector()
+        alphas = (0.01, 0.05, 0.1, 0.32)
+        a = tuple(bootstrap_ci(x, seed=7, alpha=al) for al in alphas)
+        b = tuple(bootstrap_ci(x, seed=8, alpha=al) for al in alphas)
+        assert tuple((ci.lo, ci.hi) for ci in a) != tuple(
+            (ci.lo, ci.hi) for ci in b
+        )
+
+    def test_stream_labels_decorrelate(self):
+        x = self.vector()
+        a = bootstrap_ci(x, seed=7, stream=("detector_a",))
+        b = bootstrap_ci(x, seed=7, stream=("detector_b",))
+        assert (a.lo, a.hi) != (b.lo, b.hi)
+
+    def test_interval_brackets_the_mean(self):
+        x = self.vector()
+        for method in ("percentile", "bca"):
+            ci = bootstrap_ci(x, method=method)
+            assert ci.lo <= ci.mean <= ci.hi
+            assert 0.0 <= ci.lo <= ci.hi <= 1.0
+            assert ci.method == method
+
+    def test_zero_variance_vector_degenerates(self):
+        for value in (0.0, 1.0):
+            ci = bootstrap_ci(np.full(25, value))
+            assert ci.lo == ci.hi == ci.mean == value
+            assert ci.width == 0.0
+
+    def test_single_series_falls_back_to_percentile(self):
+        ci = bootstrap_ci(np.array([True]), method="bca")
+        assert ci.method == "percentile"
+        assert ci.n == 1
+        assert ci.lo == ci.hi == 1.0
+
+    def test_more_data_tightens_the_interval(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_ci(rng.random(20) < 0.6, seed=5)
+        large = bootstrap_ci(rng.random(2000) < 0.6, seed=5)
+        assert large.width < small.width
+
+    def test_wider_alpha_narrows_the_interval(self):
+        x = self.vector()
+        narrow = bootstrap_ci(x, alpha=0.32, seed=5)
+        wide = bootstrap_ci(x, alpha=0.01, seed=5)
+        assert narrow.width <= wide.width
+
+    def test_separation_helpers(self):
+        low = BootstrapCI(0.2, 0.1, 0.3, 0.05, 100, 10, "percentile")
+        high = BootstrapCI(0.8, 0.7, 0.9, 0.05, 100, 10, "percentile")
+        mid = BootstrapCI(0.5, 0.25, 0.75, 0.05, 100, 10, "percentile")
+        assert high.separated_above(low)
+        assert not low.separated_above(high)
+        assert mid.overlaps(low) and mid.overlaps(high)
+        assert not low.overlaps(high)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(5), alpha=0.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(5), resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(5), method="studentized")
+
+    def test_to_json_round_trips_fields(self):
+        ci = bootstrap_ci(self.vector(), seed=11)
+        payload = ci.to_json()
+        assert payload["mean"] == ci.mean
+        assert payload["method"] == ci.method
+        assert payload["n"] == 60
