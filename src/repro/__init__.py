@@ -21,6 +21,9 @@ Public surface:
 * :mod:`repro.stats` — statistical comparison engine: bootstrap CIs,
   paired permutation tests, Friedman/Nemenyi rank analysis and the
   one-liner noise floor behind ``repro compare``.
+* :mod:`repro.bench` — the ``repro bench`` perf harness: times the mpx
+  kernel against the retained reference kernels and writes the
+  machine-readable ``benchmarks/perf/BENCH_3.json`` trajectory.
 """
 
 from .types import AnomalyRegion, Archive, LabeledSeries, Labels

@@ -1,0 +1,419 @@
+"""``repro bench`` — performance harness for the numeric core.
+
+Times the production mpx kernel against the retained reference kernels
+(:mod:`repro.detectors.reference`), MERLIN before/after the shared-stats
+rewrite, the kNN detector's cached-vs-legacy scoring, the one-liner
+sliding extrema, and a small end-to-end engine grid.  Results are
+written as machine-readable JSON (``benchmarks/perf/BENCH_3.json`` by
+default) so future changes can regress against a recorded trajectory.
+
+Methodology
+-----------
+* every number is the **median of k** runs (``--repeats``) of
+  ``time.perf_counter``;
+* input data is deterministic (fixed seeds) — only the timings vary;
+* the O(n²·w) brute-force baseline is timed on a leading slice of rows
+  and extrapolated linearly (every row costs the same O(n·w), so the
+  scaling is exact in expectation); entries produced that way carry
+  ``"naive_estimated": true`` and the row count used;
+* the retained STOMP kernel is timed in full, with fewer repeats at
+  sizes where a single run is already seconds long.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from statistics import median
+
+import numpy as np
+
+__all__ = ["run_bench", "format_bench", "write_bench", "DEFAULT_OUT", "SECTIONS"]
+
+DEFAULT_OUT = os.path.join("benchmarks", "perf", "BENCH_3.json")
+SECTIONS = ("kernel", "merlin", "knn", "oneliner", "engine")
+
+_FULL_SIZES = (2_000, 5_000, 10_000, 20_000)
+_QUICK_SIZES = (2_048, 8_192)
+_FULL_W = 100
+_QUICK_W = 64
+_SEED = 7
+
+
+def _timed(fn, repeats: int) -> float:
+    runs = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - start)
+    return float(median(runs))
+
+
+def _walk(n: int, seed: int = _SEED) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(0.0, 1.0, n))
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return float(numerator / denominator) if denominator > 0 else float("inf")
+
+
+# ---------------------------------------------------------------------------
+# kernel: mpx vs the retained references
+
+
+def _bench_kernel(sizes, w: int, repeats: int, naive_rows: int) -> dict:
+    from .detectors import matrix_profile
+    from .detectors.reference import naive_profile, stomp_profile
+
+    results = []
+    for n in sizes:
+        values = _walk(n)
+        num_subs = n - w + 1
+        mpx = _timed(lambda: matrix_profile(values, w, with_indices=False), repeats)
+        mpx_indexed = _timed(lambda: matrix_profile(values, w), repeats)
+        stomp_repeats = repeats if n <= 5_000 else 1
+        stomp = _timed(lambda: stomp_profile(values, w), stomp_repeats)
+        rows = min(naive_rows, num_subs)
+        naive_slice = _timed(lambda: naive_profile(values, w, row_limit=rows), 1)
+        naive = naive_slice * (num_subs / rows)
+        results.append(
+            {
+                "n": n,
+                "w": w,
+                "num_subsequences": num_subs,
+                "mpx_seconds": mpx,
+                "mpx_indexed_seconds": mpx_indexed,
+                "stomp_seconds": stomp,
+                "naive_seconds": naive,
+                "naive_rows_timed": rows,
+                "naive_estimated": rows < num_subs,
+                "speedup_vs_naive": _ratio(naive, mpx),
+                "speedup_vs_stomp": _ratio(stomp, mpx),
+            }
+        )
+    return {"w": w, "results": results}
+
+
+# ---------------------------------------------------------------------------
+# MERLIN: legacy per-length STOMP loop vs shared stats + early abandon
+
+
+def _legacy_merlin(values: np.ndarray, min_w: int, max_w: int, num_lengths: int):
+    """The pre-refactor merlin(): a full STOMP profile per length."""
+    from .detectors.merlin import candidate_lengths
+    from .detectors.reference import stomp_profile
+
+    lengths, locations, distances = [], [], []
+    for w in candidate_lengths(min_w, max_w, num_lengths):
+        if values.size < 2 * w:
+            continue
+        result = stomp_profile(values, w)
+        finite = np.where(np.isfinite(result.profile), result.profile, -np.inf)
+        location = int(np.argmax(finite))
+        lengths.append(w)
+        locations.append(location)
+        distances.append(float(finite[location]) / np.sqrt(w))
+    best = int(np.argmax(distances))
+    return lengths[best], locations[best], float(distances[best])
+
+
+def _bench_merlin(quick: bool, repeats: int) -> dict:
+    from .datasets import make_taxi
+    from .detectors import merlin
+
+    taxi = make_taxi()
+    values = taxi.values[:4_000] if quick else taxi.values
+    min_w, max_w, num_lengths = 24, 96, 5
+
+    legacy_best = _legacy_merlin(values, min_w, max_w, num_lengths)
+    exact = merlin(values, min_w, max_w, num_lengths)
+    abandoned = merlin(values, min_w, max_w, num_lengths, early_abandon=True)
+    for candidate in (exact.best, abandoned.best):
+        # lengths and locations must agree exactly; the distance only to
+        # fp noise (STOMP and mpx round their recurrences differently)
+        if candidate[:2] != legacy_best[:2] or not np.isclose(
+            candidate[2], legacy_best[2], rtol=1e-9, atol=1e-9
+        ):
+            raise AssertionError(
+                f"MERLIN implementations disagree: legacy={legacy_best} "
+                f"exact={exact.best} abandoned={abandoned.best}"
+            )
+
+    before = _timed(
+        lambda: _legacy_merlin(values, min_w, max_w, num_lengths), max(1, repeats // 2)
+    )
+    after = _timed(lambda: merlin(values, min_w, max_w, num_lengths), repeats)
+    after_abandon = _timed(
+        lambda: merlin(values, min_w, max_w, num_lengths, early_abandon=True), repeats
+    )
+    return {
+        "series": "fig8-taxi" + ("[:4000]" if quick else ""),
+        "n": int(values.size),
+        "min_w": min_w,
+        "max_w": max_w,
+        "num_lengths": num_lengths,
+        "best": {
+            "length": legacy_best[0],
+            "location": legacy_best[1],
+            "normalized_distance": legacy_best[2],
+        },
+        "before_seconds": before,
+        "after_seconds": after,
+        "after_abandon_seconds": after_abandon,
+        "speedup": _ratio(before, after),
+        "speedup_with_abandon": _ratio(before, after_abandon),
+    }
+
+
+# ---------------------------------------------------------------------------
+# kNN: fit-time caches vs the legacy per-call recompute
+
+
+def _legacy_knn_score(detector, values: np.ndarray) -> np.ndarray:
+    """The pre-refactor score(): reference squared norms per call."""
+    from .detectors.knn import _window_matrix
+    from .detectors.matrix_profile import subsequence_to_point_scores
+
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    reference = detector._train_windows
+    queries = _window_matrix(values, detector.w, detector.znorm)
+    ref_sq = np.einsum("ij,ij->i", reference, reference)
+    kth = min(detector.k, reference.shape[0]) - 1
+    distances = np.empty(queries.shape[0])
+    for start in range(0, queries.shape[0], detector.chunk):
+        block = queries[start : start + detector.chunk]
+        block_sq = np.einsum("ij,ij->i", block, block)
+        sq = block_sq[:, None] + ref_sq[None, :] - 2.0 * block @ reference.T
+        np.maximum(sq, 0.0, out=sq)
+        sq.partition(kth, axis=1)
+        distances[start : start + detector.chunk] = np.sqrt(sq[:, kth])
+    return subsequence_to_point_scores(distances, detector.w, n)
+
+
+def _bench_knn(quick: bool, repeats: int, w: int) -> dict:
+    from .detectors import KnnDistanceDetector
+
+    n = 4_096 if quick else 10_000
+    values = _walk(n)
+    train = values[: n // 3]
+    detector = KnnDistanceDetector(w=w, k=1).fit(train)
+
+    full = _timed(lambda: detector.score(values), repeats)
+    full_legacy = _timed(lambda: _legacy_knn_score(detector, values), repeats)
+    # streaming shape: many short score() calls against one fitted model —
+    # here the legacy per-call reference recompute actually dominates
+    segment = values[-4 * w :]
+    short = _timed(lambda: detector.score(segment), repeats * 3)
+    short_legacy = _timed(lambda: _legacy_knn_score(detector, segment), repeats * 3)
+    return {
+        "n": n,
+        "w": w,
+        "k": 1,
+        "train_points": int(train.size),
+        "full_score_seconds": full,
+        "full_score_legacy_seconds": full_legacy,
+        "full_score_speedup": _ratio(full_legacy, full),
+        "short_segment_points": int(segment.size),
+        "short_score_seconds": short,
+        "short_score_legacy_seconds": short_legacy,
+        "short_score_speedup": _ratio(short_legacy, short),
+    }
+
+
+# ---------------------------------------------------------------------------
+# one-liner primitives: deque-equivalent sliding extrema vs bounded loop
+
+
+def _legacy_mov_extreme(values: np.ndarray, k: int, op) -> np.ndarray:
+    """The pre-refactor O(n·k) bounded loop behind movmax/movmin."""
+    from .oneliner.primitives import window_bounds
+
+    array = np.asarray(values, dtype=float)
+    lo, hi = window_bounds(array.size, k)
+    out = np.empty(array.size)
+    for i in range(array.size):
+        out[i] = op(array[lo[i] : hi[i]])
+    return out
+
+
+def _bench_oneliner(quick: bool, repeats: int) -> dict:
+    from .oneliner.primitives import movmax
+
+    n = 50_000 if quick else 200_000
+    k = 480  # Table-1 sweeps reach windows this long
+    values = _walk(n)
+    new = _timed(lambda: movmax(values, k), repeats)
+    legacy = _timed(lambda: _legacy_mov_extreme(values, k, np.max), 1)
+    if not np.array_equal(movmax(values, k), _legacy_mov_extreme(values, k, np.max)):
+        raise AssertionError("movmax rewrite changed results")
+    return {
+        "n": n,
+        "k": k,
+        "movmax_seconds": new,
+        "movmax_legacy_seconds": legacy,
+        "speedup": _ratio(legacy, new),
+    }
+
+
+# ---------------------------------------------------------------------------
+# engine: a small end-to-end detector × archive grid
+
+
+def _bench_engine(quick: bool, repeats: int) -> dict:
+    from .datasets import UcrSimConfig, make_ucr
+    from .detectors import DetectorSpec
+    from .runner import EvalEngine
+
+    archive = make_ucr(UcrSimConfig(size=1 if quick else 4))
+    specs = [
+        DetectorSpec.create("moving_zscore", k=50),
+        DetectorSpec.create("matrix_profile", w=100),
+    ]
+    engine = EvalEngine(specs)
+    seconds = _timed(lambda: engine.run(archive), max(1, repeats // 2))
+    return {
+        "archive_series": len(archive),
+        "total_points": int(sum(s.values.size for s in archive.series)),
+        "detectors": [spec.label for spec in specs],
+        "cells": len(archive) * len(specs),
+        "seconds": seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# harness
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int | None = None,
+    sections: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+    naive_rows: int = 256,
+) -> dict:
+    """Run the selected sections and return the machine-readable report."""
+    chosen = SECTIONS if sections is None else tuple(sections)
+    unknown = set(chosen) - set(SECTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown bench sections {sorted(unknown)}; "
+            f"available: {', '.join(SECTIONS)}"
+        )
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if sizes is None:
+        sizes = _QUICK_SIZES if quick else _FULL_SIZES
+    w = _QUICK_W if quick else _FULL_W
+
+    report: dict = {
+        "schema": "repro-bench/1",
+        "label": "BENCH_3",
+        "quick": quick,
+        "repeats": repeats,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "sections": {},
+        "checks": {},
+    }
+    if "kernel" in chosen:
+        kernel = _bench_kernel(sizes, w, repeats, naive_rows)
+        report["sections"]["kernel"] = kernel
+        top = kernel["results"][-1]
+        report["checks"]["kernel_speedup_vs_naive"] = top["speedup_vs_naive"]
+        report["checks"]["kernel_speedup_vs_stomp"] = top["speedup_vs_stomp"]
+    if "merlin" in chosen:
+        merlin = _bench_merlin(quick, repeats)
+        report["sections"]["merlin"] = merlin
+        report["checks"]["merlin_speedup"] = merlin["speedup_with_abandon"]
+    if "knn" in chosen:
+        report["sections"]["knn"] = _bench_knn(quick, repeats, w)
+    if "oneliner" in chosen:
+        report["sections"]["oneliner"] = _bench_oneliner(quick, repeats)
+    if "engine" in chosen:
+        report["sections"]["engine"] = _bench_engine(quick, repeats)
+    return report
+
+
+def write_bench(report: dict, path: str) -> str:
+    """Write the report as pretty JSON, creating parent directories."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_bench(report: dict) -> str:
+    """Human-readable summary of a bench report."""
+    lines = [
+        f"repro bench ({'quick' if report['quick'] else 'full'}, "
+        f"median of {report['repeats']}) — numpy {report['env']['numpy']}, "
+        f"{report['env']['cpu_count']} cpu(s)"
+    ]
+    kernel = report["sections"].get("kernel")
+    if kernel:
+        lines.append("")
+        lines.append(
+            f"{'kernel (w=%d)' % kernel['w']:<24} {'mpx':>9} {'stomp':>9} "
+            f"{'naive':>10} {'vs stomp':>9} {'vs naive':>9}"
+        )
+        for row in kernel["results"]:
+            naive = f"{row['naive_seconds']:.2f}s" + (
+                "*" if row["naive_estimated"] else ""
+            )
+            lines.append(
+                f"  n={row['n']:<20} {row['mpx_seconds']:>8.3f}s "
+                f"{row['stomp_seconds']:>8.2f}s {naive:>10} "
+                f"{row['speedup_vs_stomp']:>8.1f}x {row['speedup_vs_naive']:>8.1f}x"
+            )
+        if any(row["naive_estimated"] for row in kernel["results"]):
+            lines.append("  (* extrapolated from a timed slice of rows)")
+    merlin = report["sections"].get("merlin")
+    if merlin:
+        lines.append("")
+        lines.append(
+            f"MERLIN {merlin['series']} (n={merlin['n']}, "
+            f"w={merlin['min_w']}..{merlin['max_w']}): "
+            f"{merlin['before_seconds']:.2f}s -> {merlin['after_seconds']:.2f}s "
+            f"({merlin['speedup']:.1f}x), with early abandon "
+            f"{merlin['after_abandon_seconds']:.2f}s "
+            f"({merlin['speedup_with_abandon']:.1f}x)"
+        )
+    knn = report["sections"].get("knn")
+    if knn:
+        lines.append("")
+        lines.append(
+            f"kNN (n={knn['n']}, w={knn['w']}): full score "
+            f"{knn['full_score_legacy_seconds']:.3f}s -> "
+            f"{knn['full_score_seconds']:.3f}s "
+            f"({knn['full_score_speedup']:.2f}x); short segment "
+            f"{knn['short_score_legacy_seconds'] * 1e3:.1f}ms -> "
+            f"{knn['short_score_seconds'] * 1e3:.1f}ms "
+            f"({knn['short_score_speedup']:.1f}x)"
+        )
+    oneliner = report["sections"].get("oneliner")
+    if oneliner:
+        lines.append("")
+        lines.append(
+            f"movmax (n={oneliner['n']}, k={oneliner['k']}): "
+            f"{oneliner['movmax_legacy_seconds']:.2f}s -> "
+            f"{oneliner['movmax_seconds']:.3f}s ({oneliner['speedup']:.0f}x)"
+        )
+    engine = report["sections"].get("engine")
+    if engine:
+        lines.append("")
+        lines.append(
+            f"engine grid ({engine['cells']} cells, "
+            f"{engine['total_points']} points): {engine['seconds']:.2f}s"
+        )
+    return "\n".join(lines)

@@ -18,6 +18,9 @@ Commands mirror the paper's workflow:
   Nemenyi rank cliques and the one-liner noise-floor verdict, with no
   recompute.
 * ``cache <dir>`` — inspect or clear a content-addressed result cache.
+* ``bench`` — time the numeric core (mpx kernel vs the retained naive
+  and STOMP references, MERLIN before/after, kNN, one-liners, engine
+  grid) and write machine-readable ``benchmarks/perf/BENCH_3.json``.
 
 ``score`` and ``run`` both execute through :mod:`repro.runner`, so
 ``--jobs`` parallelizes and ``--cache-dir`` makes re-runs skip every
@@ -30,6 +33,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+from .bench import DEFAULT_OUT as BENCH_DEFAULT_OUT
+from .bench import SECTIONS as BENCH_SECTIONS
 
 __all__ = ["main", "build_parser"]
 
@@ -210,6 +216,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear",
         action="store_true",
         help="delete every cached entry after reporting the totals",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the numeric core (mpx kernel vs retained references, "
+        "MERLIN, kNN, one-liners, engine grid) and write a "
+        "machine-readable report",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes and fewer repeats (CI smoke budget)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="report path (default: benchmarks/perf/BENCH_3.json; "
+        "'-' skips writing)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=None,
+        help="timing repeats per case, median taken (default: 5, quick 3)",
+    )
+    bench.add_argument(
+        "--sections",
+        default=",".join(BENCH_SECTIONS),
+        help=f"comma-separated subset of: {', '.join(BENCH_SECTIONS)}",
+    )
+    bench.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=None,
+        help="exit 1 unless the mpx kernel beats the naive reference by "
+        "at least this factor at the largest size",
+    )
+    bench.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
     )
     return parser
 
@@ -473,6 +521,49 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .bench import format_bench, run_bench, write_bench
+
+    sections = tuple(
+        part.strip() for part in args.sections.split(",") if part.strip()
+    )
+    try:
+        report = run_bench(
+            quick=args.quick, repeats=args.repeats, sections=sections
+        )
+    except (ValueError, AssertionError) as error:
+        # AssertionError: a before/after cross-check inside a section
+        # failed — surface it as a clean diagnostic, not a traceback
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    out = args.out if args.out is not None else BENCH_DEFAULT_OUT
+    if out != "-":
+        path = write_bench(report, out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_bench(report))
+    if args.min_kernel_speedup is not None:
+        achieved = report["checks"].get("kernel_speedup_vs_naive")
+        if achieved is None:
+            print(
+                "error: --min-kernel-speedup needs the kernel section",
+                file=sys.stderr,
+            )
+            return 2
+        if achieved < args.min_kernel_speedup:
+            print(
+                f"error: kernel speedup {achieved:.1f}x below the required "
+                f"{args.min_kernel_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .runner import ResultCache
 
@@ -494,6 +585,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "cache": _cmd_cache,
+    "bench": _cmd_bench,
 }
 
 

@@ -14,6 +14,7 @@ from .knn import KnnDistanceDetector
 from .matrix_profile import (
     MatrixProfileDetector,
     MatrixProfileResult,
+    discord_search,
     discords,
     matrix_profile,
     moving_mean_std,
@@ -21,6 +22,8 @@ from .matrix_profile import (
     subsequence_to_point_scores,
 )
 from .merlin import MerlinDetector, MerlinResult, merlin
+from .reference import naive_profile, stomp_profile
+from .sliding import SlidingStats, sliding_max, sliding_min
 from .registry import (
     DETECTORS,
     DetectorSpec,
@@ -50,10 +53,16 @@ __all__ = [
     "matrix_profile",
     "MatrixProfileResult",
     "MatrixProfileDetector",
+    "discord_search",
     "discords",
     "moving_mean_std",
     "sliding_dot_products",
     "subsequence_to_point_scores",
+    "SlidingStats",
+    "sliding_max",
+    "sliding_min",
+    "naive_profile",
+    "stomp_profile",
     "merlin",
     "MerlinResult",
     "MerlinDetector",

@@ -51,6 +51,7 @@ class KnnDistanceDetector(Detector):
         self.train_stride = train_stride
         self.chunk = chunk
         self._train_windows: np.ndarray | None = None
+        self._train_sq: np.ndarray | None = None
 
     @property
     def name(self) -> str:
@@ -60,7 +61,12 @@ class KnnDistanceDetector(Detector):
         train = np.asarray(train, dtype=float)
         if train.size >= self.w + self.k:
             windows = _window_matrix(train, self.w, self.znorm)
-            self._train_windows = windows[:: self.train_stride]
+            self._train_windows = np.ascontiguousarray(windows[:: self.train_stride])
+            # squared norms for the ‖a−b‖² = ‖a‖² − 2a·b + ‖b‖² expansion:
+            # query-independent, so they belong to fit(), not score()
+            self._train_sq = np.einsum(
+                "ij,ij->i", self._train_windows, self._train_windows
+            )
         return self
 
     def score(self, values: np.ndarray) -> np.ndarray:
@@ -74,7 +80,7 @@ class KnnDistanceDetector(Detector):
             return np.full(n, -np.inf)
         reference = self._train_windows
         queries = _window_matrix(values, self.w, self.znorm)
-        ref_sq = np.einsum("ij,ij->i", reference, reference)
+        ref_sq = self._train_sq
         kth = min(self.k, reference.shape[0]) - 1
         distances = np.empty(queries.shape[0])
         for start in range(0, queries.shape[0], self.chunk):

@@ -5,9 +5,20 @@ discord's window-length parameter by searching *all* lengths in a range.
 The original uses the DRAG candidate-selection algorithm for speed; this
 reproduction keeps MERLIN's semantics — the discord of each length,
 distances made comparable across lengths by normalizing with ``sqrt(w)``
-— on top of the exact STOMP join.  Asymptotics are worse (O(L·n²)) but
-the discovered discords are identical, which is what the experiments
-need.
+— on top of the exact mpx self-join.
+
+Two things keep the length sweep cheap:
+
+* one :class:`~repro.detectors.sliding.SlidingStats` per series — the
+  prefix sums behind every length's mean/std are computed once, so each
+  candidate length pays O(m) setup instead of O(n);
+* optional DRAG-style early abandonment (``early_abandon=True``): the
+  best length-normalized discord found so far is a floor, and a
+  candidate length aborts mid-sweep as soon as every subsequence
+  already has a neighbour at or below that floor — such a length cannot
+  change the winner.  Abandoned lengths are left out of the result, so
+  the default stays ``False`` to preserve the exact per-length report;
+  the overall :attr:`MerlinResult.best` is identical either way.
 """
 
 from __future__ import annotations
@@ -17,7 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .base import Detector
-from .matrix_profile import matrix_profile, subsequence_to_point_scores
+from .matrix_profile import discord_search, matrix_profile, subsequence_to_point_scores
+from .sliding import SlidingStats
 
 __all__ = ["MerlinResult", "merlin", "MerlinDetector"]
 
@@ -48,22 +60,33 @@ def candidate_lengths(min_w: int, max_w: int, num: int) -> tuple[int, ...]:
 
 
 def merlin(
-    values: np.ndarray, min_w: int, max_w: int, num_lengths: int = 8
+    values: np.ndarray,
+    min_w: int,
+    max_w: int,
+    num_lengths: int = 8,
+    early_abandon: bool = False,
 ) -> MerlinResult:
     """Discord of every candidate length in ``[min_w, max_w]``."""
     values = np.asarray(values, dtype=float)
-    lengths = []
-    locations = []
-    distances = []
+    stats = SlidingStats(values)
+    lengths: list[int] = []
+    locations: list[int] = []
+    distances: list[float] = []
+    best_norm = -np.inf
     for w in candidate_lengths(min_w, max_w, num_lengths):
         if values.size < 2 * w:
             continue
-        result = matrix_profile(values, w)
-        finite = np.where(np.isfinite(result.profile), result.profile, -np.inf)
-        location = int(np.argmax(finite))
+        floor = best_norm if early_abandon and lengths else None
+        found = discord_search(values, w, stats=stats, normalized_floor=floor)
+        if found is None:
+            continue  # abandoned: cannot beat the best discord so far
+        location, distance = found
+        normalized = distance / np.sqrt(w)
         lengths.append(w)
         locations.append(location)
-        distances.append(float(finite[location]) / np.sqrt(w))
+        distances.append(float(normalized))
+        if normalized > best_norm:
+            best_norm = normalized
     if not lengths:
         raise ValueError("series too short for every candidate length")
     return MerlinResult(
@@ -87,11 +110,12 @@ class MerlinDetector(Detector):
 
     def score(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)
+        stats = SlidingStats(values)
         combined = np.full(values.size, -np.inf)
         for w in candidate_lengths(self.min_w, self.max_w, self.num_lengths):
             if values.size < 2 * w:
                 continue
-            result = matrix_profile(values, w)
+            result = matrix_profile(values, w, stats=stats, with_indices=False)
             points = subsequence_to_point_scores(
                 result.profile / np.sqrt(w), w, values.size
             )

@@ -1,0 +1,149 @@
+"""Shared sliding-window statistics for the numeric core.
+
+Every detector in the matrix-profile family needs the same per-window
+quantities — moving mean, moving (population) std, an exact
+constant-window mask, and sliding extrema.  Before this module each
+consumer had its own copy with its own asymptotics; everything here is
+O(n) in the series length, independent of the window:
+
+* mean/std come from prefix sums of the globally mean-shifted series
+  (the shift guards against catastrophic cancellation when the series
+  mean dwarfs the deviations);
+* constant windows are detected by *exact* equality of the sliding max
+  and min of the raw values — the cumsum-based std carries ~sqrt(eps)
+  noise, so thresholding it would misclassify;
+* sliding max/min use the Gil-Werman (van Herk) two-sweep algorithm,
+  the vectorized equivalent of a monotonic deque: one forward and one
+  backward running extremum per length-``w`` block plus one combine
+  pass, i.e. three vector passes whatever ``w`` is.  A Python-level
+  deque has the same O(n) bound but pays interpreter overhead per
+  element, which loses even to the vectorized O(n·w) stride trick for
+  every realistic window length.
+
+:class:`SlidingStats` caches the prefix sums so multi-length consumers
+(MERLIN's candidate-length sweep) pay the O(n) setup once per series
+instead of once per length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sliding_max",
+    "sliding_min",
+    "moving_mean_std",
+    "SlidingStats",
+]
+
+
+def _as_float_1d(values: np.ndarray) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got shape {array.shape}")
+    return array
+
+
+def _sliding_extreme(values: np.ndarray, w: int, *, minimum: bool) -> np.ndarray:
+    """Extremum of every full length-``w`` window in three vector passes.
+
+    Gil-Werman: split the series into length-``w`` blocks, take running
+    extrema forward and backward within each block, then every window —
+    which by construction spans at most one block boundary — is the
+    combination of one suffix and one prefix value.
+    """
+    array = _as_float_1d(values)
+    n = array.size
+    if w < 1:
+        raise ValueError(f"window length must be >= 1, got {w}")
+    if w > n:
+        raise ValueError(f"window length {w} exceeds series length {n}")
+    if w == 1:
+        return array.copy()
+    combine = np.minimum if minimum else np.maximum
+    fill = np.inf if minimum else -np.inf
+    num_blocks = -(-n // w)
+    padded = np.full(num_blocks * w, fill)
+    padded[:n] = array
+    blocks = padded.reshape(num_blocks, w)
+    prefix = combine.accumulate(blocks, axis=1).reshape(-1)
+    suffix = combine.accumulate(blocks[:, ::-1], axis=1)[:, ::-1].reshape(-1)
+    return combine(suffix[: n - w + 1], prefix[w - 1 : n])
+
+
+def sliding_max(values: np.ndarray, w: int) -> np.ndarray:
+    """Maximum of every full length-``w`` window (O(n), any ``w``)."""
+    return _sliding_extreme(values, w, minimum=False)
+
+
+def sliding_min(values: np.ndarray, w: int) -> np.ndarray:
+    """Minimum of every full length-``w`` window (O(n), any ``w``)."""
+    return _sliding_extreme(values, w, minimum=True)
+
+
+class SlidingStats:
+    """Prefix-sum cache: O(n − w) mean/std for *any* window length.
+
+    Built once per series; every :meth:`mean_std` / :meth:`kernel_stats`
+    call is then O(n − w + 1) with no dependence on ``w``.  The series
+    is shifted by its global mean before the prefix sums are taken so
+    windowed second moments do not cancel catastrophically; the shift
+    is added back where the caller asks for unshifted means.
+    """
+
+    __slots__ = ("values", "n", "shift", "shifted", "_prefix", "_prefix_sq")
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = _as_float_1d(values)
+        self.n = self.values.size
+        self.shift = float(self.values.mean()) if self.n else 0.0
+        self.shifted = self.values - self.shift
+        self._prefix = np.concatenate(([0.0], np.cumsum(self.shifted)))
+        self._prefix_sq = np.concatenate(
+            ([0.0], np.cumsum(self.shifted * self.shifted))
+        )
+
+    def window_count(self, w: int) -> int:
+        """Number of full length-``w`` windows."""
+        return self.n - w + 1
+
+    def shifted_mean_std(self, w: int) -> tuple[np.ndarray, np.ndarray]:
+        """Mean of the *shifted* series and population std per window."""
+        sums = self._prefix[w:] - self._prefix[:-w]
+        sums_sq = self._prefix_sq[w:] - self._prefix_sq[:-w]
+        mean = sums / w
+        variance = np.maximum(sums_sq / w - mean * mean, 0.0)
+        return mean, np.sqrt(variance)
+
+    def mean_std(self, w: int) -> tuple[np.ndarray, np.ndarray]:
+        """Mean and population std of every length-``w`` window."""
+        mean, std = self.shifted_mean_std(w)
+        return mean + self.shift, std
+
+    def constant_mask(self, w: int) -> np.ndarray:
+        """Exactly-constant windows, via sliding extrema of raw values."""
+        return sliding_max(self.values, w) == sliding_min(self.values, w)
+
+    def kernel_stats(self, w: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(shifted_mean, inv_scaled_std, constant)`` for the mpx kernel.
+
+        ``inv_scaled_std[i]`` is ``1 / (sqrt(w) * std[i])`` — the factor
+        that turns a windowed covariance into a Pearson correlation —
+        and exactly 0 for constant windows, which the kernel fixes up in
+        a dedicated post-pass.
+        """
+        mean, std = self.shifted_mean_std(w)
+        constant = self.constant_mask(w)
+        inv = np.zeros_like(std)
+        active = ~constant
+        # a near-constant window can underflow the cumsum variance to 0
+        # without being exactly constant; floor the std so the resulting
+        # huge correlation stays finite and the final clip to [-1, 1]
+        # handles it instead of NaNs poisoning the max-tracking
+        inv[active] = 1.0 / (np.sqrt(w) * np.maximum(std[active], 1e-300))
+        return mean, inv, constant
+
+
+def moving_mean_std(values: np.ndarray, w: int) -> tuple[np.ndarray, np.ndarray]:
+    """Mean and population std of every length-``w`` window (O(n))."""
+    return SlidingStats(values).mean_std(w)

@@ -129,25 +129,39 @@ def movsum(values: np.ndarray, k: int) -> np.ndarray:
     return sums
 
 
-def _mov_extreme(values: np.ndarray, k: int, op) -> np.ndarray:
+def _mov_extreme(values: np.ndarray, k: int, *, minimum: bool) -> np.ndarray:
+    """Centered moving extremum with MATLAB shrinking endpoints, O(n).
+
+    A shrunk endpoint window is exactly a full-width window over the
+    series padded with the extremum's identity element (−inf for max,
+    +inf for min), so the O(n) Gil-Werman sliding extremum from the
+    shared sliding-statistics layer applies unchanged — the old bounded
+    Python loop was O(n·k), which Table-1 window sweeps made noticeable.
+    """
+    # deferred import: repro.detectors pulls one-liner expressions in for
+    # its baselines, so a module-level import here would be circular
+    from ..detectors.sliding import sliding_max, sliding_min
+
     array = _as_float_1d(values)
     n = array.size
-    if n == 0:
+    if k < 1:
+        raise ValueError(f"window length must be >= 1, got {k}")
+    if n == 0 or k == 1:
         return array.copy()
-    lo, hi = window_bounds(n, k)
-    # Sliding extrema via stride tricks would complicate shrink handling;
-    # windows are short in practice (k <= 100) so a bounded loop is fine.
-    out = np.empty(n)
-    for i in range(n):
-        out[i] = op(array[lo[i] : hi[i]])
-    return out
+    if k % 2 == 1:
+        before = after = (k - 1) // 2
+    else:
+        before, after = k // 2, k // 2 - 1
+    fill = np.inf if minimum else -np.inf
+    padded = np.concatenate([np.full(before, fill), array, np.full(after, fill)])
+    return sliding_min(padded, k) if minimum else sliding_max(padded, k)
 
 
 def movmax(values: np.ndarray, k: int) -> np.ndarray:
     """Centered moving maximum with shrinking endpoints (``movmax``)."""
-    return _mov_extreme(values, k, np.max)
+    return _mov_extreme(values, k, minimum=False)
 
 
 def movmin(values: np.ndarray, k: int) -> np.ndarray:
     """Centered moving minimum with shrinking endpoints (``movmin``)."""
-    return _mov_extreme(values, k, np.min)
+    return _mov_extreme(values, k, minimum=True)

@@ -1,0 +1,100 @@
+"""Tests for the `repro bench` perf harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    DEFAULT_OUT,
+    SECTIONS,
+    _legacy_merlin,
+    _legacy_mov_extreme,
+    format_bench,
+    run_bench,
+    write_bench,
+)
+
+
+class TestLegacyReplicas:
+    def test_legacy_mov_extreme_matches_primitives(self):
+        from repro.oneliner.primitives import movmax, movmin
+
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, 400)
+        for k in (3, 4, 25):
+            np.testing.assert_array_equal(
+                _legacy_mov_extreme(values, k, np.max), movmax(values, k)
+            )
+            np.testing.assert_array_equal(
+                _legacy_mov_extreme(values, k, np.min), movmin(values, k)
+            )
+
+    def test_legacy_merlin_matches_current_winner(self):
+        from repro.detectors import merlin
+
+        rng = np.random.default_rng(1)
+        values = np.cumsum(rng.normal(0, 1, 800))
+        length, location, distance = _legacy_merlin(values, 12, 60, 4)
+        best = merlin(values, 12, 60, 4).best
+        assert (length, location) == best[:2]
+        assert distance == pytest.approx(best[2])
+
+
+class TestRunBench:
+    def test_kernel_section_schema(self):
+        report = run_bench(
+            quick=True,
+            repeats=1,
+            sections=("kernel",),
+            sizes=(512,),
+            naive_rows=64,
+        )
+        assert report["schema"] == "repro-bench/1"
+        assert report["quick"] is True
+        assert set(report["sections"]) == {"kernel"}
+        (row,) = report["sections"]["kernel"]["results"]
+        assert row["n"] == 512
+        assert row["naive_rows_timed"] == 64
+        assert row["naive_estimated"] is True
+        assert row["mpx_seconds"] > 0
+        assert row["speedup_vs_naive"] > 1
+        assert report["checks"]["kernel_speedup_vs_naive"] == row["speedup_vs_naive"]
+        assert "kernel_speedup_vs_stomp" in report["checks"]
+
+    def test_oneliner_section(self):
+        report = run_bench(quick=True, repeats=1, sections=("oneliner",))
+        section = report["sections"]["oneliner"]
+        assert section["movmax_seconds"] > 0
+        assert section["speedup"] > 1
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench sections"):
+            run_bench(sections=("kernel", "warp-drive"))
+
+    def test_all_sections_are_known(self):
+        assert set(SECTIONS) == {"kernel", "merlin", "knn", "oneliner", "engine"}
+        assert DEFAULT_OUT.endswith("BENCH_3.json")
+
+
+class TestOutput:
+    def _tiny_report(self):
+        return run_bench(
+            quick=True, repeats=1, sections=("kernel",), sizes=(512,), naive_rows=64
+        )
+
+    def test_write_bench_creates_parents(self, tmp_path):
+        report = self._tiny_report()
+        path = tmp_path / "nested" / "perf" / "BENCH_test.json"
+        written = write_bench(report, str(path))
+        assert written == str(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro-bench/1"
+        assert loaded["sections"]["kernel"]["results"][0]["n"] == 512
+
+    def test_format_bench_mentions_sections(self):
+        report = self._tiny_report()
+        text = format_bench(report)
+        assert "kernel" in text
+        assert "n=512" in text
+        assert "extrapolated" in text

@@ -281,3 +281,45 @@ class TestCompareAndCache:
         assert "cleared 4 entries" in capsys.readouterr().out
         assert main(["cache", str(cache_dir)]) == 0
         assert "0 entries, 0 bytes" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.quick is False
+        assert args.out is None
+        assert args.repeats is None
+        assert args.min_kernel_speedup is None
+        assert args.format == "text"
+        assert "kernel" in args.sections
+
+    def test_oneliner_section_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "perf" / "B.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--sections", "oneliner", "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "movmax" in captured.out
+        assert str(out) in captured.err
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["sections"]["oneliner"]["speedup"] > 1
+
+    def test_dash_out_skips_writing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--sections", "oneliner", "--out", "-",
+                     "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert not (tmp_path / "benchmarks").exists()
+        payload = json.loads(captured.out)
+        assert "oneliner" in payload["sections"]
+
+    def test_unknown_section_exits_2(self, capsys):
+        assert main(["bench", "--sections", "hyperdrive", "--out", "-"]) == 2
+        assert "unknown bench sections" in capsys.readouterr().err
+
+    def test_speedup_floor_needs_kernel_section(self, capsys):
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--sections", "oneliner", "--out", "-",
+                     "--min-kernel-speedup", "5"]) == 2
+        assert "kernel section" in capsys.readouterr().err

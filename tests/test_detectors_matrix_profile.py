@@ -7,10 +7,14 @@ from hypothesis import strategies as st
 
 from repro.detectors import (
     MatrixProfileDetector,
+    SlidingStats,
+    discord_search,
     discords,
     matrix_profile,
     moving_mean_std,
+    naive_profile,
     sliding_dot_products,
+    stomp_profile,
     subsequence_to_point_scores,
 )
 from repro.types import LabeledSeries, Labels
@@ -153,6 +157,19 @@ class TestMatrixProfile:
 
 
 class TestDiscords:
+    def test_top_k_beyond_available_discords_short_circuits(self):
+        # a short series only admits a couple of non-overlapping
+        # discords; asking for far more must return the same list, not
+        # loop or error
+        rng = np.random.default_rng(10)
+        values = rng.normal(0, 1, 120)
+        many = discords(values, 20, top_k=50)
+        saturated = discords(values, 20, top_k=1000)
+        assert saturated == many
+        assert 0 < len(many) < 50
+        for (a, _), (b, _) in zip(many, many[1:]):
+            assert abs(a - b) >= 20
+
     def test_top_discords_non_overlapping(self):
         values = sine_with_anomaly(n=1200)
         found = discords(values, 40, top_k=3)
@@ -182,6 +199,174 @@ class TestSubsequenceToPointScores:
         profile = np.array([np.inf, 1.0])
         points = subsequence_to_point_scores(profile, 2, 3)
         assert np.isfinite(points[1:]).all()
+
+
+def assert_profiles_match(got, expected, w=None):
+    """Profiles agree to 1e-8 in correlation space; infinities align.
+
+    ``d = sqrt(2w(1-r))`` amplifies correlation error by ``1/d`` for
+    near-duplicate pairs, so the honest 1e-8 contract is on the squared
+    (correlation-equivalent) scale: ``|d² - d²_ref| <= 2w * 1e-8``,
+    i.e. correlations within 1e-8 — plus a 1e-6 absolute guard on the
+    distances themselves (profile values live on the O(sqrt(w)) scale).
+    """
+    np.testing.assert_array_equal(np.isinf(got), np.isinf(expected))
+    finite = np.isfinite(expected)
+    if w is None:
+        w = 1.0
+    np.testing.assert_allclose(
+        got[finite] ** 2, expected[finite] ** 2, rtol=0, atol=2.0 * w * 1e-8
+    )
+    np.testing.assert_allclose(got[finite], expected[finite], rtol=0, atol=1e-6)
+
+
+class TestMpxAgainstReferences:
+    """The riskiest part of the rewrite: mpx vs brute force and STOMP."""
+
+    def check(self, values, w, exclusion=None):
+        result = matrix_profile(values, w, exclusion)
+        brute = naive_profile(values, w, exclusion)
+        stomp = stomp_profile(values, w, exclusion)
+        assert_profiles_match(result.profile, brute.profile, w)
+        assert_profiles_match(result.profile, stomp.profile, w)
+        return result
+
+    @given(st.integers(0, 2**16), st.integers(3, 24), st.integers(120, 260))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_walks(self, seed, w, n):
+        rng = np.random.default_rng(seed)
+        values = np.cumsum(rng.normal(0, 1, n))
+        self.check(values, w)
+
+    @given(st.integers(0, 2**16), st.sampled_from([8, 9, 16, 17]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_constant_segments(self, seed, w):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 240)
+        start = int(rng.integers(0, 150))
+        values[start : start + 60] = float(rng.normal())
+        self.check(values, w)
+
+    @given(st.integers(0, 2**16), st.sampled_from([7, 12]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_injected_spikes(self, seed, w):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 220)
+        for position in rng.integers(0, 220, size=3):
+            values[position] += float(rng.choice([-30.0, 30.0]))
+        self.check(values, w)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_near_constant_windows(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 300)
+        # tiny-but-healthy variance: windows are *not* flagged constant,
+        # and every implementation's conditioning still holds 1e-8 in
+        # correlation space (the error of all three kernels scales as
+        # eps/std², so far smaller stds degrade brute force and the
+        # recurrences alike)
+        values[80:180] = 2.0 + rng.normal(0, 5e-3, 100)
+        self.check(values, 14)
+
+    @given(
+        st.integers(0, 2**16),
+        st.sampled_from([10, 11]),
+        st.sampled_from([1, 4, 10, 25]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_custom_exclusion_zones(self, seed, w, exclusion):
+        rng = np.random.default_rng(seed)
+        values = np.cumsum(rng.normal(0, 1, 180))
+        self.check(values, w, exclusion)
+
+    def test_oversized_exclusion_leaves_unpairable_rows_infinite(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(0, 1, 100)
+        result = self.check(values, 10, exclusion=60)
+        # middle rows cannot pair with anything 60 apart
+        assert np.isinf(result.profile[45])
+        assert np.isfinite(result.profile[0])
+
+    def test_mixed_constant_and_spike(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(0, 1, 260)
+        values[40:120] = -1.5
+        values[200] = 50.0
+        self.check(values, 11)
+
+    def test_two_separated_constant_blocks_pair_up(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(0, 1, 300)
+        # runs short enough that same-block pairs all fall inside the
+        # exclusion zone: each block must reach across to the other one
+        values[20:40] = 2.0
+        values[220:240] = -3.0  # different level: still z-norm distance 0
+        result = self.check(values, 12)
+        assert result.profile[25] == 0.0
+        assert result.indices[25] == 220
+
+    def test_shared_stats_reuse_is_identical(self):
+        rng = np.random.default_rng(8)
+        values = np.cumsum(rng.normal(0, 1, 400))
+        stats = SlidingStats(values)
+        for w in (10, 25, 50):
+            a = matrix_profile(values, w)
+            b = matrix_profile(values, w, stats=stats)
+            np.testing.assert_array_equal(a.profile, b.profile)
+            np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_stats_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            matrix_profile(
+                np.zeros(100), 10, stats=SlidingStats(np.zeros(50))
+            )
+
+    def test_without_indices_same_profile(self):
+        rng = np.random.default_rng(9)
+        values = np.cumsum(rng.normal(0, 1, 500))
+        full = matrix_profile(values, 20)
+        fast = matrix_profile(values, 20, with_indices=False)
+        np.testing.assert_array_equal(full.profile, fast.profile)
+        assert fast.indices is None
+        assert full.indices is not None
+
+
+class TestDiscordSearch:
+    def test_matches_profile_argmax(self):
+        values = sine_with_anomaly(n=900)
+        result = matrix_profile(values, 40)
+        finite = np.where(np.isfinite(result.profile), result.profile, -np.inf)
+        location, distance = discord_search(values, 40)
+        assert location == int(np.argmax(finite))
+        assert distance == pytest.approx(float(finite[location]))
+
+    def test_low_floor_keeps_the_search(self):
+        values = sine_with_anomaly(n=900)
+        exact = discord_search(values, 40)
+        floored = discord_search(values, 40, normalized_floor=0.0)
+        assert floored == exact
+
+    def test_unbeatable_floor_abandons(self):
+        values = sine_with_anomaly(n=900)
+        _, distance = discord_search(values, 40)
+        floor = distance / np.sqrt(40) * 1.5
+        assert discord_search(values, 40, normalized_floor=floor) is None
+
+    def test_abandon_is_sound(self):
+        # whenever the search abandons, the true discord really is at or
+        # below the floor
+        rng = np.random.default_rng(11)
+        for seed in range(8):
+            values = np.cumsum(np.random.default_rng(seed).normal(0, 1, 400))
+            _, distance = discord_search(values, 20)
+            norm = distance / np.sqrt(20)
+            for floor in (norm * 0.9, norm, norm * 1.1):
+                found = discord_search(values, 20, normalized_floor=floor)
+                if found is None:
+                    assert norm <= floor + 1e-12
+                else:
+                    assert found[1] == pytest.approx(distance)
 
 
 class TestMatrixProfileDetector:

@@ -1,0 +1,124 @@
+"""Tests for the shared sliding-window statistics layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.detectors import SlidingStats, moving_mean_std, sliding_max, sliding_min
+
+
+class TestSlidingExtrema:
+    def test_matches_windowed_max(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, 257)
+        for w in (1, 2, 3, 7, 16, 100, 257):
+            expected = sliding_window_view(values, w).max(axis=1)
+            np.testing.assert_array_equal(sliding_max(values, w), expected)
+
+    def test_matches_windowed_min(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 1, 130)
+        for w in (1, 2, 5, 64, 130):
+            expected = sliding_window_view(values, w).min(axis=1)
+            np.testing.assert_array_equal(sliding_min(values, w), expected)
+
+    @given(st.integers(0, 2**16), st.integers(1, 80), st.integers(80, 300))
+    @settings(max_examples=40)
+    def test_property_exact_equality(self, seed, w, n):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, n)
+        np.testing.assert_array_equal(
+            sliding_max(values, w), sliding_window_view(values, w).max(axis=1)
+        )
+        np.testing.assert_array_equal(
+            sliding_min(values, w), sliding_window_view(values, w).min(axis=1)
+        )
+
+    def test_plateaus_and_ties(self):
+        values = np.array([2.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0])
+        np.testing.assert_array_equal(
+            sliding_max(values, 3), [2.0, 2.0, 2.0, 2.0, 2.0]
+        )
+        np.testing.assert_array_equal(
+            sliding_min(values, 3), [2.0, 1.0, 1.0, 1.0, 1.0]
+        )
+
+    def test_nan_propagates_like_npmax(self):
+        values = np.array([1.0, np.nan, 3.0, 4.0, 5.0, 6.0])
+        expected = sliding_window_view(values, 3).max(axis=1)
+        got = sliding_max(values, 3)
+        np.testing.assert_array_equal(np.isnan(got), np.isnan(expected))
+        mask = ~np.isnan(expected)
+        np.testing.assert_array_equal(got[mask], expected[mask])
+
+    def test_window_one_is_identity_copy(self):
+        values = np.arange(5.0)
+        out = sliding_max(values, 1)
+        np.testing.assert_array_equal(out, values)
+        out[0] = 99.0
+        assert values[0] == 0.0
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            sliding_max(np.zeros(5), 0)
+        with pytest.raises(ValueError):
+            sliding_max(np.zeros(5), 6)
+        with pytest.raises(ValueError):
+            sliding_max(np.zeros((2, 3)), 2)
+
+
+class TestMovingMeanStd:
+    def test_matches_numpy_reference(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(5, 2, 200)
+        mean, std = moving_mean_std(values, 16)
+        windows = sliding_window_view(values, 16)
+        np.testing.assert_allclose(mean, windows.mean(axis=1), rtol=1e-10)
+        np.testing.assert_allclose(std, windows.std(axis=1), rtol=1e-8, atol=1e-10)
+
+    def test_large_offset_cancellation_guard(self):
+        rng = np.random.default_rng(3)
+        values = 1e9 + rng.normal(0, 1e-3, 150)
+        _, std = moving_mean_std(values, 10)
+        windows = sliding_window_view(values, 10)
+        np.testing.assert_allclose(std, windows.std(axis=1), rtol=1e-4, atol=1e-9)
+
+
+class TestSlidingStats:
+    def test_mean_std_matches_function(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(0, 3, 300)
+        stats = SlidingStats(values)
+        for w in (5, 17, 64):
+            mean_a, std_a = stats.mean_std(w)
+            mean_b, std_b = moving_mean_std(values, w)
+            np.testing.assert_array_equal(mean_a, mean_b)
+            np.testing.assert_array_equal(std_a, std_b)
+
+    def test_window_count(self):
+        stats = SlidingStats(np.zeros(50))
+        assert stats.window_count(10) == 41
+
+    def test_constant_mask_is_exact(self):
+        values = np.array([1.0, 2.0, 2.0, 2.0, 2.0, 3.0, 4.0])
+        mask = SlidingStats(values).constant_mask(3)
+        np.testing.assert_array_equal(mask, [False, True, True, False, False])
+
+    def test_kernel_stats_zero_inverse_on_constants(self):
+        values = np.concatenate([np.full(30, 2.0), np.sin(np.arange(40))])
+        stats = SlidingStats(values)
+        _, inv, constant = stats.kernel_stats(10)
+        assert constant[:21].all()
+        assert (inv[constant] == 0.0).all()
+        assert (inv[~constant] > 0.0).all()
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            SlidingStats(np.zeros((3, 3)))
+
+    def test_empty_series(self):
+        stats = SlidingStats(np.empty(0))
+        assert stats.n == 0
+        assert stats.shift == 0.0

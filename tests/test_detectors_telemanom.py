@@ -168,6 +168,42 @@ class TestMerlin:
         with pytest.raises(ValueError):
             merlin(np.zeros(10), min_w=20, max_w=40)
 
+    def test_per_length_distances_match_profiles(self):
+        # merlin's per-length report is exactly the argmax of each
+        # length's profile, normalized by sqrt(w)
+        from repro.detectors import matrix_profile
+
+        values = periodic(700, period=35, seed=11)
+        values[350:385] = values[350]
+        result = merlin(values, min_w=15, max_w=70, num_lengths=4)
+        for w, location, distance in zip(
+            result.lengths, result.locations, result.distances
+        ):
+            profile = matrix_profile(values, w).profile
+            finite = np.where(np.isfinite(profile), profile, -np.inf)
+            assert location == int(np.argmax(finite))
+            assert distance == pytest.approx(
+                float(finite[location]) / np.sqrt(w)
+            )
+
+    def test_early_abandon_same_winner(self):
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            values = np.cumsum(rng.normal(0, 1, 1500))
+            exact = merlin(values, min_w=16, max_w=128, num_lengths=5)
+            pruned = merlin(
+                values, min_w=16, max_w=128, num_lengths=5, early_abandon=True
+            )
+            assert pruned.best == exact.best
+            # abandoned lengths may be skipped, never invented
+            assert set(pruned.lengths) <= set(exact.lengths)
+            for w, location, distance in zip(
+                pruned.lengths, pruned.locations, pruned.distances
+            ):
+                i = exact.lengths.index(w)
+                assert location == exact.locations[i]
+                assert distance == exact.distances[i]
+
     def test_detector_interface(self):
         values = periodic(900, period=45, seed=3)
         values[450:495] += 2.5
@@ -206,3 +242,38 @@ class TestKnn:
         values = periodic(600, period=30, seed=7)
         scores = KnnDistanceDetector(w=30).score(values)
         assert scores.size == values.size
+
+    def test_fit_caches_reference_squared_norms(self):
+        values = periodic(1200, period=40, seed=8)
+        detector = KnnDistanceDetector(w=40).fit(values[:600])
+        assert detector._train_windows is not None
+        assert detector._train_sq is not None
+        expected = np.einsum(
+            "ij,ij->i", detector._train_windows, detector._train_windows
+        )
+        np.testing.assert_array_equal(detector._train_sq, expected)
+
+    def test_repeated_scores_identical(self):
+        values = periodic(1500, period=40, seed=9)
+        detector = KnnDistanceDetector(w=40, k=2).fit(values[:700])
+        first = detector.score(values)
+        second = detector.score(values)
+        np.testing.assert_array_equal(first, second)
+
+    def test_matches_explicit_nearest_neighbour(self):
+        rng = np.random.default_rng(10)
+        values = rng.normal(0, 1, 400)
+        detector = KnnDistanceDetector(w=20, znorm=False).fit(values[:200])
+        scores = detector.score(values)
+        # brute-force the distance of one query window to the train set
+        queries = np.lib.stride_tricks.sliding_window_view(values, 20)
+        train = np.lib.stride_tricks.sliding_window_view(values[:200], 20)
+        i = 300
+        expected = np.min(np.linalg.norm(train - queries[i], axis=1))
+        window_scores = np.min(
+            np.linalg.norm(train[:, None] - queries[None, i : i + 1], axis=2)
+        )
+        assert window_scores == pytest.approx(expected)
+        # the point score at i covers windows [i-19, i]; each is >= its
+        # own NN distance, so the lifted score is >= this window's
+        assert scores[i] >= expected - 1e-9
