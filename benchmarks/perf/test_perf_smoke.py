@@ -1,11 +1,18 @@
 """Perf smoke: the mpx kernel must decisively beat the naive reference.
 
 This is the in-suite guard behind ``repro bench``: a tiny, fast version
-of the kernel section with a *loose* speedup floor so CI jitter cannot
-flake it.  The full trajectory lives in ``benchmarks/perf/BENCH_3.json``
-(regenerate with ``repro bench``); CI additionally runs
+of the kernel section with a *loose* speedup floor.  The wall-clock
+assertions are marked ``perf`` and deselected from the default run
+(see ``[tool:pytest]`` in ``setup.cfg``): the merge-blocking tier-1
+suite must be deterministic, and timing on contended shared runners is
+not — the advisory perf-smoke CI job runs them with ``-m perf``.  The
+schema invariants below are deterministic and stay in tier-1.  The full
+trajectory lives in ``benchmarks/perf/BENCH_3.json`` (regenerate with
+``repro bench``); CI additionally runs
 ``repro bench --quick --min-kernel-speedup 5`` and uploads the JSON.
 """
+
+import pytest
 
 from repro.bench import run_bench
 
@@ -14,6 +21,21 @@ MIN_SPEEDUP_VS_NAIVE = 3.0
 MIN_ONELINER_SPEEDUP = 3.0
 
 
+def test_bench_schema_invariants():
+    # deterministic part of the contract future PRs regress against
+    report = run_bench(
+        quick=True,
+        repeats=1,
+        sections=("kernel",),
+        sizes=(1_024,),
+        naive_rows=128,
+    )
+    (row,) = report["sections"]["kernel"]["results"]
+    assert report["schema"] == "repro-bench/1"
+    assert report["checks"]["kernel_speedup_vs_naive"] == row["speedup_vs_naive"]
+
+
+@pytest.mark.perf
 def test_kernel_beats_naive_reference():
     report = run_bench(
         quick=True,
@@ -24,11 +46,9 @@ def test_kernel_beats_naive_reference():
     )
     (row,) = report["sections"]["kernel"]["results"]
     assert row["speedup_vs_naive"] >= MIN_SPEEDUP_VS_NAIVE
-    # schema invariants future PRs regress against
-    assert report["schema"] == "repro-bench/1"
-    assert report["checks"]["kernel_speedup_vs_naive"] == row["speedup_vs_naive"]
 
 
+@pytest.mark.perf
 def test_sliding_extrema_beat_bounded_loop():
     report = run_bench(quick=True, repeats=2, sections=("oneliner",))
     assert report["sections"]["oneliner"]["speedup"] >= MIN_ONELINER_SPEEDUP

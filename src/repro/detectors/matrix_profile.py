@@ -48,8 +48,13 @@ __all__ = [
     "MatrixProfileDetector",
 ]
 
-# diagonals per kernel block: large enough to amortize numpy dispatch,
-# small enough that a block (~128 × n doubles) stays cache-friendly
+# diagonals per kernel block, large enough to amortize numpy dispatch.
+# NOTE the working set is O(block · n): the reusable row buffer plus its
+# product scratch cost ~2 · block · 8 bytes per subsequence (~2 GB at
+# n = 1e6), where the replaced STOMP loop was O(n).  Fine at the series
+# lengths the benchmarks run today; for million-point series the block
+# sweep needs column-chunk tiling (fixed-width chunks with a cumsum
+# carry) to make the buffers O(block · chunk) — tracked in ROADMAP.md.
 _DIAG_BLOCK = 128
 _ELEM = np.dtype(float).itemsize
 
@@ -270,6 +275,13 @@ def _validated(
     elif stats.n != n:
         raise ValueError(
             f"sliding stats built for a length-{stats.n} series, got {n}"
+        )
+    elif values is not stats.values and not np.array_equal(
+        values, stats.values
+    ):
+        raise ValueError(
+            "sliding stats were built from a different series than the "
+            "values passed in"
         )
     return stats, w if exclusion is None else exclusion
 

@@ -91,13 +91,22 @@ class SlidingStats:
     is added back where the caller asks for unshifted means.
     """
 
-    __slots__ = ("values", "n", "shift", "shifted", "_prefix", "_prefix_sq")
+    __slots__ = (
+        "values",
+        "n",
+        "shift",
+        "shifted",
+        "scale",
+        "_prefix",
+        "_prefix_sq",
+    )
 
     def __init__(self, values: np.ndarray) -> None:
         self.values = _as_float_1d(values)
         self.n = self.values.size
         self.shift = float(self.values.mean()) if self.n else 0.0
         self.shifted = self.values - self.shift
+        self.scale = float(np.abs(self.shifted).max()) if self.n else 0.0
         self._prefix = np.concatenate(([0.0], np.cumsum(self.shifted)))
         self._prefix_sq = np.concatenate(
             ([0.0], np.cumsum(self.shifted * self.shifted))
@@ -137,10 +146,16 @@ class SlidingStats:
         inv = np.zeros_like(std)
         active = ~constant
         # a near-constant window can underflow the cumsum variance to 0
-        # without being exactly constant; floor the std so the resulting
-        # huge correlation stays finite and the final clip to [-1, 1]
-        # handles it instead of NaNs poisoning the max-tracking
-        inv[active] = 1.0 / (np.sqrt(w) * np.maximum(std[active], 1e-300))
+        # without being exactly constant; floor the std *relative to the
+        # series scale* so inv stays below ~1/(sqrt(w)·eps·scale) and
+        # the sweep's corr products stay finite (an absolute 1e-300
+        # floor let inv reach ~1e300, where inv_i·inv_j overflows to
+        # inf and inf·0 against an exactly-constant window's inv = 0
+        # turns into NaN, which the max-tracking then propagates).  The
+        # floored correlations are huge but finite; the final clip to
+        # [-1, 1] handles them.
+        floor = max(np.finfo(float).eps * self.scale, np.finfo(float).tiny)
+        inv[active] = 1.0 / (np.sqrt(w) * np.maximum(std[active], floor))
         return mean, inv, constant
 
 
