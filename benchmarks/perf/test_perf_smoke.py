@@ -6,10 +6,12 @@ assertions are marked ``perf`` and deselected from the default run
 (see ``[tool:pytest]`` in ``setup.cfg``): the merge-blocking tier-1
 suite must be deterministic, and timing on contended shared runners is
 not — the advisory perf-smoke CI job runs them with ``-m perf``.  The
-schema invariants below are deterministic and stay in tier-1.  The full
-trajectory lives in ``benchmarks/perf/BENCH_3.json`` (regenerate with
-``repro bench``); CI additionally runs
-``repro bench --quick --min-kernel-speedup 5`` and uploads the JSON.
+schema invariants below are deterministic and stay in tier-1.  The
+recorded trajectory lives in ``benchmarks/perf/BENCH_<n>.json`` (one
+file per recorded point; regenerate the current one with ``repro
+bench``); CI additionally runs ``repro bench --quick
+--min-kernel-speedup 5``, the quick ``scaling`` section, and uploads
+the JSON artifacts.
 """
 
 import pytest

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Verify intra-repo markdown links in the docs pages and README/ROADMAP.
+
+Checks every ``[text](target)`` (and image) link whose target is not an
+external URL:
+
+* relative file targets must exist on disk, resolved against the file
+  that contains the link;
+* ``#anchor`` fragments (own-page or cross-page) must match a heading,
+  using GitHub's slugification (lowercase, punctuation stripped, spaces
+  to dashes).
+
+External ``http(s)``/``mailto`` links are deliberately skipped: CI must
+stay deterministic and network-free.  Fenced code blocks are ignored so
+shell snippets cannot masquerade as links.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+_DOCS_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_DOCS_DIR)
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_FENCE = re.compile(r"^(```|~~~)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def checked_files() -> list[str]:
+    files = [
+        os.path.join(_REPO_ROOT, name)
+        for name in ("README.md", "ROADMAP.md")
+        if os.path.exists(os.path.join(_REPO_ROOT, name))
+    ]
+    for name in sorted(os.listdir(_DOCS_DIR)):
+        if name.endswith(".md"):
+            files.append(os.path.join(_DOCS_DIR, name))
+    return files
+
+
+def _strip_fences(text: str) -> list[str]:
+    lines, in_fence = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            lines.append(line)
+    return lines
+
+
+def _slug(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: str) -> set[str]:
+    with open(path) as handle:
+        lines = _strip_fences(handle.read())
+    found: set[str] = set()
+    for line in lines:
+        match = _HEADING.match(line)
+        if match:
+            found.add(_slug(match.group(1)))
+    return found
+
+
+def check() -> list[str]:
+    errors: list[str] = []
+    anchor_cache: dict[str, set[str]] = {}
+    for path in checked_files():
+        rel = os.path.relpath(path, _REPO_ROOT)
+        with open(path) as handle:
+            lines = _strip_fences(handle.read())
+        for line in lines:
+            for target in _LINK.findall(line):
+                if target.startswith(_SKIP_SCHEMES):
+                    continue
+                file_part, _, anchor = target.partition("#")
+                if file_part:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), file_part)
+                    )
+                    if not os.path.exists(resolved):
+                        errors.append(f"{rel}: broken link {target!r}")
+                        continue
+                else:
+                    resolved = path
+                if anchor:
+                    if not resolved.endswith(".md"):
+                        continue
+                    if resolved not in anchor_cache:
+                        anchor_cache[resolved] = _anchors(resolved)
+                    if anchor.lower() not in anchor_cache[resolved]:
+                        errors.append(
+                            f"{rel}: missing anchor {target!r} "
+                            f"(no such heading in "
+                            f"{os.path.relpath(resolved, _REPO_ROOT)})"
+                        )
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(checked_files())} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

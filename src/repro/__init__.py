@@ -22,8 +22,14 @@ Public surface:
   paired permutation tests, Friedman/Nemenyi rank analysis and the
   one-liner noise floor behind ``repro compare``.
 * :mod:`repro.bench` — the ``repro bench`` perf harness: times the mpx
-  kernel against the retained reference kernels and writes the
-  machine-readable ``benchmarks/perf/BENCH_3.json`` trajectory.
+  kernel against the retained reference kernels, measures the
+  bounded-memory scaling envelope, and writes the machine-readable
+  ``benchmarks/perf/BENCH_<n>.json`` trajectory point (the name derives
+  from :data:`repro.bench.TRAJECTORY`).
+
+See ``docs/`` for the architecture map (``docs/architecture.md``), the
+matrix-profile kernel internals (``docs/kernel.md``) and the generated
+CLI reference (``docs/cli.md``).
 """
 
 from .types import AnomalyRegion, Archive, LabeledSeries, Labels

@@ -3,9 +3,12 @@
 Times the production mpx kernel against the retained reference kernels
 (:mod:`repro.detectors.reference`), MERLIN before/after the shared-stats
 rewrite, the kNN detector's cached-vs-legacy scoring, the one-liner
-sliding extrema, and a small end-to-end engine grid.  Results are
-written as machine-readable JSON (``benchmarks/perf/BENCH_3.json`` by
-default) so future changes can regress against a recorded trajectory.
+sliding extrema, a small end-to-end engine grid, and the ``scaling``
+section — bounded-memory column-chunked profiles at n up to 10⁶ with
+the peak working set measured via ``tracemalloc``.  Results are written
+as machine-readable JSON; the output name derives from the trajectory
+counter (``benchmarks/perf/BENCH_<n>.json``, currently ``BENCH_4``) so
+every recorded point keeps its place in the series.
 
 Methodology
 -----------
@@ -17,7 +20,12 @@ Methodology
   scaling is exact in expectation); entries produced that way carry
   ``"naive_estimated": true`` and the row count used;
 * the retained STOMP kernel is timed in full, with fewer repeats at
-  sizes where a single run is already seconds long.
+  sizes where a single run is already seconds long;
+* the scaling section times a leading slice of *diagonals* and
+  extrapolates by exact pair count (``"seconds_estimated": true``) —
+  the O(m²) full sweep at n = 10⁶ is an hour of arithmetic, but the
+  working set peaks in the very first block, so the memory claim is
+  measured, not modeled.
 """
 
 from __future__ import annotations
@@ -26,20 +34,47 @@ import json
 import os
 import platform
 import time
+import tracemalloc
 from statistics import median
 
 import numpy as np
 
-__all__ = ["run_bench", "format_bench", "write_bench", "DEFAULT_OUT", "SECTIONS"]
+__all__ = [
+    "run_bench",
+    "format_bench",
+    "write_bench",
+    "TRAJECTORY",
+    "BENCH_LABEL",
+    "DEFAULT_OUT",
+    "SECTIONS",
+]
 
-DEFAULT_OUT = os.path.join("benchmarks", "perf", "BENCH_3.json")
-SECTIONS = ("kernel", "merlin", "knn", "oneliner", "engine")
+# the perf-trajectory counter: bump it when a PR records a new point.
+# Output names and report labels derive from it, so README/CLI help
+# never drift from the actual file written.
+TRAJECTORY = 4
+BENCH_LABEL = f"BENCH_{TRAJECTORY}"
+DEFAULT_OUT = os.path.join("benchmarks", "perf", f"{BENCH_LABEL}.json")
+SECTIONS = ("kernel", "merlin", "knn", "oneliner", "engine", "scaling")
 
 _FULL_SIZES = (2_000, 5_000, 10_000, 20_000)
 _QUICK_SIZES = (2_048, 8_192)
 _FULL_W = 100
 _QUICK_W = 64
 _SEED = 7
+
+_SCALING_SIZES = (100_000, 500_000, 1_000_000)
+_SCALING_QUICK_SIZES = (100_000,)
+_SCALING_W = 100
+# sweep-workspace cap handed to the kernel: half the 256 MB end-to-end
+# target, leaving room for the O(n) series/stats/recurrence vectors
+_SCALING_KERNEL_BUDGET = 128 << 20
+_SCALING_TARGET_BYTES = 256 << 20
+_SCALING_PAIR_CAP = 150_000_000
+_SCALING_QUICK_PAIR_CAP = 30_000_000
+# measure the unchunked kernel's real peak only where its O(block·n)
+# buffers stay modest; above this we report the analytic footprint
+_SCALING_UNCHUNKED_MEASURE_LIMIT = 600 << 20
 
 
 def _timed(fn, repeats: int) -> float:
@@ -289,6 +324,202 @@ def _bench_engine(quick: bool, repeats: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# scaling: bounded-memory column-chunked profiles at 1e5..1e6 points
+
+
+def _leading_pairs(limit: int, longest: int) -> int:
+    """Pairs on the first ``limit`` diagonals out from the exclusion zone.
+
+    Diagonal ``i`` (0-based) holds ``longest - i`` pairs, so the first
+    ``limit`` cost ``limit·longest − limit(limit−1)/2`` — the single
+    source of truth for the scaling section's extrapolation basis.
+    """
+    return limit * longest - limit * (limit - 1) // 2
+
+
+def _diag_limit_for_pairs(num_diagonals: int, longest: int, pair_cap: int) -> int:
+    """Largest leading diagonal count whose total pair work fits the cap.
+
+    ``_leading_pairs`` is monotone in the count, so bisection finds it.
+    """
+    if _leading_pairs(num_diagonals, longest) <= pair_cap:
+        return num_diagonals
+    low, high = 1, num_diagonals
+    while low < high:
+        mid = (low + high + 1) // 2
+        if _leading_pairs(mid, longest) <= pair_cap:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+def _traced_peak(fn):
+    """``(fn(), peak_bytes)`` with tracemalloc covering just the call."""
+    already = tracemalloc.is_tracing()
+    if already:
+        tracemalloc.reset_peak()
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+        return result, peak
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def _scaling_case(
+    n: int, w: int, budget: int, pair_cap: int, repeats: int
+) -> dict:
+    from .detectors.matrix_profile import (
+        _chunk_for_budget,
+        _diagonal_sweep,
+        _sweep_allocation_bytes,
+    )
+    from .detectors.sliding import SlidingStats
+
+    values = _walk(n)
+    m = n - w + 1
+    exclusion = w
+    num_diagonals = m - exclusion  # longest diagonal also has this many pairs
+    total_pairs = _leading_pairs(num_diagonals, num_diagonals)
+    diag_limit = _diag_limit_for_pairs(num_diagonals, num_diagonals, pair_cap)
+    pairs_timed = _leading_pairs(diag_limit, num_diagonals)
+
+    chunk = _chunk_for_budget(m, exclusion, budget, need_indices=False)
+    chunked_workspace = _sweep_allocation_bytes(
+        m, exclusion, need_indices=False, chunk=chunk
+    )
+    unchunked_workspace = _sweep_allocation_bytes(
+        m, exclusion, need_indices=False, chunk=None
+    )
+
+    stats = SlidingStats(values)
+    mean, inv, _ = stats.kernel_stats(w)
+
+    def sweep(limit: int, width=chunk):
+        return _diagonal_sweep(
+            stats.shifted,
+            w,
+            exclusion,
+            mean,
+            inv,
+            need_indices=False,
+            chunk=width,
+            diag_limit=limit,
+        )
+
+    seconds_timed = _timed(lambda: sweep(diag_limit), repeats)
+    estimated = diag_limit < num_diagonals
+    if estimated:
+        # two-point extrapolation: a second, smaller slice isolates the
+        # per-pair marginal cost from the fixed setup (stats, anchor
+        # covariances, buffer allocation), which a single-slice linear
+        # scale would multiply along with the sweep itself
+        small_limit = max(1, diag_limit // 8)
+        pairs_small = _leading_pairs(small_limit, num_diagonals)
+        seconds_small = _timed(lambda: sweep(small_limit), repeats)
+        per_pair = max(
+            (seconds_timed - seconds_small)
+            / max(pairs_timed - pairs_small, 1),
+            0.0,
+        )
+        seconds = seconds_timed + per_pair * (total_pairs - pairs_timed)
+    else:
+        seconds = seconds_timed
+
+    # measured peak of the whole pipeline (stats + kernel stats + sweep),
+    # in a fresh untraced-data pass so only this case's allocations count
+    def pipeline():
+        fresh = SlidingStats(values)
+        fmean, finv, _ = fresh.kernel_stats(w)
+        return _diagonal_sweep(
+            fresh.shifted,
+            w,
+            exclusion,
+            fmean,
+            finv,
+            need_indices=False,
+            chunk=chunk,
+            diag_limit=diag_limit,
+        )
+
+    chunked_run, peak = _traced_peak(pipeline)
+
+    row = {
+        "n": n,
+        "w": w,
+        "num_subsequences": m,
+        "max_memory_bytes": budget,
+        "chunk_width": chunk,
+        "chunked_workspace_bytes": int(chunked_workspace),
+        "unchunked_workspace_bytes": int(unchunked_workspace),
+        "measured_workspace_bytes": int(chunked_run[2]),
+        "tracemalloc_peak_bytes": int(peak),
+        "series_bytes": int(values.nbytes),
+        "seconds": float(seconds),
+        "seconds_timed": float(seconds_timed),
+        "seconds_estimated": estimated,
+        "diagonals_timed": int(diag_limit),
+        "diagonals_total": int(num_diagonals),
+        "pairs_timed": int(pairs_timed),
+        "pairs_total": int(total_pairs),
+    }
+    if unchunked_workspace <= _SCALING_UNCHUNKED_MEASURE_LIMIT:
+        # cross-check: the unchunked sweep over the same diagonals must be
+        # bit-identical, and its measured peak shows the O(block·n) cost
+        unchunked_run, unchunked_peak = _traced_peak(
+            lambda: sweep(diag_limit, width=None)
+        )
+        if not np.array_equal(chunked_run[0], unchunked_run[0]):
+            raise AssertionError(
+                f"chunked sweep diverged from the unchunked kernel at "
+                f"n={n}, chunk={chunk}"
+            )
+        row["unchunked_peak_bytes"] = int(unchunked_peak)
+        row["profiles_equal"] = True
+    return row
+
+
+def _bench_scaling(
+    quick: bool,
+    repeats: int,
+    *,
+    max_memory_bytes: int | None = None,
+    sizes: tuple[int, ...] | None = None,
+    pair_cap: int | None = None,
+) -> dict:
+    budget = (
+        _SCALING_KERNEL_BUDGET if max_memory_bytes is None else max_memory_bytes
+    )
+    if sizes is None:
+        sizes = _SCALING_QUICK_SIZES if quick else _SCALING_SIZES
+    if pair_cap is None:
+        pair_cap = _SCALING_QUICK_PAIR_CAP if quick else _SCALING_PAIR_CAP
+    try:
+        import resource
+
+        ru_maxrss_kb = int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        )
+    except (ImportError, ValueError):  # pragma: no cover - non-POSIX
+        ru_maxrss_kb = None
+    return {
+        "w": _SCALING_W,
+        "max_memory_bytes": budget,
+        "target_peak_bytes": _SCALING_TARGET_BYTES,
+        "ru_maxrss_kb_before": ru_maxrss_kb,
+        "results": [
+            _scaling_case(n, _SCALING_W, budget, pair_cap, repeats)
+            for n in sizes
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 
 
@@ -298,8 +529,17 @@ def run_bench(
     sections: tuple[str, ...] | None = None,
     sizes: tuple[int, ...] | None = None,
     naive_rows: int = 256,
+    max_memory_bytes: int | None = None,
+    scaling_sizes: tuple[int, ...] | None = None,
+    scaling_pair_cap: int | None = None,
 ) -> dict:
-    """Run the selected sections and return the machine-readable report."""
+    """Run the selected sections and return the machine-readable report.
+
+    ``max_memory_bytes`` is the kernel workspace budget the ``scaling``
+    section hands to the column-chunked sweep (default 128 MiB);
+    ``scaling_sizes``/``scaling_pair_cap`` shrink that section for
+    tests.
+    """
     chosen = SECTIONS if sections is None else tuple(sections)
     unknown = set(chosen) - set(SECTIONS)
     if unknown:
@@ -315,7 +555,7 @@ def run_bench(
 
     report: dict = {
         "schema": "repro-bench/1",
-        "label": "BENCH_3",
+        "label": BENCH_LABEL,
         "quick": quick,
         "repeats": repeats,
         "env": {
@@ -343,6 +583,21 @@ def run_bench(
         report["sections"]["oneliner"] = _bench_oneliner(quick, repeats)
     if "engine" in chosen:
         report["sections"]["engine"] = _bench_engine(quick, repeats)
+    if "scaling" in chosen:
+        scaling = _bench_scaling(
+            quick,
+            repeats,
+            max_memory_bytes=max_memory_bytes,
+            sizes=scaling_sizes,
+            pair_cap=scaling_pair_cap,
+        )
+        report["sections"]["scaling"] = scaling
+        top = scaling["results"][-1]
+        report["checks"]["scaling_peak_bytes"] = top["tracemalloc_peak_bytes"]
+        report["checks"]["scaling_within_target"] = bool(
+            top["tracemalloc_peak_bytes"] + top["series_bytes"]
+            <= scaling["target_peak_bytes"]
+        )
     return report
 
 
@@ -420,4 +675,28 @@ def format_bench(report: dict) -> str:
             f"engine grid ({engine['cells']} cells, "
             f"{engine['total_points']} points): {engine['seconds']:.2f}s"
         )
+    scaling = report["sections"].get("scaling")
+    if scaling:
+        mib = 1 << 20
+        lines.append("")
+        lines.append(
+            f"scaling (w={scaling['w']}, kernel budget "
+            f"{scaling['max_memory_bytes'] // mib}MiB, end-to-end target "
+            f"{scaling['target_peak_bytes'] // mib}MiB)"
+        )
+        for row in scaling["results"]:
+            seconds = f"{row['seconds']:.1f}s" + (
+                "*" if row["seconds_estimated"] else ""
+            )
+            lines.append(
+                f"  n={row['n']:<9} chunk={row['chunk_width']:<7} "
+                f"workspace {row['chunked_workspace_bytes'] // mib}MiB "
+                f"(unchunked {row['unchunked_workspace_bytes'] // mib}MiB)  "
+                f"peak {row['tracemalloc_peak_bytes'] // mib}MiB  {seconds}"
+            )
+        if any(row["seconds_estimated"] for row in scaling["results"]):
+            lines.append(
+                "  (* extrapolated by pair count from a timed slice of "
+                "diagonals)"
+            )
     return "\n".join(lines)

@@ -20,13 +20,18 @@ Commands mirror the paper's workflow:
 * ``cache <dir>`` — inspect or clear a content-addressed result cache.
 * ``bench`` — time the numeric core (mpx kernel vs the retained naive
   and STOMP references, MERLIN before/after, kNN, one-liners, engine
-  grid) and write machine-readable ``benchmarks/perf/BENCH_3.json``.
+  grid, bounded-memory scaling) and write a machine-readable report
+  whose name derives from the perf trajectory
+  (``benchmarks/perf/BENCH_<n>.json``).
 
 ``score`` and ``run`` both execute through :mod:`repro.runner`, so
 ``--jobs`` parallelizes and ``--cache-dir`` makes re-runs skip every
-already-computed cell.  ``compare`` and ``run --stats`` execute through
-:mod:`repro.stats`; their output is byte-identical across repeated
-invocations and across serial vs parallel source runs.
+already-computed cell; ``--max-memory`` caps the matrix-profile
+family's sweep workspace in every worker (the kernel column-chunks its
+block buffers to fit, bit-identically).  ``compare`` and ``run
+--stats`` execute through :mod:`repro.stats`; their output is
+byte-identical across repeated invocations and across serial vs
+parallel source runs.
 """
 
 from __future__ import annotations
@@ -63,6 +68,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=100,
         help="minimum UCR scoring slop in points (default: 100)",
+    )
+    parser.add_argument(
+        "--max-memory",
+        default=None,
+        metavar="SIZE",
+        help="cap the matrix-profile sweep workspace per process, e.g. "
+        "256M or 1G (default: unbounded); results are bit-identical",
     )
 
 
@@ -221,8 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="time the numeric core (mpx kernel vs retained references, "
-        "MERLIN, kNN, one-liners, engine grid) and write a "
-        "machine-readable report",
+        "MERLIN, kNN, one-liners, engine grid, bounded-memory scaling) "
+        "and write a machine-readable report",
     )
     bench.add_argument(
         "--quick",
@@ -232,8 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out",
         default=None,
-        help="report path (default: benchmarks/perf/BENCH_3.json; "
-        "'-' skips writing)",
+        help=f"report path (default: {BENCH_DEFAULT_OUT}, derived from "
+        "the perf trajectory; '-' skips writing)",
+    )
+    bench.add_argument(
+        "--max-memory",
+        default=None,
+        metavar="SIZE",
+        help="kernel workspace budget for the scaling section, e.g. "
+        "128M or 1G (default: 128M)",
     )
     bench.add_argument(
         "--repeats",
@@ -353,6 +372,25 @@ def _parse_lineup(text: str):
     return specs
 
 
+def _apply_memory_budget(text) -> bool:
+    """Install ``--max-memory`` as the process-wide kernel budget.
+
+    Must run before the engine builds its worker pool so forked and
+    spawned workers alike inherit the cap (it is mirrored into
+    ``REPRO_MAX_MEMORY``).
+    """
+    if not text:
+        return True
+    from .detectors import parse_memory_size, set_default_memory_budget
+
+    try:
+        set_default_memory_budget(parse_memory_size(text))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return False
+    return True
+
+
 def _build_engine(args, specs, config=None):
     from .runner import EvalEngine, UcrScoring
 
@@ -376,6 +414,8 @@ def _load_scored_archive(directory: str):
 
 
 def _cmd_score(args) -> int:
+    if not _apply_memory_budget(args.max_memory):
+        return 2
     archive = _load_scored_archive(args.directory)
     if archive is None:
         return 1
@@ -422,6 +462,8 @@ def _build_leaderboard(report, *, noise_floor, args):
 def _cmd_run(args) -> int:
     from .runner import ResultsStore, format_report
 
+    if not _apply_memory_budget(args.max_memory):
+        return 2
     archive = _load_scored_archive(args.directory)
     if archive is None:
         return 1
@@ -529,9 +571,21 @@ def _cmd_bench(args) -> int:
     sections = tuple(
         part.strip() for part in args.sections.split(",") if part.strip()
     )
+    max_memory = None
+    if args.max_memory:
+        from .detectors import parse_memory_size
+
+        try:
+            max_memory = parse_memory_size(args.max_memory)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     try:
         report = run_bench(
-            quick=args.quick, repeats=args.repeats, sections=sections
+            quick=args.quick,
+            repeats=args.repeats,
+            sections=sections,
+            max_memory_bytes=max_memory,
         )
     except (ValueError, AssertionError) as error:
         # AssertionError: a before/after cross-check inside a section

@@ -14,16 +14,19 @@ from .knn import KnnDistanceDetector
 from .matrix_profile import (
     MatrixProfileDetector,
     MatrixProfileResult,
+    default_memory_budget,
     discord_search,
     discords,
     matrix_profile,
     moving_mean_std,
+    parse_memory_size,
+    set_default_memory_budget,
     sliding_dot_products,
     subsequence_to_point_scores,
 )
 from .merlin import MerlinDetector, MerlinResult, merlin
 from .reference import naive_profile, stomp_profile
-from .sliding import SlidingStats, sliding_max, sliding_min
+from .sliding import SlidingStats, chunk_spans, sliding_max, sliding_min
 from .registry import (
     DETECTORS,
     DetectorSpec,
@@ -59,8 +62,12 @@ __all__ = [
     "sliding_dot_products",
     "subsequence_to_point_scores",
     "SlidingStats",
+    "chunk_spans",
     "sliding_max",
     "sliding_min",
+    "parse_memory_size",
+    "set_default_memory_budget",
+    "default_memory_budget",
     "naive_profile",
     "stomp_profile",
     "merlin",

@@ -17,9 +17,21 @@ dispatch overhead amortizes away; a skewed stride view aligns each
 block's anti-diagonals so the symmetric (column-side) maximum is one
 reduction instead of a copy.  Compared with the retained per-row STOMP
 loop (:func:`repro.detectors.reference.stomp_profile`) this is ~3.3×
-faster at n = 20,000 on one core (see ``benchmarks/perf/BENCH_3.json``);
-compared with the O(n²·w) brute force it is ~50× faster, at identical
-profiles to ~1e-10.
+faster at n = 20,000 on one core (see the committed ``BENCH_<n>.json``
+trajectory under ``benchmarks/perf/``); compared with the O(n²·w) brute
+force it is ~50× faster, at identical profiles to ~1e-10.
+
+Each block's column sweep is **chunked**: the reusable row buffer covers
+a fixed-width column window instead of the whole series, and the raw
+covariance cumsum is carried across chunk boundaries.  Because
+``np.cumsum`` accumulates strictly sequentially, the carried sum enters
+the next chunk as exactly the addition the unchunked cumsum would have
+performed, so profiles are *bit-identical* for every chunk width.  The
+working set drops from O(block · n) (~2 GB at n = 1e6) to
+O(block · chunk); pass ``max_memory_bytes=`` to auto-derive the widest
+chunk that fits a byte budget, tracked by exact allocation accounting
+(see docs/kernel.md for the memory model and the chunk-carry
+derivation).
 
 Exactly-constant windows have no z-normalization; they are fixed up in a
 vectorized post-pass with the same convention as before: distance 0
@@ -29,6 +41,7 @@ non-constant window.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,17 +59,84 @@ __all__ = [
     "discords",
     "subsequence_to_point_scores",
     "MatrixProfileDetector",
+    "parse_memory_size",
+    "set_default_memory_budget",
+    "default_memory_budget",
 ]
 
 # diagonals per kernel block, large enough to amortize numpy dispatch.
-# NOTE the working set is O(block · n): the reusable row buffer plus its
-# product scratch cost ~2 · block · 8 bytes per subsequence (~2 GB at
-# n = 1e6), where the replaced STOMP loop was O(n).  Fine at the series
-# lengths the benchmarks run today; for million-point series the block
-# sweep needs column-chunk tiling (fixed-width chunks with a cumsum
-# carry) to make the buffers O(block · chunk) — tracked in ROADMAP.md.
+# The block buffers are column-chunked (see _diagonal_sweep): with an
+# explicit chunk width (or a max_memory_bytes budget) the working set is
+# O(block · chunk); with neither it degenerates to one full-width chunk,
+# i.e. the historical O(block · n) footprint (~2 GB at n = 1e6).
 _DIAG_BLOCK = 128
 _ELEM = np.dtype(float).itemsize
+
+# process-wide default for matrix_profile(..., max_memory_bytes=); the
+# environment variable lets `repro score/run --max-memory` reach engine
+# worker processes whatever their start method is.
+_MEMORY_ENV = "REPRO_MAX_MEMORY"
+_default_memory_budget: int | None = None
+
+_MEMORY_UNITS = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def parse_memory_size(text: "str | int") -> int:
+    """``268435456``, ``"256M"``, ``"0.5G"``, ``"64MiB"`` → bytes."""
+    if isinstance(text, (int, np.integer)):
+        value = int(text)
+    else:
+        cleaned = str(text).strip().lower()
+        if cleaned.endswith("ib"):
+            cleaned = cleaned[:-2]
+        elif cleaned.endswith("b"):
+            cleaned = cleaned[:-1]
+        factor = 1
+        if cleaned and cleaned[-1] in _MEMORY_UNITS:
+            factor = _MEMORY_UNITS[cleaned[-1]]
+            cleaned = cleaned[:-1]
+        try:
+            value = int(float(cleaned) * factor)
+        except ValueError:
+            raise ValueError(
+                f"unparseable memory size {text!r}; use plain bytes or a "
+                f"K/M/G/T suffix (e.g. 256M, 1G)"
+            ) from None
+    if value <= 0:
+        raise ValueError(f"memory size must be positive, got {text!r}")
+    return value
+
+
+def set_default_memory_budget(max_memory_bytes: "int | None") -> None:
+    """Set the process-wide default matrix-profile memory budget.
+
+    ``None`` removes the cap.  The value is mirrored into the
+    ``REPRO_MAX_MEMORY`` environment variable so evaluation-engine
+    worker processes inherit it (fork *and* spawn start methods); this
+    is how ``repro score/run --max-memory`` bounds every cell.
+    """
+    global _default_memory_budget
+    if max_memory_bytes is not None:
+        max_memory_bytes = int(max_memory_bytes)
+        if max_memory_bytes <= 0:
+            raise ValueError(
+                f"max_memory_bytes must be positive, got {max_memory_bytes}"
+            )
+    _default_memory_budget = max_memory_bytes
+    if max_memory_bytes is None:
+        os.environ.pop(_MEMORY_ENV, None)
+    else:
+        os.environ[_MEMORY_ENV] = str(max_memory_bytes)
+
+
+def default_memory_budget() -> "int | None":
+    """The active default budget: explicit setting, else environment."""
+    if _default_memory_budget is not None:
+        return _default_memory_budget
+    raw = os.environ.get(_MEMORY_ENV)
+    if not raw:
+        return None
+    return parse_memory_size(raw)
 
 
 def sliding_dot_products(query: np.ndarray, series: np.ndarray) -> np.ndarray:
@@ -79,17 +159,160 @@ class MatrixProfileResult:
 
     ``indices`` is ``None`` when the profile was computed with
     ``with_indices=False`` (the fast path detectors use — nothing on the
-    scoring path reads neighbour locations).
+    scoring path reads neighbour locations).  ``chunk_width`` and
+    ``workspace_bytes`` record how the sweep was tiled: the column-chunk
+    width actually used (``None`` = one full-width chunk) and the exact
+    bytes of sweep scratch it allocated, from the kernel's allocation
+    accounting — the number ``max_memory_bytes`` budgets against.
     """
 
     w: int
     profile: np.ndarray  # nearest-neighbour distance per subsequence
     indices: np.ndarray | None  # nearest-neighbour location per subsequence
+    chunk_width: int | None = None
+    workspace_bytes: int | None = None
 
     @property
     def discord_index(self) -> int:
         """Start index of the top discord subsequence."""
         return int(np.argmax(np.where(np.isfinite(self.profile), self.profile, -np.inf)))
+
+
+class _Workspace:
+    """Accounting allocator for one diagonal sweep's scratch arrays.
+
+    Every array the sweep allocates goes through here, so the recorded
+    byte total *is* the sweep's working set — ``max_memory_bytes`` and
+    the budget regression tests key off it rather than off wall-clock
+    or RSS sampling.  The O(n) inputs (series, per-window stats) belong
+    to the caller and are not counted; docs/kernel.md tabulates the
+    full memory model.
+    """
+
+    __slots__ = ("bytes",)
+
+    def __init__(self) -> None:
+        self.bytes = 0
+
+    def _track(self, array: np.ndarray) -> np.ndarray:
+        self.bytes += array.nbytes
+        return array
+
+    def empty(self, shape, dtype=float) -> np.ndarray:
+        return self._track(np.empty(shape, dtype=dtype))
+
+    def zeros(self, shape, dtype=float) -> np.ndarray:
+        return self._track(np.zeros(shape, dtype=dtype))
+
+    def full(self, shape, value: float) -> np.ndarray:
+        return self._track(np.full(shape, value))
+
+    def arange(self, stop: int) -> np.ndarray:
+        return self._track(np.arange(stop, dtype=np.int64))
+
+
+def _sweep_allocation_bytes(
+    m: int,
+    exclusion: int,
+    *,
+    need_indices: bool,
+    chunk: "int | None" = None,
+    block: int = _DIAG_BLOCK,
+) -> int:
+    """Exact bytes :func:`_diagonal_sweep` will allocate.
+
+    Kept in lockstep with the sweep's ``ws.*`` calls (a tier-1 test
+    asserts equality with the live accounting); the budget solver uses
+    it to derive chunk widths without trial allocations.
+    """
+    total = m * _ELEM  # best
+    if need_indices:
+        total += m * 8  # bestj (int64)
+    if exclusion >= m:
+        return total
+    total += 3 * (m + block) * _ELEM  # dfp, dgp, invp
+    total += 2 * m * _ELEM  # c0 + anchor scratch
+    L0 = m - exclusion
+    B0 = min(block, L0)
+    cw0 = L0 if chunk is None else max(1, min(int(chunk), L0))
+    sw0 = cw0 + B0
+    total += B0 * (cw0 + B0) * _ELEM  # buf (chunk columns + skew padding)
+    total += B0 * cw0 * _ELEM  # tmp (second product term)
+    total += B0 * _ELEM  # carry
+    total += sw0 * _ELEM  # rowval
+    if need_indices:
+        wide = max(sw0, L0)
+        total += sw0 * 8  # rowarg (intp)
+        total += wide * 8  # tmpj (int64)
+        total += wide * 1  # upd (bool)
+        total += L0 * _ELEM  # colval
+        total += L0 * 8  # colarg (intp)
+        total += m * 8  # idx (int64)
+    return total
+
+
+def _chunk_for_budget(
+    m: int,
+    exclusion: int,
+    max_memory_bytes: int,
+    *,
+    need_indices: bool,
+    block: int = _DIAG_BLOCK,
+) -> int:
+    """Widest chunk whose sweep workspace fits ``max_memory_bytes``."""
+    if exclusion >= m:
+        return 1  # degenerate: the sweep allocates no block buffers
+    floor = _sweep_allocation_bytes(
+        m, exclusion, need_indices=need_indices, chunk=1, block=block
+    )
+    if floor > max_memory_bytes:
+        raise ValueError(
+            f"max_memory_bytes={max_memory_bytes} is below the sweep's "
+            f"minimum working set of {floor} bytes (chunk width 1, "
+            f"{m} subsequences); the O(n) recurrence vectors cannot be "
+            f"tiled away"
+        )
+    low, high = 1, m - exclusion
+    while low < high:
+        mid = (low + high + 1) // 2
+        fits = (
+            _sweep_allocation_bytes(
+                m, exclusion, need_indices=need_indices, chunk=mid, block=block
+            )
+            <= max_memory_bytes
+        )
+        if fits:
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+def _resolve_chunk(
+    m: int,
+    exclusion: int,
+    max_memory_bytes: "int | None",
+    chunk_width: "int | None",
+    *,
+    need_indices: bool,
+) -> "int | None":
+    """Pick the sweep's column-chunk width.
+
+    An explicit ``chunk_width`` wins; otherwise a budget (argument or
+    process-wide default) derives the widest fitting chunk; otherwise
+    ``None`` keeps the historical single full-width chunk.
+    """
+    if chunk_width is not None:
+        chunk_width = int(chunk_width)
+        if chunk_width < 1:
+            raise ValueError(f"chunk_width must be >= 1, got {chunk_width}")
+        return chunk_width
+    budget = (
+        max_memory_bytes if max_memory_bytes is not None else default_memory_budget()
+    )
+    if budget is None:
+        return None
+    return _chunk_for_budget(m, exclusion, int(budget), need_indices=need_indices)
 
 
 def _alive_min(best: np.ndarray, exclusion: int) -> float:
@@ -120,27 +343,47 @@ def _diagonal_sweep(
     need_indices: bool,
     abandon: float | None = None,
     block: int = _DIAG_BLOCK,
-) -> tuple[np.ndarray, np.ndarray | None] | None:
+    chunk: int | None = None,
+    diag_limit: int | None = None,
+) -> tuple[np.ndarray, np.ndarray | None, int] | None:
     """mpx diagonal traversal over the (mean-shifted) series ``x``.
 
-    Returns ``(best_correlation, best_index)`` per subsequence (the
-    index array is ``None`` unless ``need_indices``), or ``None`` when
-    ``abandon`` is given and every subsequence's running correlation
-    already exceeds it — i.e. no subsequence can still beat the
-    corresponding distance floor.
+    Returns ``(best_correlation, best_index, workspace_bytes)`` per
+    subsequence (the index array is ``None`` unless ``need_indices``;
+    ``workspace_bytes`` is the exact scratch footprint from allocation
+    accounting), or ``None`` when ``abandon`` is given and every
+    subsequence's running correlation already exceeds it — i.e. no
+    subsequence can still beat the corresponding distance floor.
+
+    ``chunk`` bounds the column width of the block buffers: each
+    diagonal block is swept in fixed-width column chunks, the raw
+    covariance cumsum carried across chunk boundaries, shrinking the
+    working set from O(block · n) to O(block · chunk).  The carry is
+    the exact running sum at the boundary and ``np.cumsum`` accumulates
+    strictly sequentially, so the float additions happen in the same
+    order whatever the width — results are bit-identical to the
+    unchunked sweep (``chunk=None``, one full-width chunk).
+
+    ``diag_limit`` stops after that many diagonals, covering only pairs
+    with separation in ``[exclusion, exclusion + diag_limit)``.  The
+    scaling bench uses it to measure the peak working set (the first
+    block's buffers are the widest) and extrapolate timings without
+    paying the full O(m²) sweep; the partial ``best`` it returns is
+    *not* a valid profile.
     """
     n = x.size
     m = n - w + 1
-    best = np.full(m, -np.inf)
-    bestj = np.zeros(m, dtype=np.int64) if need_indices else None
+    ws = _Workspace()
+    best = ws.full(m, -np.inf)
+    bestj = ws.zeros(m, dtype=np.int64) if need_indices else None
     if exclusion >= m:
-        return best, bestj
+        return best, bestj, ws.bytes
 
     # differential update terms (the mpx formulation): along diagonal d,
     # cov(i, i+d) = cov(i-1, i-1+d) + df[i]·dg[i+d] + df[i+d]·dg[i]
-    dfp = np.zeros(m + block)
-    dgp = np.zeros(m + block)
-    invp = np.zeros(m + block)
+    dfp = ws.zeros(m + block)
+    dgp = ws.zeros(m + block)
+    invp = ws.zeros(m + block)
     dfp[1:m] = 0.5 * (x[w:] - x[: n - w])
     dgp[1:m] = (x[w:] - mean[1:]) + (x[: m - 1] - mean[: m - 1])
     invp[:m] = inv
@@ -149,62 +392,123 @@ def _diagonal_sweep(
     # double precision (an FFT here would cost ~1e-8 relative noise on
     # large-amplitude series)
     q = x[:w] - mean[0]
-    c0 = np.correlate(x, q, mode="valid") - mean * q.sum()
+    c0 = np.correlate(x, q, mode="valid")
+    ws.bytes += c0.nbytes
+    anchor = ws.empty(m)
+    np.multiply(mean, q.sum(), out=anchor)
+    c0 -= anchor
 
-    idx = np.arange(m, dtype=np.int64)
     L0 = m - exclusion
     B0 = min(block, L0)
-    buf = np.empty((B0, L0 + B0))
-    tmp = np.empty((B0, max(L0 - 1, 1)))
+    cw0 = L0 if chunk is None else max(1, min(int(chunk), L0))
+    sw0 = cw0 + B0  # widest skewed-reduction target
+    buf = ws.empty((B0, cw0 + B0))
+    tmp = ws.empty((B0, cw0))
+    carry = ws.empty(B0)
+    rowval = ws.empty(sw0)
+    if need_indices:
+        wide = max(sw0, L0)
+        rowarg = ws.empty(sw0, dtype=np.intp)
+        tmpj = ws.empty(wide, dtype=np.int64)
+        upd = ws.empty(wide, dtype=bool)
+        colval = ws.empty(L0)
+        colarg = ws.empty(L0, dtype=np.intp)
+        idx = ws.arange(m)
 
-    for d in range(exclusion, m, block):
+    stop = m if diag_limit is None else min(m, exclusion + int(diag_limit))
+    for d in range(exclusion, stop, block):
         B = min(block, m - d)
         L = m - d
-        rowlen = L + B
-        # block rows live in one reusable buffer; B padding columns past
-        # each row hold -inf so the skewed view below reads a neutral
-        # element wherever it crosses a row boundary
-        CB = as_strided(buf, shape=(B, rowlen), strides=(rowlen * _ELEM, _ELEM))
-        CB[:, L:] = -np.inf
-        C = CB[:, :L]
-        Vdg = as_strided(dgp[d:], shape=(B, L), strides=(_ELEM, _ELEM))
-        Vdf = as_strided(dfp[d:], shape=(B, L), strides=(_ELEM, _ELEM))
-        if L > 1:
-            t = as_strided(
-                tmp, shape=(B, L - 1), strides=(tmp.strides[0], _ELEM)
-            )
-            np.multiply(Vdg[:, 1:], dfp[1:L], out=C[:, 1:])
-            np.multiply(Vdf[:, 1:], dgp[1:L], out=t)
-            C[:, 1:] += t
-        C[:, 0] = c0[d : d + B]
-        np.cumsum(C, axis=1, out=C)
-        C *= invp[:L]
-        Vinv = as_strided(invp[d:], shape=(B, L), strides=(_ELEM, _ELEM))
-        C *= Vinv
-        # row b covers diagonal d+b whose true length is L-b: blank the
-        # short tail so reductions never see stale pairs
-        for b in range(1, B):
-            CB[b, L - b : L] = -np.inf
-        # skewed view: S[b, p] = C[b, p-b], so column p collects every
-        # correlation whose *larger* index is d+p — the symmetric half
-        S = as_strided(CB, shape=(B, L), strides=((rowlen - 1) * _ELEM, _ELEM))
         if need_indices:
-            rowarg = C.argmax(axis=0)
-            rowval = np.take_along_axis(C, rowarg[None, :], axis=0)[0]
-            upd = rowval > best[:L]
-            np.copyto(best[:L], rowval, where=upd)
-            np.copyto(bestj[:L], idx[:L] + d + rowarg, where=upd)
-            colarg = S.argmax(axis=0)
-            colval = np.take_along_axis(S, colarg[None, :], axis=0)[0]
-            upd = colval > best[d:]
-            np.copyto(best[d:], colval, where=upd)
-            np.copyto(bestj[d:], idx[:L] - colarg, where=upd)
-        else:
-            np.maximum(best[:L], C.max(axis=0), out=best[:L])
-            np.maximum(best[d:], S.max(axis=0), out=best[d:])
+            colval[:L].fill(-np.inf)
+        for p0 in range(0, L, cw0):
+            p1 = min(p0 + cw0, L)
+            cw = p1 - p0
+            rowlen = cw + B
+            # block rows live in one reusable buffer; B padding columns
+            # past each row hold -inf so the skewed view below reads a
+            # neutral element wherever it crosses a row boundary
+            CB = as_strided(buf, shape=(B, rowlen), strides=(rowlen * _ELEM, _ELEM))
+            CB[:, cw:] = -np.inf
+            C = CB[:, :cw]
+            lo = max(p0, 1)  # global column 0 holds the anchor, not a product
+            if p1 > lo:
+                span = p1 - lo
+                off = lo - p0
+                Vdg = as_strided(
+                    dgp[d + lo :], shape=(B, span), strides=(_ELEM, _ELEM)
+                )
+                Vdf = as_strided(
+                    dfp[d + lo :], shape=(B, span), strides=(_ELEM, _ELEM)
+                )
+                t = as_strided(
+                    tmp, shape=(B, span), strides=(tmp.strides[0], _ELEM)
+                )
+                np.multiply(Vdg, dfp[lo:p1], out=C[:, off:])
+                np.multiply(Vdf, dgp[lo:p1], out=t)
+                C[:, off:] += t
+            if p0 == 0:
+                C[:, 0] = c0[d : d + B]
+            else:
+                # chunk-carry: the raw covariance cumsum resumes from the
+                # previous chunk's last column, so s_{p0} = carry + a_{p0}
+                # is the very addition the unchunked cumsum would perform
+                C[:, 0] += carry[:B]
+            np.cumsum(C, axis=1, out=C)
+            carry[:B] = C[:, cw - 1]  # raw sums, before correlation scaling
+            C *= invp[p0:p1]
+            Vinv = as_strided(
+                invp[d + p0 :], shape=(B, cw), strides=(_ELEM, _ELEM)
+            )
+            C *= Vinv
+            # row b covers diagonal d+b whose true length is L-b: blank
+            # whatever part of the short tail falls inside this chunk so
+            # reductions never see stale pairs
+            if L - B + 1 < p1:
+                for b in range(max(1, L - p1 + 1), B):
+                    CB[b, max(L - b - p0, 0) : cw] = -np.inf
+            # skewed view: S[b, p] = C[b, p-b], so column p collects every
+            # correlation whose *larger* index is d+p0+p — the symmetric
+            # half of the self-join
+            sw = min(cw + B - 1, L - p0)
+            S = as_strided(
+                CB, shape=(B, sw), strides=((rowlen - 1) * _ELEM, _ELEM)
+            )
+            if need_indices:
+                C.max(axis=0, out=rowval[:cw])
+                C.argmax(axis=0, out=rowarg[:cw])
+                np.greater(rowval[:cw], best[p0:p1], out=upd[:cw])
+                np.copyto(best[p0:p1], rowval[:cw], where=upd[:cw])
+                np.add(rowarg[:cw], idx[d + p0 : d + p1], out=tmpj[:cw])
+                np.copyto(bestj[p0:p1], tmpj[:cw], where=upd[:cw])
+                S.max(axis=0, out=rowval[:sw])
+                S.argmax(axis=0, out=rowarg[:sw])
+                # merge ties with >=: later chunks hold strictly smaller
+                # row offsets for the same column, so the final winner is
+                # the first-occurrence argmax the unchunked reduction
+                # picks — neighbour indices stay bit-identical too
+                np.greater_equal(
+                    rowval[:sw], colval[p0 : p0 + sw], out=upd[:sw]
+                )
+                np.copyto(colval[p0 : p0 + sw], rowval[:sw], where=upd[:sw])
+                np.copyto(colarg[p0 : p0 + sw], rowarg[:sw], where=upd[:sw])
+            else:
+                C.max(axis=0, out=rowval[:cw])
+                np.maximum(best[p0:p1], rowval[:cw], out=best[p0:p1])
+                S.max(axis=0, out=rowval[:sw])
+                np.maximum(
+                    best[d + p0 : d + p0 + sw],
+                    rowval[:sw],
+                    out=best[d + p0 : d + p0 + sw],
+                )
+        if need_indices:
+            np.greater(colval[:L], best[d:], out=upd[:L])
+            np.copyto(best[d:], colval[:L], where=upd[:L])
+            np.subtract(idx[:L], colarg[:L], out=tmpj[:L])
+            np.copyto(bestj[d:], tmpj[:L], where=upd[:L])
         if abandon is not None and _alive_min(best, exclusion) >= abandon:
             return None
-    return best, bestj
+    return best, bestj, ws.bytes
 
 
 def _finalize(
@@ -293,6 +597,8 @@ def matrix_profile(
     *,
     stats: SlidingStats | None = None,
     with_indices: bool = True,
+    max_memory_bytes: int | None = None,
+    chunk_width: int | None = None,
 ) -> MatrixProfileResult:
     """Exact z-normalized self-join matrix profile (mpx diagonal kernel).
 
@@ -303,14 +609,44 @@ def matrix_profile(
     (MERLIN does); pass ``with_indices=False`` to skip neighbour-index
     tracking when only the distances matter — that is the detector fast
     path, roughly a third faster.
+
+    ``max_memory_bytes`` caps the sweep's scratch working set: the
+    kernel derives the widest column-chunk width whose allocations fit
+    the budget (exact accounting, reported as
+    :attr:`MatrixProfileResult.workspace_bytes`) and raises
+    ``ValueError`` if even chunk width 1 cannot fit.  ``chunk_width``
+    sets the width directly (testing/tuning knob) and wins over any
+    budget.  With neither, the process-wide default from
+    :func:`set_default_memory_budget` / ``REPRO_MAX_MEMORY`` applies;
+    unbounded means one full-width chunk, the fastest layout.  Results
+    are bit-identical for every chunk width.
     """
     stats, exclusion = _validated(values, w, exclusion, stats)
     mean, inv, constant = stats.kernel_stats(w)
-    best, bestj = _diagonal_sweep(
-        stats.shifted, w, exclusion, mean, inv, need_indices=with_indices
+    chunk = _resolve_chunk(
+        stats.n - w + 1,
+        exclusion,
+        max_memory_bytes,
+        chunk_width,
+        need_indices=with_indices,
+    )
+    best, bestj, workspace = _diagonal_sweep(
+        stats.shifted,
+        w,
+        exclusion,
+        mean,
+        inv,
+        need_indices=with_indices,
+        chunk=chunk,
     )
     profile, indices = _finalize(best, bestj, w, exclusion, constant)
-    return MatrixProfileResult(w=w, profile=profile, indices=indices)
+    return MatrixProfileResult(
+        w=w,
+        profile=profile,
+        indices=indices,
+        chunk_width=chunk,
+        workspace_bytes=workspace,
+    )
 
 
 def discord_search(
@@ -320,6 +656,8 @@ def discord_search(
     *,
     stats: SlidingStats | None = None,
     normalized_floor: float | None = None,
+    max_memory_bytes: int | None = None,
+    chunk_width: int | None = None,
 ) -> tuple[int, float] | None:
     """Top discord ``(start_index, distance)`` for one window length.
 
@@ -327,7 +665,10 @@ def discord_search(
     length-normalized distance (``d / sqrt(w)``), and the sweep aborts —
     returning ``None`` — as soon as *every* subsequence already has a
     neighbour at or below that floor, because the length then cannot
-    improve on the best discord found so far.
+    improve on the best discord found so far.  ``max_memory_bytes`` /
+    ``chunk_width`` bound the sweep's working set exactly as in
+    :func:`matrix_profile`, so MERLIN's whole length sweep runs inside
+    the budget.
     """
     stats, exclusion = _validated(values, w, exclusion, stats)
     mean, inv, constant = stats.kernel_stats(w)
@@ -335,6 +676,13 @@ def discord_search(
     if normalized_floor is not None and np.isfinite(normalized_floor):
         # d/sqrt(w) <= floor  ⇔  corr >= 1 - floor²/2, identically in w
         abandon = 1.0 - 0.5 * float(normalized_floor) ** 2
+    chunk = _resolve_chunk(
+        stats.n - w + 1,
+        exclusion,
+        max_memory_bytes,
+        chunk_width,
+        need_indices=False,
+    )
     swept = _diagonal_sweep(
         stats.shifted,
         w,
@@ -343,10 +691,11 @@ def discord_search(
         inv,
         need_indices=False,
         abandon=abandon,
+        chunk=chunk,
     )
     if swept is None:
         return None
-    best, _ = swept
+    best, _, _ = swept
     profile, _ = _finalize(best, None, w, exclusion, constant)
     finite = np.where(np.isfinite(profile), profile, -np.inf)
     location = int(np.argmax(finite))
@@ -397,11 +746,22 @@ def subsequence_to_point_scores(
 
 
 class MatrixProfileDetector(Detector):
-    """Discord detector: per-point score from the matrix profile."""
+    """Discord detector: per-point score from the matrix profile.
 
-    def __init__(self, w: int = 100, exclusion: int | None = None) -> None:
+    ``max_memory_bytes`` caps the kernel's sweep workspace (chunk width
+    auto-derived); ``None`` defers to the process-wide default set via
+    ``repro score/run --max-memory`` or ``REPRO_MAX_MEMORY``.
+    """
+
+    def __init__(
+        self,
+        w: int = 100,
+        exclusion: int | None = None,
+        max_memory_bytes: int | None = None,
+    ) -> None:
         self.w = w
         self.exclusion = exclusion
+        self.max_memory_bytes = max_memory_bytes
 
     @property
     def name(self) -> str:
@@ -409,5 +769,11 @@ class MatrixProfileDetector(Detector):
 
     def score(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)
-        result = matrix_profile(values, self.w, self.exclusion, with_indices=False)
+        result = matrix_profile(
+            values,
+            self.w,
+            self.exclusion,
+            with_indices=False,
+            max_memory_bytes=self.max_memory_bytes,
+        )
         return subsequence_to_point_scores(result.profile, self.w, values.size)

@@ -65,8 +65,15 @@ def merlin(
     max_w: int,
     num_lengths: int = 8,
     early_abandon: bool = False,
+    max_memory_bytes: int | None = None,
 ) -> MerlinResult:
-    """Discord of every candidate length in ``[min_w, max_w]``."""
+    """Discord of every candidate length in ``[min_w, max_w]``.
+
+    ``max_memory_bytes`` caps each length's sweep workspace (the mpx
+    kernel column-chunks its block buffers to fit), so the whole
+    candidate sweep — early-abandoned or not — runs inside one bounded
+    footprint on top of the shared O(n) :class:`SlidingStats`.
+    """
     values = np.asarray(values, dtype=float)
     stats = SlidingStats(values)
     lengths: list[int] = []
@@ -77,7 +84,13 @@ def merlin(
         if values.size < 2 * w:
             continue
         floor = best_norm if early_abandon and lengths else None
-        found = discord_search(values, w, stats=stats, normalized_floor=floor)
+        found = discord_search(
+            values,
+            w,
+            stats=stats,
+            normalized_floor=floor,
+            max_memory_bytes=max_memory_bytes,
+        )
         if found is None:
             continue  # abandoned: cannot beat the best discord so far
         location, distance = found
@@ -97,12 +110,24 @@ def merlin(
 
 
 class MerlinDetector(Detector):
-    """Per-point score = max over lengths of the normalized profile."""
+    """Per-point score = max over lengths of the normalized profile.
 
-    def __init__(self, min_w: int = 50, max_w: int = 200, num_lengths: int = 5) -> None:
+    ``max_memory_bytes`` bounds every per-length kernel sweep; ``None``
+    defers to the process-wide default (``repro run --max-memory`` /
+    ``REPRO_MAX_MEMORY``).
+    """
+
+    def __init__(
+        self,
+        min_w: int = 50,
+        max_w: int = 200,
+        num_lengths: int = 5,
+        max_memory_bytes: int | None = None,
+    ) -> None:
         self.min_w = min_w
         self.max_w = max_w
         self.num_lengths = num_lengths
+        self.max_memory_bytes = max_memory_bytes
 
     @property
     def name(self) -> str:
@@ -115,7 +140,13 @@ class MerlinDetector(Detector):
         for w in candidate_lengths(self.min_w, self.max_w, self.num_lengths):
             if values.size < 2 * w:
                 continue
-            result = matrix_profile(values, w, stats=stats, with_indices=False)
+            result = matrix_profile(
+                values,
+                w,
+                stats=stats,
+                with_indices=False,
+                max_memory_bytes=self.max_memory_bytes,
+            )
             points = subsequence_to_point_scores(
                 result.profile / np.sqrt(w), w, values.size
             )

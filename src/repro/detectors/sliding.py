@@ -22,10 +22,22 @@ O(n) in the series length, independent of the window:
 
 :class:`SlidingStats` caches the prefix sums so multi-length consumers
 (MERLIN's candidate-length sweep) pay the O(n) setup once per series
-instead of once per length.
+instead of once per length.  Every per-window query is additionally
+**chunk-aware**: ``mean_std``/``kernel_stats``/``constant_mask`` accept
+a ``(start, stop)`` column range and then touch only O(stop − start)
+memory (:func:`chunk_spans` yields matching spans) — the query surface
+for consumers that process windows in bounded tiles.  Note the
+column-chunked mpx kernel itself still takes full-range stats: its
+diagonal recurrence reads every column's terms in each block, so the
+O(n) vectors are irreducible there (see docs/kernel.md).  Sliced
+results are exactly equal to the same slice of a full-range call: the
+prefix-sum subtraction is element-wise and the constant mask compares
+exact sliding extrema, so no rounding depends on the chunking.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -33,8 +45,28 @@ __all__ = [
     "sliding_max",
     "sliding_min",
     "moving_mean_std",
+    "chunk_spans",
     "SlidingStats",
 ]
+
+
+def chunk_spans(total: int, width: int | None) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` column spans of at most ``width``.
+
+    ``width=None`` (or any width >= ``total``) yields the single span
+    ``(0, total)`` — the unchunked layout.  The final span is short
+    whenever ``width`` does not divide ``total``.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if width is None:
+        width = total
+    else:
+        width = int(width)
+        if width < 1:
+            raise ValueError(f"chunk width must be >= 1, got {width}")
+    for start in range(0, total, max(width, 1)):
+        yield start, min(start + width, total)
 
 
 def _as_float_1d(values: np.ndarray) -> np.ndarray:
@@ -116,33 +148,72 @@ class SlidingStats:
         """Number of full length-``w`` windows."""
         return self.n - w + 1
 
-    def shifted_mean_std(self, w: int) -> tuple[np.ndarray, np.ndarray]:
-        """Mean of the *shifted* series and population std per window."""
-        sums = self._prefix[w:] - self._prefix[:-w]
-        sums_sq = self._prefix_sq[w:] - self._prefix_sq[:-w]
+    def _span(self, w: int, start: int, stop: int | None) -> tuple[int, int]:
+        """Validate a ``[start, stop)`` window-start range for length ``w``."""
+        m = self.window_count(w)
+        stop = m if stop is None else int(stop)
+        start = int(start)
+        if not 0 <= start <= stop <= m:
+            raise ValueError(
+                f"window-start span [{start}, {stop}) out of range for "
+                f"{m} length-{w} windows"
+            )
+        return start, stop
+
+    def shifted_mean_std(
+        self, w: int, start: int = 0, stop: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mean of the *shifted* series and population std per window.
+
+        ``start``/``stop`` restrict the answer to windows starting in
+        ``[start, stop)`` using O(stop − start) memory; the slice is
+        exactly equal to the same slice of the full-range call.
+        """
+        start, stop = self._span(w, start, stop)
+        sums = self._prefix[start + w : stop + w] - self._prefix[start:stop]
+        sums_sq = (
+            self._prefix_sq[start + w : stop + w] - self._prefix_sq[start:stop]
+        )
         mean = sums / w
         variance = np.maximum(sums_sq / w - mean * mean, 0.0)
         return mean, np.sqrt(variance)
 
-    def mean_std(self, w: int) -> tuple[np.ndarray, np.ndarray]:
-        """Mean and population std of every length-``w`` window."""
-        mean, std = self.shifted_mean_std(w)
+    def mean_std(
+        self, w: int, start: int = 0, stop: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mean and population std of length-``w`` windows in the span."""
+        mean, std = self.shifted_mean_std(w, start, stop)
         return mean + self.shift, std
 
-    def constant_mask(self, w: int) -> np.ndarray:
-        """Exactly-constant windows, via sliding extrema of raw values."""
-        return sliding_max(self.values, w) == sliding_min(self.values, w)
+    def constant_mask(
+        self, w: int, start: int = 0, stop: int | None = None
+    ) -> np.ndarray:
+        """Exactly-constant windows, via sliding extrema of raw values.
 
-    def kernel_stats(self, w: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        Chunk-aware: a ``[start, stop)`` span runs the extrema over just
+        the covered points.  The comparisons are exact equalities on raw
+        values, so the sliced mask equals the full mask's slice.
+        """
+        start, stop = self._span(w, start, stop)
+        if start == stop:
+            return np.empty(0, dtype=bool)
+        covered = self.values[start : stop + w - 1]
+        return sliding_max(covered, w) == sliding_min(covered, w)
+
+    def kernel_stats(
+        self, w: int, start: int = 0, stop: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(shifted_mean, inv_scaled_std, constant)`` for the mpx kernel.
 
         ``inv_scaled_std[i]`` is ``1 / (sqrt(w) * std[i])`` — the factor
         that turns a windowed covariance into a Pearson correlation —
         and exactly 0 for constant windows, which the kernel fixes up in
-        a dedicated post-pass.
+        a dedicated post-pass.  ``start``/``stop`` restrict the result
+        to a window-start span in O(stop − start) memory (chunk-aware
+        slicing; values match the full call's slice exactly).
         """
-        mean, std = self.shifted_mean_std(w)
-        constant = self.constant_mask(w)
+        mean, std = self.shifted_mean_std(w, start, stop)
+        constant = self.constant_mask(w, start, stop)
         inv = np.zeros_like(std)
         active = ~constant
         # a near-constant window can underflow the cumsum variance to 0

@@ -1,4 +1,32 @@
-"""The four-flaw taxonomy as executable audits (paper §2)."""
+"""The four-flaw taxonomy as executable audits (paper §2).
+
+Wu & Keogh argue the popular TSAD benchmarks are unusable because of
+four recurring flaws; this package turns each into a runnable audit
+over a (simulated) benchmark archive:
+
+* :mod:`~repro.flaws.triviality` — §2.2 / Definition 1: what fraction
+  of a benchmark a one-line expression already solves (the engine lives
+  in :mod:`repro.oneliner`; Figs 1–3, Table 1).
+* :mod:`~repro.flaws.density` — §2.3: unrealistic anomaly density —
+  anomaly-dominated series (NASA D-2/M-1/M-2), many-region series (SMD
+  machine-2-5), and sandwiched single normal points (Fig 3;
+  ``benchmarks/test_density_audit.py``).
+* :mod:`~repro.flaws.mislabeling` — §2.4: wrong or inconsistent ground
+  truth — unlabeled twins of labeled anomalies (Figs 4–7 and the Fig 9
+  NASA frozen snippets), toggling and partially-labeled constant runs,
+  duplicated series, and the Fig 8 taxi case study where discords
+  disagree with the NAB labels (:func:`discord_label_disagreement`).
+* :mod:`~repro.flaws.run_to_failure` — §2.5: run-to-failure bias — the
+  anomaly sits at the end of most series, so a "predict the last point"
+  detector looks strong (Fig 10 and the last-point ablation).
+
+:func:`~repro.flaws.report.audit_archive` bundles all four into the
+``repro audit {yahoo,nasa,numenta}`` report.  Each audit is regenerated
+and asserted by the tier-1 benchmarks (``benchmarks/test_fig04to07_mislabels.py``,
+``test_fig08_taxi_discord.py``, ``test_fig09_nasa_frozen.py``,
+``test_fig10_run_to_failure.py``, ``test_density_audit.py``), so
+``pydoc repro.flaws`` and the paper's §2 stay in lockstep.
+"""
 
 from .density import DensityAudit, DensityStats, audit_density, density_stats
 from .mislabeling import (

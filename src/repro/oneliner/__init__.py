@@ -1,4 +1,30 @@
-"""One-liner triviality engine (paper §2.2, Definition 1, Table 1)."""
+"""One-liner triviality engine (paper §2.2, Definition 1, Table 1).
+
+The paper's sharpest exhibit: large fractions of the Yahoo, Numenta and
+SMD benchmarks are "solved" by a *single line of code* — e.g.
+``abs(diff(TS))`` or a moving std — so accuracy gains on them are noise.
+This package reproduces that machinery:
+
+* :mod:`~repro.oneliner.primitives` — the MATLAB-equivalent vector
+  primitives (``diff``, ``movmean``, ``movstd``, ``movmax``, ...; the
+  sliding extrema route through the O(n) Gil-Werman pass in
+  :mod:`repro.detectors.sliding` with MATLAB shrink semantics).
+* :mod:`~repro.oneliner.expressions` — the expression families of
+  Table 1 (diff, movstd, threshold, frozen-signal, ...), each a
+  parameterized one-liner producing a per-point score.
+* :mod:`~repro.oneliner.criteria` — Definition 1: when a one-liner
+  "solves" a labeled series under the paper's criteria.
+* :mod:`~repro.oneliner.search` — brute-force search for a solving
+  family/parameter per series and per archive.
+* :mod:`~repro.oneliner.report` — Table 1 itself
+  (:func:`build_table1`, printed by ``repro table1``; asserted by
+  ``benchmarks/test_table1_yahoo_bruteforce.py``); Figs 1–3 exemplars
+  live in ``benchmarks/test_fig01_*`` .. ``test_fig03_*``.
+
+:mod:`repro.stats` reuses the families as the *noise floor* for its
+leaderboards: a detector only counts as progress when its CI clears the
+best one-liner's.
+"""
 
 from .criteria import SolveReport, evaluate_flags, solves
 from .expressions import (

@@ -73,8 +73,53 @@ class TestRunBench:
             run_bench(sections=("kernel", "warp-drive"))
 
     def test_all_sections_are_known(self):
-        assert set(SECTIONS) == {"kernel", "merlin", "knn", "oneliner", "engine"}
-        assert DEFAULT_OUT.endswith("BENCH_3.json")
+        assert set(SECTIONS) == {
+            "kernel",
+            "merlin",
+            "knn",
+            "oneliner",
+            "engine",
+            "scaling",
+        }
+
+    def test_output_name_derives_from_trajectory(self):
+        from repro.bench import BENCH_LABEL, TRAJECTORY
+
+        assert BENCH_LABEL == f"BENCH_{TRAJECTORY}"
+        assert DEFAULT_OUT.endswith(f"{BENCH_LABEL}.json")
+
+    def test_scaling_section_schema_and_bounds(self):
+        budget = 8 << 20
+        report = run_bench(
+            quick=True,
+            repeats=1,
+            sections=("scaling",),
+            max_memory_bytes=budget,
+            scaling_sizes=(20_000,),
+            scaling_pair_cap=2_000_000,
+        )
+        section = report["sections"]["scaling"]
+        assert section["max_memory_bytes"] == budget
+        (row,) = section["results"]
+        assert row["n"] == 20_000
+        # the budget forces genuine tiling at this size, enforced by the
+        # kernel's allocation accounting (deterministic, no wall-clock)
+        assert 1 < row["chunk_width"] < row["num_subsequences"]
+        assert row["measured_workspace_bytes"] == row["chunked_workspace_bytes"]
+        assert row["chunked_workspace_bytes"] <= budget
+        assert row["unchunked_workspace_bytes"] > budget
+        assert row["seconds_estimated"] is True
+        assert row["pairs_timed"] < row["pairs_total"]
+        assert row["seconds"] > 0
+        # small enough to cross-check against the unchunked sweep
+        assert row["profiles_equal"] is True
+        assert report["checks"]["scaling_peak_bytes"] == row[
+            "tracemalloc_peak_bytes"
+        ]
+        assert isinstance(report["checks"]["scaling_within_target"], bool)
+        text = format_bench(report)
+        assert "scaling" in text
+        assert "chunk=" in text
 
 
 class TestOutput:

@@ -323,3 +323,56 @@ class TestBench:
                      "--sections", "oneliner", "--out", "-",
                      "--min-kernel-speedup", "5"]) == 2
         assert "kernel section" in capsys.readouterr().err
+
+
+class TestMaxMemory:
+    def test_parser_accepts_max_memory(self):
+        for command in ("score", "run"):
+            args = build_parser().parse_args([command, "/tmp/x"])
+            assert args.max_memory is None
+        args = build_parser().parse_args(
+            ["score", "/tmp/x", "--max-memory", "256M"]
+        )
+        assert args.max_memory == "256M"
+        args = build_parser().parse_args(["bench", "--max-memory", "1G"])
+        assert args.max_memory == "1G"
+
+    def test_bad_max_memory_exits_2(self, tmp_path, capsys):
+        assert main(["score", str(tmp_path), "--max-memory", "12Q"]) == 2
+        assert "memory size" in capsys.readouterr().err
+        assert (
+            main(
+                ["bench", "--quick", "--sections", "oneliner", "--out", "-",
+                 "--max-memory", "nope"]
+            )
+            == 2
+        )
+        assert "memory size" in capsys.readouterr().err
+
+    def test_score_max_memory_installs_process_budget(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import importlib
+
+        mp = importlib.import_module("repro.detectors.matrix_profile")
+        monkeypatch.setattr(mp, "_default_memory_budget", None)
+        monkeypatch.delenv("REPRO_MAX_MEMORY", raising=False)
+        assert main(["build-archive", str(tmp_path), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        try:
+            assert (
+                main(
+                    ["score", str(tmp_path), "--detectors",
+                     "matrix_profile(w=64)", "--max-memory", "32M"]
+                )
+                == 0
+            )
+            assert "accuracy" in capsys.readouterr().out
+            from repro.detectors import default_memory_budget
+
+            # the budget is live for the whole process (and, via the
+            # mirrored env var, for any engine worker it spawns)
+            assert default_memory_budget() == 32 << 20
+        finally:
+            mp.set_default_memory_budget(None)

@@ -122,3 +122,57 @@ class TestSlidingStats:
         stats = SlidingStats(np.empty(0))
         assert stats.n == 0
         assert stats.shift == 0.0
+
+
+class TestChunkAwareSlicing:
+    """Sliced stats must equal the same slice of a full-range call."""
+
+    def test_chunk_spans_cover_and_partition(self):
+        from repro.detectors import chunk_spans
+
+        spans = list(chunk_spans(10, 3))
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert list(chunk_spans(10, None)) == [(0, 10)]
+        assert list(chunk_spans(4, 100)) == [(0, 4)]
+        assert list(chunk_spans(0, 5)) == []
+        with pytest.raises(ValueError):
+            list(chunk_spans(10, 0))
+        with pytest.raises(ValueError):
+            list(chunk_spans(-1, 2))
+
+    def test_sliced_kernel_stats_match_full(self):
+        from repro.detectors import chunk_spans
+
+        rng = np.random.default_rng(9)
+        values = np.cumsum(rng.normal(0, 1, 500))
+        values[100:160] = values[100]  # a constant run crossing chunks
+        stats = SlidingStats(values)
+        for w in (5, 16, 33):
+            mean, inv, constant = stats.kernel_stats(w)
+            for width in (1, 7, 64, 1000):
+                for start, stop in chunk_spans(stats.window_count(w), width):
+                    cmean, cinv, cconst = stats.kernel_stats(w, start, stop)
+                    np.testing.assert_array_equal(cmean, mean[start:stop])
+                    np.testing.assert_array_equal(cinv, inv[start:stop])
+                    np.testing.assert_array_equal(
+                        cconst, constant[start:stop]
+                    )
+
+    def test_sliced_mean_std_match_full(self):
+        rng = np.random.default_rng(10)
+        values = rng.normal(0, 3, 200)
+        stats = SlidingStats(values)
+        mean, std = stats.mean_std(12)
+        cmean, cstd = stats.mean_std(12, 50, 120)
+        np.testing.assert_array_equal(cmean, mean[50:120])
+        np.testing.assert_array_equal(cstd, std[50:120])
+        assert stats.constant_mask(12, 30, 30).size == 0
+
+    def test_span_validation(self):
+        stats = SlidingStats(np.arange(50.0))
+        with pytest.raises(ValueError, match="span"):
+            stats.kernel_stats(10, -1, 5)
+        with pytest.raises(ValueError, match="span"):
+            stats.kernel_stats(10, 5, 3)
+        with pytest.raises(ValueError, match="span"):
+            stats.kernel_stats(10, 0, 999)
