@@ -18,6 +18,10 @@ Public surface:
 * :mod:`repro.analysis` — invariance experiments (Fig 13).
 * :mod:`repro.runner` — parallel evaluation engine with a
   content-addressed result cache and reproducible run manifests.
+* :mod:`repro.stream` — online/streaming subsystem: incremental matrix
+  profile with bounded-memory egress, streaming adapters for every
+  registry detector, the replay engine (arrival-time scores, commit
+  latency) and delay-aware scoreboards behind ``repro stream``.
 * :mod:`repro.stats` — statistical comparison engine: bootstrap CIs,
   paired permutation tests, Friedman/Nemenyi rank analysis and the
   one-liner noise floor behind ``repro compare``.

@@ -3,12 +3,16 @@
 Times the production mpx kernel against the retained reference kernels
 (:mod:`repro.detectors.reference`), MERLIN before/after the shared-stats
 rewrite, the kNN detector's cached-vs-legacy scoring, the one-liner
-sliding extrema, a small end-to-end engine grid, and the ``scaling``
+sliding extrema, a small end-to-end engine grid, the ``scaling``
 section — bounded-memory column-chunked profiles at n up to 10⁶ with
-the peak working set measured via ``tracemalloc``.  Results are written
-as machine-readable JSON; the output name derives from the trajectory
-counter (``benchmarks/perf/BENCH_<n>.json``, currently ``BENCH_4``) so
-every recorded point keeps its place in the series.
+the peak working set measured via ``tracemalloc`` — and the
+``streaming`` section: incremental matrix-profile append throughput
+(unbounded and bounded-history), batch-vs-stream parity under the
+1e-8 correlation-space contract, and replay engine throughput.
+Results are written as machine-readable JSON; the output name derives
+from the trajectory counter (``benchmarks/perf/BENCH_<n>.json``,
+currently ``BENCH_5``) so every recorded point keeps its place in the
+series.
 
 Methodology
 -----------
@@ -52,10 +56,18 @@ __all__ = [
 # the perf-trajectory counter: bump it when a PR records a new point.
 # Output names and report labels derive from it, so README/CLI help
 # never drift from the actual file written.
-TRAJECTORY = 4
+TRAJECTORY = 5
 BENCH_LABEL = f"BENCH_{TRAJECTORY}"
 DEFAULT_OUT = os.path.join("benchmarks", "perf", f"{BENCH_LABEL}.json")
-SECTIONS = ("kernel", "merlin", "knn", "oneliner", "engine", "scaling")
+SECTIONS = (
+    "kernel",
+    "merlin",
+    "knn",
+    "oneliner",
+    "engine",
+    "scaling",
+    "streaming",
+)
 
 _FULL_SIZES = (2_000, 5_000, 10_000, 20_000)
 _QUICK_SIZES = (2_048, 8_192)
@@ -520,6 +532,130 @@ def _bench_scaling(
 
 
 # ---------------------------------------------------------------------------
+# streaming: incremental matrix profile appends + replay throughput
+
+_STREAMING_BOUNDED_HISTORY = 2_048
+_STREAMING_QUICK_BOUNDED_HISTORY = 1_024
+
+
+def _bench_streaming(quick: bool, repeats: int, w: int) -> dict:
+    from .detectors import matrix_profile
+    from .stream import StreamingMatrixProfile, replay
+    from .types import LabeledSeries, Labels
+
+    sizes = (2_000, 8_000) if quick else (4_000, 16_000)
+    history = (
+        _STREAMING_QUICK_BOUNDED_HISTORY
+        if quick
+        else _STREAMING_BOUNDED_HISTORY
+    )
+    results = []
+    for n in sizes:
+        values = _walk(n)
+
+        streamed = {}
+
+        def stream_unbounded():
+            profile = StreamingMatrixProfile(w)
+            profile.append(values)
+            streamed["profile"] = profile
+            return profile
+
+        def stream_bounded():
+            profile = StreamingMatrixProfile(w, max_history=history)
+            profile.append(values)
+            profile.drain_egress()
+            return profile
+
+        seconds = _timed(stream_unbounded, repeats)
+        bounded_seconds = _timed(stream_bounded, repeats)
+        batch = {}
+
+        def batch_profile():
+            batch["result"] = matrix_profile(values, w, with_indices=False)
+            return batch["result"]
+
+        batch_seconds = _timed(batch_profile, repeats)
+        # parity: streaming vs batch are two *independently* approximate
+        # kernels, each within 1e-8 of truth in correlation space, so
+        # their mutual divergence can legitimately reach twice the
+        # single-kernel contract (same margin the MERLIN cross-check
+        # uses); the timed closures already produced both profiles
+        got = streamed["profile"].profile()
+        expected = batch["result"].profile
+        finite = np.isfinite(expected)
+        if not np.array_equal(np.isinf(got), np.isinf(expected)):
+            raise AssertionError(
+                f"streaming profile inf pattern diverged at n={n}"
+            )
+        parity = (
+            float(np.abs(got[finite] ** 2 - expected[finite] ** 2).max())
+            if finite.any()
+            else 0.0
+        )
+        if parity > 4.0 * w * 1e-8:
+            raise AssertionError(
+                f"streaming profile outside twice the correlation-space "
+                f"contract at n={n}: sq err {parity:.3e}"
+            )
+        results.append(
+            {
+                "n": n,
+                "w": w,
+                "seconds": seconds,
+                "per_append_us": 1e6 * seconds / n,
+                "bounded_history": history,
+                "bounded_seconds": bounded_seconds,
+                "bounded_per_append_us": 1e6 * bounded_seconds / n,
+                "batch_seconds": batch_seconds,
+                "stream_vs_batch": _ratio(seconds, batch_seconds),
+                "parity_max_sq_err": parity,
+            }
+        )
+
+    # replay throughput: a registry detector streamed through the
+    # generic adapter in micro-batches over a bounded window
+    n = 4_000
+    rng = np.random.default_rng(_SEED)
+    values = np.sin(2 * np.pi * np.arange(n) / 160) + 0.05 * rng.standard_normal(n)
+    start = 3 * n // 4
+    values[start : start + 8] += 10.0
+    series = LabeledSeries(
+        "bench-replay",
+        values,
+        Labels.single(n, start, start + 8),
+        train_len=n // 4,
+    )
+    batch_size, replay_window = 64, 512
+    replayed = {}
+
+    def run_replay():
+        replayed["trace"] = replay(
+            series, "diff", batch_size=batch_size, window=replay_window
+        )
+        return replayed["trace"]
+
+    replay_seconds = _timed(run_replay, repeats)
+    trace = replayed["trace"]
+    points_streamed = n - series.train_len
+    return {
+        "w": w,
+        "results": results,
+        "replay": {
+            "detector": "diff",
+            "n": n,
+            "batch_size": batch_size,
+            "window": replay_window,
+            "points_streamed": points_streamed,
+            "seconds": replay_seconds,
+            "points_per_second": _ratio(points_streamed, replay_seconds),
+            "correct": trace.correct,
+            "delay": trace.delay,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 
 
@@ -597,6 +733,24 @@ def run_bench(
         report["checks"]["scaling_within_target"] = bool(
             top["tracemalloc_peak_bytes"] + top["series_bytes"]
             <= scaling["target_peak_bytes"]
+        )
+    if "streaming" in chosen:
+        streaming = _bench_streaming(quick, repeats, w)
+        report["sections"]["streaming"] = streaming
+        rows = streaming["results"]
+        report["checks"]["streaming_parity_sq_err"] = max(
+            row["parity_max_sq_err"] for row in rows
+        )
+        # sub-linear claim: the bounded-history per-append cost must not
+        # track the stream length the way the unbounded cost does
+        size_ratio = rows[-1]["n"] / rows[0]["n"]
+        cost_ratio = _ratio(
+            rows[-1]["bounded_per_append_us"], rows[0]["bounded_per_append_us"]
+        )
+        report["checks"]["streaming_size_ratio"] = size_ratio
+        report["checks"]["streaming_bounded_cost_ratio"] = cost_ratio
+        report["checks"]["streaming_bounded_sublinear"] = bool(
+            cost_ratio < size_ratio
         )
     return report
 
@@ -698,5 +852,27 @@ def format_bench(report: dict) -> str:
             lines.append(
                 "  (* extrapolated by pair count from a timed slice of "
                 "diagonals)"
+            )
+    streaming = report["sections"].get("streaming")
+    if streaming:
+        lines.append("")
+        lines.append(
+            f"{'streaming (w=%d)' % streaming['w']:<24} "
+            f"{'append':>10} {'bounded':>10} {'batch':>9} {'parity':>10}"
+        )
+        for row in streaming["results"]:
+            lines.append(
+                f"  n={row['n']:<20} {row['per_append_us']:>8.1f}us "
+                f"{row['bounded_per_append_us']:>8.1f}us "
+                f"{row['batch_seconds']:>8.3f}s "
+                f"{row['parity_max_sq_err']:>10.1e}"
+            )
+        replay = streaming.get("replay")
+        if replay:
+            lines.append(
+                f"  replay {replay['detector']} (n={replay['n']}, batch "
+                f"{replay['batch_size']}, window {replay['window']}): "
+                f"{replay['points_per_second']:.0f} points/s, "
+                f"delay {replay['delay']}"
             )
     return "\n".join(lines)

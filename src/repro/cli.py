@@ -17,11 +17,16 @@ Commands mirror the paper's workflow:
   bootstrap CIs, Holm-corrected paired permutation tests, Friedman/
   Nemenyi rank cliques and the one-liner noise-floor verdict, with no
   recompute.
+* ``stream <dir>`` — replay an archive through the streaming subsystem:
+  every detector runs left-to-right without hindsight, scored at
+  arrival time, with detection delay measured against the labels and a
+  delay-aware statistical leaderboard on top.
+* ``detectors`` — list the registry (names + constructor parameters).
 * ``cache <dir>`` — inspect or clear a content-addressed result cache.
 * ``bench`` — time the numeric core (mpx kernel vs the retained naive
   and STOMP references, MERLIN before/after, kNN, one-liners, engine
-  grid, bounded-memory scaling) and write a machine-readable report
-  whose name derives from the perf trajectory
+  grid, bounded-memory scaling, streaming appends/replay) and write a
+  machine-readable report whose name derives from the perf trajectory
   (``benchmarks/perf/BENCH_<n>.json``).
 
 ``score`` and ``run`` both execute through :mod:`repro.runner`, so
@@ -85,6 +90,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _open_unit_float(text: str) -> float:
     value = float(text)
     if not 0.0 < value < 1.0:
@@ -115,10 +127,31 @@ def _add_stats_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _package_version() -> str:
+    """The version of the code that is actually running.
+
+    ``setup.cfg`` derives the distribution metadata from
+    ``repro.__version__`` (``attr:``), so the imported constant *is*
+    the package metadata for the running module — and unlike an
+    ``importlib.metadata`` lookup it cannot report a stale
+    site-packages install when the source tree runs via
+    ``PYTHONPATH=src``.
+    """
+    from . import __version__
+
+    return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction toolkit for 'Current TSAD Benchmarks are Flawed'",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {_package_version()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -218,6 +251,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="stdout format (default: text)",
     )
     _add_stats_options(compare)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay an archive left-to-right: arrival-time scores, "
+        "detection delay and a delay-aware streaming leaderboard",
+    )
+    stream.add_argument("directory")
+    stream.add_argument(
+        "--detectors",
+        default="moving_zscore,matrix_profile",
+        help="comma-separated registry names, with optional params: "
+        "'diff,matrix_profile(w=100)'",
+    )
+    stream.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=32,
+        help="micro-batch size per update; 1 is strict point-by-point "
+        "(default: 32)",
+    )
+    stream.add_argument(
+        "--max-delay",
+        type=_nonnegative_int,
+        default=None,
+        metavar="POINTS",
+        help="latency budget: a cell only counts as correct if the "
+        "detector committed to the anomaly within this many points of "
+        "its onset (default: no budget)",
+    )
+    stream.add_argument(
+        "--window",
+        type=_positive_int,
+        default=None,
+        metavar="POINTS",
+        help="bound the re-scored suffix (and the incremental kernel's "
+        "resident history) to this many points (default: full prefix)",
+    )
+    stream.add_argument(
+        "--refit-every",
+        type=_positive_int,
+        default=None,
+        metavar="POINTS",
+        help="refit wrapped detectors on everything seen so far at this "
+        "cadence (default: fit once on the training prefix)",
+    )
+    stream.add_argument(
+        "--slop",
+        type=int,
+        default=100,
+        help="minimum UCR scoring slop in points (default: 100)",
+    )
+    stream.add_argument(
+        "--out",
+        default=None,
+        help="also write <name>.traces.jsonl and <name>.stats.json "
+        "artifacts into this directory (default: no artifacts)",
+    )
+    stream.add_argument(
+        "--name",
+        default="stream",
+        help="artifact basename (default: stream)",
+    )
+    stream.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
+    )
+    stream.add_argument(
+        "--max-memory",
+        default=None,
+        metavar="SIZE",
+        help="cap the batch matrix-profile sweep workspace, e.g. 256M — "
+        "applies where a batch kernel runs (wrapped detectors, "
+        "--refit-every); the native streaming kernel's memory is "
+        "bounded by --window instead (default: unbounded)",
+    )
+    _add_stats_options(stream)
+
+    detectors = sub.add_parser(
+        "detectors",
+        help="list the detector registry (names + constructor params)",
+    )
+    detectors.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
+    )
 
     cache = sub.add_parser(
         "cache",
@@ -563,6 +685,95 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import json
+
+    from .stream import (
+        delay_summary,
+        format_streaming,
+        replay_grid,
+        streaming_leaderboard,
+    )
+
+    if not _apply_memory_budget(args.max_memory):
+        return 2
+    archive = _load_scored_archive(args.directory)
+    if archive is None:
+        return 1
+    specs = _parse_lineup(args.detectors)
+    if specs is None:
+        return 2
+    try:
+        traces = replay_grid(
+            archive,
+            specs,
+            batch_size=args.batch_size,
+            max_delay=args.max_delay,
+            slop=args.slop,
+            window=args.window,
+            refit_every=args.refit_every,
+        )
+    except ValueError as error:
+        # e.g. a --window too small for a detector's kernel history
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    leaderboard = streaming_leaderboard(
+        traces,
+        archive={"name": archive.name, "num_series": len(archive)},
+        alpha=args.alpha,
+        resamples=args.resamples,
+        seed=args.seed,
+    )
+    if args.out:
+        from .runner import ResultsStore
+
+        store = ResultsStore(args.out)
+        trace_path = store.write_traces(traces, args.name)
+        stats_path = store.write_stats(leaderboard, args.name)
+        print(f"wrote traces: {trace_path}", file=sys.stderr)
+        print(f"wrote stats: {stats_path}", file=sys.stderr)
+    if args.format == "json":
+        payload = {
+            "schema": "repro-stream/1",
+            "archive": {"name": archive.name, "num_series": len(archive)},
+            "batch_size": args.batch_size,
+            "max_delay": args.max_delay,
+            "detectors": delay_summary(traces),
+            "leaderboard": json.loads(leaderboard.to_json()),
+            "traces": [trace.to_json() for trace in traces],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_streaming(traces, leaderboard))
+    return 0
+
+
+def _cmd_detectors(args) -> int:
+    import inspect
+    import json
+
+    from .detectors import DETECTORS, available_detectors
+
+    rows = []
+    for name in available_detectors():
+        params = {}
+        for parameter in inspect.signature(DETECTORS[name]).parameters.values():
+            default = parameter.default
+            params[parameter.name] = (
+                None if default is inspect.Parameter.empty else default
+            )
+        rows.append({"name": name, "params": params})
+    if args.format == "json":
+        print(json.dumps(rows, indent=2, sort_keys=True, default=str))
+    else:
+        for row in rows:
+            inner = ", ".join(
+                f"{key}={value!r}" for key, value in row["params"].items()
+            )
+            print(f"{row['name']:<16} {inner}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
 
@@ -638,6 +849,8 @@ _COMMANDS = {
     "score": _cmd_score,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "stream": _cmd_stream,
+    "detectors": _cmd_detectors,
     "cache": _cmd_cache,
     "bench": _cmd_bench,
 }

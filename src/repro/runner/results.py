@@ -65,6 +65,7 @@ def artifact_paths(out_dir: str | Path, basename: str) -> dict[str, Path]:
         "summary": out_dir / f"{basename}.summary.txt",
         "manifest": out_dir / f"{basename}.manifest.json",
         "stats": out_dir / f"{basename}.stats.json",
+        "traces": out_dir / f"{basename}.traces.jsonl",
     }
 
 
@@ -148,6 +149,7 @@ class ResultsStore:
         self.out_dir.mkdir(parents=True, exist_ok=True)
         paths = artifact_paths(self.out_dir, basename)
         del paths["stats"]  # written separately, only on request
+        del paths["traces"]  # streaming replays only, via write_traces
         cell_lines = [
             json.dumps(cell.to_json(), sort_keys=True) for cell in report.cells
         ]
@@ -162,6 +164,34 @@ class ResultsStore:
         path = artifact_paths(self.out_dir, basename)["stats"]
         path.write_text(leaderboard.to_json())
         return path
+
+    def write_traces(self, traces, basename: str) -> Path:
+        """Persist streaming :class:`~repro.stream.ReplayTrace` records.
+
+        One canonical JSON object per line (sorted keys, wall-clock
+        timing excluded, scores as a fingerprint), so a re-run of the
+        same replay writes a byte-identical ``<name>.traces.jsonl``.
+        """
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path = artifact_paths(self.out_dir, basename)["traces"]
+        path.write_text(
+            "\n".join(trace.to_jsonl() for trace in traces) + "\n"
+        )
+        return path
+
+    def load_traces(self, basename: str = "run") -> list[dict]:
+        """Saved trace records as dicts, in replay grid order."""
+        path = artifact_paths(self.out_dir, basename)["traces"]
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"no streaming traces at {path}; expected artifacts "
+                f"written by `repro stream --out ... --name {basename}`"
+            )
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
 
     def load(self, basename: str = "run") -> RunReport:
         """Round-trip saved artifacts back into a report."""

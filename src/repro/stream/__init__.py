@@ -1,0 +1,69 @@
+"""repro.stream — online/streaming detection subsystem.
+
+The batch pipeline everywhere else in the repository gives detectors
+the whole series before the first score exists — the hindsight Wu &
+Keogh's flaw analysis (run-to-failure, §2.5) shows benchmarks quietly
+reward.  This subsystem is the ingestion-shaped counterpart, in four
+layers:
+
+* :mod:`~repro.stream.profile` — :class:`StreamingMatrixProfile`, the
+  incremental mpx kernel: append points, keep the self-join profile
+  current, bound memory with ring-buffer egress.
+* :mod:`~repro.stream.adapters` — the :class:`StreamingDetector`
+  protocol, :func:`as_streaming` to run any registry detector
+  left-to-right without hindsight, and native streaming detectors
+  (incremental matrix profile, O(1) trailing z-score and trailing
+  movmax−movmin range) built on the :mod:`~repro.stream.windows`
+  trailing-window primitives.
+* :mod:`~repro.stream.replay` — :func:`replay` / :func:`replay_grid`:
+  feed series point-by-point or in micro-batches, record score-at-
+  arrival, commit latency and throughput into deterministic
+  :class:`ReplayTrace` artifacts.
+* :mod:`~repro.stream.scoreboard` — delay-aware correctness cells and
+  :func:`streaming_leaderboard`, reusing the full :mod:`repro.stats`
+  uncertainty machinery so streaming and batch results are directly
+  comparable (the hindsight ablation in
+  ``benchmarks/test_streaming_hindsight.py`` does exactly that).
+
+See ``docs/streaming.md`` for the append recurrence, egress semantics
+and the delay metrics.
+"""
+
+from .adapters import (
+    BatchStreamingAdapter,
+    StreamingDetector,
+    StreamingMatrixProfileDetector,
+    StreamingRangeDetector,
+    StreamingZScoreDetector,
+    as_streaming,
+)
+from .profile import StreamingMatrixProfile
+from .replay import ReplayTrace, replay, replay_grid
+from .scoreboard import (
+    delay_summary,
+    format_streaming,
+    streaming_leaderboard,
+    streaming_matrix,
+    trace_cells,
+)
+from .windows import TrailingExtremum, TrailingStats
+
+__all__ = [
+    "StreamingMatrixProfile",
+    "StreamingDetector",
+    "BatchStreamingAdapter",
+    "StreamingMatrixProfileDetector",
+    "StreamingRangeDetector",
+    "StreamingZScoreDetector",
+    "as_streaming",
+    "ReplayTrace",
+    "replay",
+    "replay_grid",
+    "trace_cells",
+    "streaming_matrix",
+    "streaming_leaderboard",
+    "delay_summary",
+    "format_streaming",
+    "TrailingExtremum",
+    "TrailingStats",
+]

@@ -1,0 +1,143 @@
+"""Streaming scoreboards: replay traces → delay-aware leaderboards.
+
+The batch pipeline turns engine cells into an
+:class:`~repro.stats.OutcomeMatrix` and hands it to the statistical
+machinery; this module does the same for replay traces, with one
+change of meaning — a cell is correct only if the detector found the
+anomaly *without hindsight and within the latency budget*
+(:attr:`~repro.stream.replay.ReplayTrace.delay_correct`).  Everything
+downstream (bootstrap CIs, paired permutation tests, rank cliques,
+noise-floor verdicts) is reused unchanged, so streaming leaderboards
+carry the same uncertainty semantics as batch ones and the two are
+directly comparable — which is exactly what the hindsight ablation
+compares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats import OutcomeMatrix, build_leaderboard
+from ..stats.resampling import DEFAULT_RESAMPLES
+from .replay import ReplayTrace
+
+__all__ = [
+    "trace_cells",
+    "streaming_matrix",
+    "streaming_leaderboard",
+    "delay_summary",
+    "format_streaming",
+]
+
+
+def trace_cells(traces: "list[ReplayTrace]") -> list[dict]:
+    """Delay-aware correctness cells, one per trace, in trace order.
+
+    The dicts are cell-shaped (``detector``/``series``/``correct``) so
+    :meth:`repro.stats.OutcomeMatrix.from_cells` — and anything else
+    that eats engine cells — accepts them directly.
+    """
+    return [
+        {
+            "detector": trace.detector,
+            "series": trace.series,
+            "correct": trace.delay_correct,
+        }
+        for trace in traces
+    ]
+
+
+def streaming_matrix(traces: "list[ReplayTrace]") -> OutcomeMatrix:
+    """Detector × series delay-aware correctness matrix."""
+    return OutcomeMatrix.from_cells(trace_cells(traces))
+
+
+def streaming_leaderboard(
+    traces: "list[ReplayTrace]",
+    *,
+    archive: dict | None = None,
+    noise_floor=None,
+    alpha: float = 0.05,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 7,
+):
+    """Full statistical leaderboard over delay-aware streaming cells.
+
+    Returns a :class:`repro.stats.Leaderboard`; deterministic for a
+    fixed (traces, seed, alpha, resamples), byte-identical when
+    serialized, exactly like its batch counterpart.
+    """
+    return build_leaderboard(
+        streaming_matrix(traces),
+        archive=dict(archive or {}),
+        noise_floor=noise_floor,
+        alpha=alpha,
+        resamples=resamples,
+        seed=seed,
+    )
+
+
+def delay_summary(traces: "list[ReplayTrace]") -> dict[str, dict]:
+    """Per-detector latency digest, in first-appearance order.
+
+    ``delays`` are only drawn from correct cells (latency of a wrong
+    answer is meaningless); ``median_delay``/``max_delay_seen`` are
+    ``None`` when nothing was correct.
+    """
+    order: list[str] = []
+    grouped: dict[str, list[ReplayTrace]] = {}
+    for trace in traces:
+        if trace.detector not in grouped:
+            order.append(trace.detector)
+            grouped[trace.detector] = []
+        grouped[trace.detector].append(trace)
+    summary = {}
+    for label in order:
+        cells = grouped[label]
+        delays = [
+            trace.delay
+            for trace in cells
+            if trace.correct and trace.delay is not None
+        ]
+        summary[label] = {
+            "series": len(cells),
+            "correct": sum(trace.correct for trace in cells),
+            "delay_correct": sum(trace.delay_correct for trace in cells),
+            "accuracy": float(
+                np.mean([trace.delay_correct for trace in cells])
+            ),
+            "median_delay": float(np.median(delays)) if delays else None,
+            "max_delay_seen": max(delays) if delays else None,
+        }
+    return summary
+
+
+def format_streaming(
+    traces: "list[ReplayTrace]", leaderboard=None
+) -> str:
+    """Human-readable streaming scoreboard (plus optional leaderboard)."""
+    if not traces:
+        return "streaming replay: no traces"
+    summary = delay_summary(traces)
+    batch_size = traces[0].batch_size
+    max_delay = traces[0].max_delay
+    budget = "none" if max_delay is None else str(max_delay)
+    lines = [
+        f"streaming replay: {len(traces)} cells, batch size {batch_size}, "
+        f"max delay {budget}",
+        "",
+        f"  {'detector':<36} {'delay-acc':>9} {'correct':>8} "
+        f"{'med delay':>10}",
+    ]
+    ranked = sorted(
+        summary.items(), key=lambda kv: (-kv[1]["accuracy"], kv[0])
+    )
+    for label, row in ranked:
+        med = "-" if row["median_delay"] is None else f"{row['median_delay']:.0f}"
+        lines.append(
+            f"  {label:<36} {row['accuracy']:>8.1%} "
+            f"{row['correct']:>4}/{row['series']:<3} {med:>10}"
+        )
+    if leaderboard is not None:
+        lines += ["", leaderboard.format()]
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""O(1)-per-point trailing-window primitives for streaming detectors.
+
+The one-liner layer's ``movmax``/``movmin``/``movmean``/``movstd`` are
+*centered* windows — they read the future, which is exactly the
+hindsight the streaming subsystem exists to deny.  These are their
+causal counterparts: each maintains a trailing window of the last ``k``
+points with amortized O(1) work per appended point, so a one-liner-
+shaped detector can run left-to-right at ingestion speed.
+
+* :class:`TrailingExtremum` is the classic monotonic deque (ascending
+  for minima, descending for maxima): every point is pushed and popped
+  at most once, so a stream of n points costs O(n) total whatever the
+  window is.  This is the sequential counterpart of the vectorized
+  Gil-Werman sweep in :mod:`repro.detectors.sliding` — the batch form
+  needs the whole series, the deque needs only the last ``k`` points.
+* :class:`TrailingStats` keeps running sums of the shifted values and
+  their squares (shift fixed at the first point, guarding the variance
+  subtraction against catastrophic cancellation the same way
+  :class:`~repro.detectors.sliding.SlidingStats` does).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["TrailingExtremum", "TrailingStats"]
+
+
+class TrailingExtremum:
+    """Running max (or min) of the last ``k`` points, O(1) amortized."""
+
+    def __init__(self, k: int, *, minimum: bool = False) -> None:
+        if k < 1:
+            raise ValueError(f"window length must be >= 1, got {k}")
+        self.k = int(k)
+        self.minimum = minimum
+        self._deque: deque[tuple[int, float]] = deque()
+        self._count = 0
+
+    def push(self, value: float) -> float:
+        """Ingest one point; return the extremum of the last ``k``."""
+        value = float(value)
+        if self.minimum:
+            while self._deque and self._deque[-1][1] >= value:
+                self._deque.pop()
+        else:
+            while self._deque and self._deque[-1][1] <= value:
+                self._deque.pop()
+        self._deque.append((self._count, value))
+        self._count += 1
+        if self._deque[0][0] <= self._count - 1 - self.k:
+            self._deque.popleft()
+        return self._deque[0][1]
+
+
+class TrailingStats:
+    """Running mean/std of the last ``k`` points, O(1) per point."""
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValueError(f"window length must be >= 2, got {k}")
+        self.k = int(k)
+        self._window: deque[float] = deque()
+        self._shift: float | None = None
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    @property
+    def count(self) -> int:
+        """Points currently inside the (possibly still filling) window."""
+        return len(self._window)
+
+    def push(self, value: float) -> tuple[float, float]:
+        """Ingest one point; return ``(mean, std)`` of the last ``k``.
+
+        While the window is still filling the statistics cover the
+        points seen so far (the trailing analogue of MATLAB's shrinking
+        endpoints).
+        """
+        if self._shift is None:
+            self._shift = float(value)
+        shifted = float(value) - self._shift
+        self._window.append(shifted)
+        self._sum += shifted
+        self._sum_sq += shifted * shifted
+        if len(self._window) > self.k:
+            old = self._window.popleft()
+            self._sum -= old
+            self._sum_sq -= old * old
+        count = len(self._window)
+        mean = self._sum / count
+        variance = max(self._sum_sq / count - mean * mean, 0.0)
+        return mean + self._shift, float(np.sqrt(variance))

@@ -80,6 +80,7 @@ class TestRunBench:
             "oneliner",
             "engine",
             "scaling",
+            "streaming",
         }
 
     def test_output_name_derives_from_trajectory(self):
@@ -120,6 +121,32 @@ class TestRunBench:
         text = format_bench(report)
         assert "scaling" in text
         assert "chunk=" in text
+
+
+    def test_streaming_section_schema_and_checks(self):
+        report = run_bench(quick=True, repeats=1, sections=("streaming",))
+        section = report["sections"]["streaming"]
+        assert len(section["results"]) == 2
+        for row in section["results"]:
+            assert row["seconds"] > 0
+            assert row["bounded_seconds"] > 0
+            assert row["per_append_us"] > 0
+            # the parity cross-check ran and stayed inside twice the
+            # single-kernel correlation-space contract (it raises
+            # otherwise; two approximate kernels compared to each other)
+            assert row["parity_max_sq_err"] <= 4.0 * row["w"] * 1e-8
+        replay = section["replay"]
+        assert replay["points_per_second"] > 0
+        assert replay["correct"] is True
+        assert replay["delay"] is not None
+        checks = report["checks"]
+        assert checks["streaming_parity_sq_err"] <= 4.0 * section["w"] * 1e-8
+        assert checks["streaming_size_ratio"] == 4.0
+        assert checks["streaming_bounded_cost_ratio"] > 0
+        assert isinstance(checks["streaming_bounded_sublinear"], bool)
+        text = format_bench(report)
+        assert "streaming" in text
+        assert "replay" in text
 
 
 class TestOutput:

@@ -316,13 +316,155 @@ class TestBench:
 
     def test_unknown_section_exits_2(self, capsys):
         assert main(["bench", "--sections", "hyperdrive", "--out", "-"]) == 2
-        assert "unknown bench sections" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # mirrors the unknown-detector handling: name what went wrong
+        # and list what would have worked
+        assert "unknown bench sections" in err
+        assert "hyperdrive" in err
+        for section in ("kernel", "scaling", "streaming"):
+            assert section in err
+
+    def test_unknown_section_mixed_with_known_still_exits_2(self, capsys):
+        assert (
+            main(["bench", "--sections", "oneliner,hyperdrive", "--out", "-"])
+            == 2
+        )
+        assert "hyperdrive" in capsys.readouterr().err
 
     def test_speedup_floor_needs_kernel_section(self, capsys):
         assert main(["bench", "--quick", "--repeats", "1",
                      "--sections", "oneliner", "--out", "-",
                      "--min-kernel-speedup", "5"]) == 2
         assert "kernel section" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"repro {repro.__version__}"
+
+    def test_version_is_the_running_modules_metadata(self):
+        # setup.cfg derives the distribution metadata from
+        # repro.__version__ (attr:), so reporting the imported constant
+        # is reporting the package metadata of the code actually
+        # running — immune to a stale site-packages install shadowing a
+        # PYTHONPATH=src source tree
+        from repro.cli import _package_version
+
+        import repro
+
+        assert _package_version() == repro.__version__
+
+
+class TestDetectorsCommand:
+    def test_text_lists_every_registry_entry(self, capsys):
+        from repro.detectors import available_detectors
+
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        for name in available_detectors():
+            assert name in out
+        assert "w=100" in out  # matrix_profile's default window
+
+    def test_json_round_trips(self, capsys):
+        assert main(["detectors", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.detectors import available_detectors
+
+        assert [row["name"] for row in payload] == available_detectors()
+        by_name = {row["name"]: row["params"] for row in payload}
+        assert by_name["matrix_profile"]["w"] == 100
+        assert by_name["moving_zscore"]["k"] == 50
+
+
+class TestStreamCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "/tmp/x"])
+        assert args.batch_size == 32
+        assert args.max_delay is None
+        assert args.window is None
+        assert args.refit_every is None
+        assert args.slop == 100
+        assert args.out is None
+        assert args.name == "stream"
+        assert args.format == "text"
+        assert args.resamples == 2000
+
+    def test_stream_replays_and_writes_artifacts(self, tmp_path, capsys):
+        archive_dir = tmp_path / "arch"
+        out_dir = tmp_path / "out"
+        assert main(["build-archive", str(archive_dir), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        base = ["stream", str(archive_dir), "--detectors", "diff",
+                "--batch-size", "500", "--window", "600",
+                "--resamples", "100", "--out", str(out_dir)]
+        assert main(base) == 0
+        captured = capsys.readouterr()
+        assert "streaming replay" in captured.out
+        assert "leaderboard" in captured.out
+        assert "wrote traces" in captured.err
+        traces_path = out_dir / "stream.traces.jsonl"
+        stats_path = out_dir / "stream.stats.json"
+        assert traces_path.is_file() and stats_path.is_file()
+        # replays are deterministic: a second run rewrites the same bytes
+        first = traces_path.read_bytes()
+        first_stats = stats_path.read_bytes()
+        assert main(base) == 0
+        capsys.readouterr()
+        assert traces_path.read_bytes() == first
+        assert stats_path.read_bytes() == first_stats
+
+    def test_stream_json_format(self, tmp_path, capsys):
+        archive_dir = tmp_path / "arch"
+        assert main(["build-archive", str(archive_dir), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["stream", str(archive_dir), "--detectors", "diff",
+                     "--batch-size", "500", "--window", "600",
+                     "--resamples", "50", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-stream/1"
+        assert payload["batch_size"] == 500
+        assert "diff" in payload["detectors"]
+        assert payload["leaderboard"]["entries"][0]["label"] == "diff"
+        assert len(payload["traces"]) == 4
+        for trace in payload["traces"]:
+            assert "score_fingerprint" in trace
+            assert "seconds" not in trace
+
+    def test_stream_unknown_detector_exits_2(self, tmp_path, capsys):
+        assert main(["build-archive", str(tmp_path / "a"), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["stream", str(tmp_path / "a"), "--detectors",
+                     "warp_drive"]) == 2
+        assert "available detectors" in capsys.readouterr().err
+
+    def test_stream_empty_directory_exits_1(self, tmp_path):
+        assert main(["stream", str(tmp_path)]) == 1
+
+    def test_stream_negative_max_delay_is_a_usage_error(self, capsys):
+        # rejected at the parser, before any archive is even loaded
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stream", "/tmp/x", "--max-delay", "-5"])
+        assert excinfo.value.code == 2
+        assert "--max-delay" in capsys.readouterr().err
+
+    def test_stream_window_too_small_exits_2(self, tmp_path, capsys):
+        # a window the detector's kernel history cannot fit must be an
+        # exit-2 diagnostic, not a traceback
+        assert main(["build-archive", str(tmp_path / "a"), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        assert main(["stream", str(tmp_path / "a"), "--detectors",
+                     "matrix_profile(w=100)", "--window", "150"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestMaxMemory:

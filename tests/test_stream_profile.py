@@ -1,0 +1,306 @@
+"""Streaming matrix profile: prefix parity, egress mode, primitives.
+
+The incremental kernel's contract is the batch kernel's contract: on
+*every* prefix of *every* input family the streaming profile must match
+``matrix_profile`` within 1e-8 in correlation space.  Egress mode is
+pinned by set relations rather than tolerances — a bounded horizon sees
+a subset of the batch pair universe, so its distances can never fall
+below the batch ones, and with a horizon covering the whole stream it
+must agree exactly with the unbounded path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import matrix_profile
+from repro.detectors.sliding import sliding_max, sliding_min
+from repro.stream import StreamingMatrixProfile, TrailingExtremum, TrailingStats
+
+FAMILIES = ("walk", "constant", "spikes", "near_constant")
+
+
+def make_family(kind: str, seed: int, n: int) -> np.ndarray:
+    """The PR 3 property-suite input families (see the chunked tests)."""
+    rng = np.random.default_rng(seed)
+    if kind == "walk":
+        return np.cumsum(rng.normal(0, 1, n))
+    if kind == "constant":
+        values = rng.normal(0, 1, n)
+        start = int(rng.integers(0, n // 2))
+        values[start : start + n // 3] = float(rng.normal())
+        return values
+    if kind == "spikes":
+        values = rng.normal(0, 1, n)
+        for position in rng.integers(0, n, size=3):
+            values[position] += float(rng.choice([-30.0, 30.0]))
+        return values
+    if kind == "near_constant":
+        return 1e9 + rng.normal(0, 1e-6, n)
+    raise AssertionError(kind)
+
+
+def assert_profiles_match(got, expected, w):
+    """Cross-kernel parity: twice the single-kernel 1e-8 contract.
+
+    Streaming and batch are *independently* approximate (each within
+    1e-8 of truth in correlation space, i.e. ``2w·1e-8`` on squared
+    distances), so their mutual divergence can legitimately reach the
+    sum of both margins — the same allowance the MERLIN cross-check
+    uses (see PR 3's review fixes).
+    """
+    np.testing.assert_array_equal(np.isinf(got), np.isinf(expected))
+    finite = np.isfinite(expected)
+    np.testing.assert_allclose(
+        got[finite] ** 2, expected[finite] ** 2, rtol=0, atol=4.0 * w * 1e-8
+    )
+
+
+class TestPrefixParity:
+    def check_prefixes(self, values, w, exclusion=None, stride=41):
+        streaming = StreamingMatrixProfile(w, exclusion)
+        n = values.size
+        for t in range(n):
+            streaming.append(values[t])
+            prefix = t + 1
+            if prefix < 2 * w:
+                continue
+            if prefix % stride and prefix != n:
+                continue
+            batch = matrix_profile(
+                values[:prefix], w, exclusion, with_indices=False
+            )
+            assert_profiles_match(streaming.profile(), batch.profile, w)
+
+    @pytest.mark.parametrize("kind", FAMILIES)
+    @pytest.mark.parametrize("w", (8, 9))
+    def test_every_family_every_prefix(self, kind, w):
+        self.check_prefixes(make_family(kind, 7, 260), w)
+
+    def test_custom_exclusion(self):
+        values = make_family("walk", 3, 240)
+        self.check_prefixes(values, 8, exclusion=3)
+        self.check_prefixes(values, 8, exclusion=25)
+
+    def test_zero_exclusion_matches_batch_self_pairs(self):
+        values = make_family("walk", 5, 120)
+        self.check_prefixes(values, 10, exclusion=0)
+
+    @given(
+        st.integers(0, 2**16),
+        st.sampled_from(FAMILIES),
+        st.integers(6, 14),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_final_profile_matches_batch(self, seed, kind, w):
+        values = make_family(kind, seed, 160)
+        streaming = StreamingMatrixProfile(w)
+        streaming.append(values)
+        batch = matrix_profile(values, w, with_indices=False)
+        assert_profiles_match(streaming.profile(), batch.profile, w)
+
+
+class TestAppendSemantics:
+    def test_block_and_pointwise_appends_are_identical(self):
+        values = make_family("walk", 11, 400)
+        block = StreamingMatrixProfile(10)
+        block_arrivals = block.append(values)
+        pointwise = StreamingMatrixProfile(10)
+        arrivals = [pointwise.append(v) for v in values]
+        np.testing.assert_array_equal(
+            block_arrivals, np.concatenate(arrivals)
+        )
+        np.testing.assert_array_equal(block.profile(), pointwise.profile())
+
+    def test_arrival_distance_is_the_newest_profile_entry(self):
+        values = make_family("spikes", 13, 300)
+        streaming = StreamingMatrixProfile(9)
+        for t, value in enumerate(values):
+            arrivals = streaming.append(value)
+            if t + 1 < 9:
+                assert arrivals.size == 0
+                continue
+            assert arrivals.size == 1
+            current = streaming.profile()[-1]
+            if np.isinf(arrivals[0]):
+                assert np.isinf(current)
+            else:
+                assert arrivals[0] == pytest.approx(current)
+
+    def test_arrival_count_matches_completed_windows(self):
+        streaming = StreamingMatrixProfile(5)
+        assert streaming.append(np.arange(4.0)).size == 0
+        assert streaming.append(np.arange(3.0)).size == 3
+        assert streaming.num_windows == 3
+
+    def test_windows_with_no_admissible_pair_are_inf(self):
+        values = make_family("walk", 1, 60)
+        streaming = StreamingMatrixProfile(10)  # exclusion = w = 10
+        arrivals = streaming.append(values[:19])
+        # windows 0..9 exist but no pair is separated by >= 10 yet
+        assert np.isinf(arrivals).all()
+        more = streaming.append(values[19:21])
+        assert np.isfinite(more).all()
+
+
+class TestValidation:
+    def test_window_too_small(self):
+        with pytest.raises(ValueError, match="window must be >= 3"):
+            StreamingMatrixProfile(2)
+
+    def test_negative_exclusion(self):
+        with pytest.raises(ValueError, match="exclusion"):
+            StreamingMatrixProfile(5, -1)
+
+    def test_max_history_too_small(self):
+        with pytest.raises(ValueError, match="max_history"):
+            StreamingMatrixProfile(10, max_history=15)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            StreamingMatrixProfile(5).append(np.zeros((3, 3)))
+
+
+class TestEgressMode:
+    def test_covering_horizon_equals_unbounded(self):
+        values = make_family("walk", 17, 500)
+        unbounded = StreamingMatrixProfile(10)
+        unbounded.append(values)
+        bounded = StreamingMatrixProfile(10, max_history=values.size)
+        bounded.append(values)
+        assert bounded.num_egressed == 0
+        np.testing.assert_array_equal(bounded.profile(), unbounded.profile())
+
+    @pytest.mark.parametrize("kind", ("walk", "spikes", "constant"))
+    def test_bounded_distances_never_beat_batch(self, kind):
+        # a bounded horizon sees a subset of the batch pair universe, so
+        # every nearest-neighbour distance is >= the batch one
+        values = make_family(kind, 19, 600)
+        w = 10
+        bounded = StreamingMatrixProfile(w, max_history=120)
+        bounded.append(values)
+        start, egressed = bounded.drain_egress()
+        assert start == 0
+        combined = np.concatenate([egressed, bounded.profile()])
+        batch = matrix_profile(values, w, with_indices=False).profile
+        assert combined.size == batch.size
+        finite = np.isfinite(batch) & np.isfinite(combined)
+        assert (combined[finite] >= batch[finite] - 4.0 * w * 1e-8).all()
+
+    def test_egress_accounting_and_drain(self):
+        values = make_family("walk", 23, 400)
+        bounded = StreamingMatrixProfile(10, max_history=100)
+        bounded.append(values[:250])
+        total_windows = 250 - 10 + 1
+        assert bounded.num_egressed + bounded.num_windows == total_windows
+        assert bounded.window_base == bounded.num_egressed
+        start, block = bounded.drain_egress()
+        assert start == 0 and block.size == bounded.num_egressed
+        # a second drain is empty and resumes where the first stopped
+        again_start, again = bounded.drain_egress()
+        assert again_start == block.size and again.size == 0
+        bounded.append(values[250:])
+        next_start, next_block = bounded.drain_egress()
+        assert next_start == block.size
+        assert next_start + next_block.size == bounded.num_egressed
+
+    def test_resident_memory_stays_bounded(self):
+        values = make_family("walk", 29, 2_000)
+        bounded = StreamingMatrixProfile(10, max_history=64)
+        bounded.append(values)
+        bounded.drain_egress()
+        assert bounded.num_windows <= 64
+        # the resident point buffer tracks the window horizon
+        assert len(bounded._x) <= 2 * 64 + 10
+
+    def test_constant_pair_floor_survives_partner_eviction(self):
+        # the constant-pair conventions are folded into the running best
+        # at admission, so a window finalized long after its constant
+        # partner left the horizon still carries the corr-0.5 floor
+        rng = np.random.default_rng(5)
+        w, exclusion, history = 4, 2, 8
+        values = np.concatenate([np.full(10, 3.0), rng.normal(0, 1, 40)])
+        streaming = StreamingMatrixProfile(
+            w, exclusion, max_history=history
+        )
+        streaming.append(values)
+        _, egressed = streaming.drain_egress()
+        # window 3 is constant and paired with constant windows that
+        # were evicted before it finalized: distance exactly 0
+        assert egressed[3] == 0.0
+        # window 9 is non-constant but coexisted with constant window 6
+        # (admissible at separation >= 2) inside the 8-point horizon; the
+        # sqrt(w) ceiling from that pair must survive window 6's eviction
+        assert egressed[9] <= np.sqrt(w) + 1e-9
+
+    def test_resident_profile_stable_after_constant_partner_eviction(self):
+        # a constant window whose constant partner egresses must keep
+        # reporting distance 0 from profile() *while still resident* —
+        # the eager corr-1.0 floor lives in the running best, so no
+        # resident-geometry post-pass can downgrade it
+        values = np.array(
+            [5.0, 5.0, 5.0, 1.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0, 9.0, 1.5, 2.5]
+        )
+        streaming = StreamingMatrixProfile(3, 3, max_history=10)
+        arrivals = streaming.append(values)
+        # window 7 (second constant plateau) paired with constant
+        # window 0 while both were resident: distance 0 at arrival...
+        assert arrivals[7] == 0.0
+        # ...and still 0 from profile() after window 0 left the horizon
+        assert streaming.window_base > 0
+        resident = streaming.profile()
+        assert resident[7 - streaming.window_base] == 0.0
+        values = make_family("constant", 31, 500)
+        w = 8
+        bounded = StreamingMatrixProfile(w, max_history=90)
+        bounded.append(values)
+        _, egressed = bounded.drain_egress()
+        combined = np.concatenate([egressed, bounded.profile()])
+        # constant windows pair at distance 0 with other constants in
+        # the horizon (the family plants a long constant run)
+        assert (combined[np.isfinite(combined)] >= 0).all()
+        batch = matrix_profile(values, w, with_indices=False).profile
+        finite = np.isfinite(batch) & np.isfinite(combined)
+        assert (combined[finite] >= batch[finite] - 4.0 * w * 1e-8).all()
+
+
+class TestTrailingPrimitives:
+    @given(st.integers(0, 2**16), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_trailing_extrema_match_sliding(self, seed, k):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 80)
+        maxes = TrailingExtremum(k)
+        mins = TrailingExtremum(k, minimum=True)
+        got_max = np.array([maxes.push(v) for v in values])
+        got_min = np.array([mins.push(v) for v in values])
+        if k <= values.size:
+            np.testing.assert_array_equal(
+                got_max[k - 1 :], sliding_max(values, k)
+            )
+            np.testing.assert_array_equal(
+                got_min[k - 1 :], sliding_min(values, k)
+            )
+        # the filling prefix covers the points seen so far
+        for i in range(min(k - 1, values.size)):
+            assert got_max[i] == values[: i + 1].max()
+            assert got_min[i] == values[: i + 1].min()
+
+    @given(st.integers(0, 2**16), st.integers(2, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_trailing_stats_match_bruteforce(self, seed, k):
+        rng = np.random.default_rng(seed)
+        values = 1e6 + rng.normal(0, 1, 60)
+        stats = TrailingStats(k)
+        for i, value in enumerate(values):
+            mean, std = stats.push(value)
+            window = values[max(0, i - k + 1) : i + 1]
+            assert mean == pytest.approx(window.mean(), abs=1e-6)
+            assert std == pytest.approx(window.std(), abs=1e-6)
+
+    def test_trailing_validation(self):
+        with pytest.raises(ValueError):
+            TrailingExtremum(0)
+        with pytest.raises(ValueError):
+            TrailingStats(1)

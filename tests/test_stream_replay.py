@@ -1,0 +1,336 @@
+"""Replay engine and streaming scoreboards: determinism, delay, stats."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runner import ResultsStore
+from repro.stream import (
+    ReplayTrace,
+    StreamingDetector,
+    delay_summary,
+    format_streaming,
+    replay,
+    replay_grid,
+    streaming_leaderboard,
+    streaming_matrix,
+    trace_cells,
+)
+from repro.types import Archive, LabeledSeries, Labels
+
+
+def spiked_labeled(name="s", n=1200, seed=0, at=900, width=8, train=300):
+    rng = np.random.default_rng(seed)
+    values = np.sin(2 * np.pi * np.arange(n) / 110) + 0.05 * rng.standard_normal(n)
+    values[at : at + width] += 10.0
+    return LabeledSeries(
+        name, values, Labels.single(n, at, at + width), train_len=train
+    )
+
+
+class ScriptedDetector(StreamingDetector):
+    """Replays a fixed score array — lets tests pin delay semantics."""
+
+    def __init__(self, scores: np.ndarray) -> None:
+        self._scores = np.asarray(scores, dtype=float)
+        self._cursor = 0
+
+    def update(self, values):
+        count = np.atleast_1d(values).size
+        out = self._scores[self._cursor : self._cursor + count]
+        self._cursor += count
+        return out
+
+
+class TestReplay:
+    def test_causal_detector_finds_the_spike(self):
+        trace = replay(spiked_labeled(), "diff", batch_size=1)
+        assert trace.correct
+        assert trace.region == (900, 908)
+        assert 900 <= trace.location < 908 + 100
+        assert trace.delay is not None and trace.delay <= 10
+        assert trace.delay_correct
+        assert trace.num_updates == 900
+
+    def test_batch_size_free_for_causal_scores(self):
+        base = replay(spiked_labeled(), "diff", batch_size=1)
+        for batch in (7, 50, 1000):
+            other = replay(spiked_labeled(), "diff", batch_size=batch)
+            np.testing.assert_array_equal(base.scores, other.scores)
+            assert other.location == base.location
+            assert other.score_fingerprint == base.score_fingerprint
+
+    def test_train_region_scores_minus_inf(self):
+        trace = replay(spiked_labeled(train=300), "diff", batch_size=64)
+        assert (trace.scores[:300] == -np.inf).all()
+        assert np.isfinite(trace.scores[301:]).any()
+
+    def test_determinism_byte_identical(self):
+        first = replay(spiked_labeled(), "moving_zscore", batch_size=32)
+        second = replay(spiked_labeled(), "moving_zscore", batch_size=32)
+        assert first.to_jsonl() == second.to_jsonl()
+        assert json.dumps(
+            first.to_json(include_scores=True), sort_keys=True
+        ) == json.dumps(second.to_json(include_scores=True), sort_keys=True)
+
+    def test_timing_excluded_from_canonical_json(self):
+        trace = replay(spiked_labeled(), "diff", batch_size=64)
+        payload = trace.to_json()
+        assert "seconds" not in payload and "points_per_second" not in payload
+        timed = trace.to_json(include_timing=True)
+        assert timed["seconds"] >= 0
+        assert trace.points_per_second > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            replay(spiked_labeled(), "diff", batch_size=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            replay(spiked_labeled(), "diff", max_delay=-1)
+
+    def test_multi_region_series_rejected_like_batch_ucr(self):
+        # ucr_correct raises for num_regions != 1; replay must mirror it
+        # so streaming and batch cells stay comparable
+        series = LabeledSeries(
+            "two",
+            np.zeros(500),
+            Labels(
+                n=500,
+                regions=(
+                    Labels.single(500, 100, 104).regions[0],
+                    Labels.single(500, 300, 400).regions[0],
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="exactly one labeled anomaly"):
+            replay(series, "diff", batch_size=50)
+
+    def test_unlabeled_series_traces_cleanly(self):
+        series = LabeledSeries("blank", np.zeros(400), Labels.empty(400))
+        trace = replay(series, "diff", batch_size=100)
+        assert trace.region is None
+        assert trace.correct is False
+        assert trace.delay is None and trace.first_hit is None
+
+    def test_silent_detector_is_never_credited(self):
+        # a detector that emits no finite score has not pointed anywhere:
+        # no hit, no commit, and the batch argmax convention (index 0)
+        # for the location — even when the region sits near the test start
+        series = LabeledSeries(
+            "mute",
+            np.zeros(700),
+            Labels.single(700, 520, 530),
+            train_len=500,
+        )
+        trace = replay(
+            series, ScriptedDetector(np.full(200, -np.inf)), batch_size=50
+        )
+        assert trace.location == 0
+        assert trace.correct is False
+        assert trace.first_hit is None and trace.commit is None
+        assert trace.delay is None
+
+    def test_spec_string_with_params_builds(self):
+        trace = replay(
+            spiked_labeled(), "matrix_profile(w=64)", batch_size=400
+        )
+        assert trace.detector == "matrix_profile(w=64)"
+        assert np.isfinite(trace.scores[400:]).any()
+
+
+class TestDelaySemantics:
+    def make_series(self, n=40, at=20, width=4, train=0):
+        return LabeledSeries(
+            "scripted",
+            np.zeros(n),
+            Labels.single(n, at, at + width),
+            train_len=train,
+        )
+
+    def test_immediate_commit(self):
+        # score spikes at the region start and stays the argmax
+        scores = np.zeros(40)
+        scores[20] = 5.0
+        trace = replay(
+            self.make_series(), ScriptedDetector(scores), batch_size=1, slop=2
+        )
+        assert trace.correct
+        assert trace.first_hit == 20 and trace.commit == 20
+        assert trace.delay == 0
+
+    def test_late_commit_measures_delay(self):
+        # the detector first points elsewhere, then commits at t=30
+        scores = np.zeros(40)
+        scores[5] = 3.0  # early wrong leader (outside region ± slop)
+        scores[30] = 7.0  # inside [18, 26)?  no — past the region
+        series = LabeledSeries(
+            "scripted", np.zeros(40), Labels.single(40, 28, 34), train_len=0
+        )
+        trace = replay(series, ScriptedDetector(scores), batch_size=1, slop=2)
+        assert trace.correct
+        assert trace.first_hit == 30 and trace.commit == 30
+        assert trace.delay == 30 - 28
+
+    def test_transient_hit_does_not_commit(self):
+        # running argmax brushes the region, then a bigger score outside
+        # takes over: correct is False and there is no commit
+        scores = np.zeros(40)
+        scores[21] = 5.0  # inside the region
+        scores[35] = 9.0  # outside, final leader
+        trace = replay(
+            self.make_series(), ScriptedDetector(scores), batch_size=1, slop=2
+        )
+        assert not trace.correct
+        assert trace.first_hit == 21
+        assert trace.commit is None and trace.delay is None
+        assert not trace.delay_correct
+
+    def test_max_delay_budget_gates_correctness(self):
+        scores = np.zeros(40)
+        scores[30] = 7.0
+        series = LabeledSeries(
+            "scripted", np.zeros(40), Labels.single(40, 20, 24), train_len=0
+        )
+        trace = replay(
+            series,
+            ScriptedDetector(scores),
+            batch_size=1,
+            slop=10,
+            max_delay=5,
+        )
+        assert trace.correct  # inside region + slop
+        assert trace.delay == 10
+        assert not trace.delay_correct  # but 10 > the 5-point budget
+
+    def test_arrival_times_are_batch_ends(self):
+        scores = np.zeros(40)
+        scores[21] = 5.0
+        trace = replay(
+            self.make_series(), ScriptedDetector(scores), batch_size=8, slop=2
+        )
+        # t=21 arrives with the batch covering [16, 24) → arrival 23
+        assert trace.commit == 23
+        assert trace.delay == 3
+
+
+class TestReplayGrid:
+    def make_archive(self):
+        return Archive(
+            "mini",
+            [
+                spiked_labeled("a", seed=1, at=800),
+                spiked_labeled("b", seed=2, at=1000),
+            ],
+        )
+
+    def test_grid_order_and_labels(self):
+        traces = replay_grid(
+            self.make_archive(),
+            ["diff", "moving_zscore(k=50)"],
+            batch_size=200,
+        )
+        assert [(t.detector, t.series) for t in traces] == [
+            ("diff", "a"),
+            ("diff", "b"),
+            ("moving_zscore(k=50)", "a"),
+            ("moving_zscore(k=50)", "b"),
+        ]
+
+    def test_duplicate_specs_deduped(self):
+        traces = replay_grid(
+            self.make_archive(), ["diff", "diff"], batch_size=400
+        )
+        assert len(traces) == 2
+
+    def test_unknown_spec_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            replay_grid(self.make_archive(), ["warp-drive"])
+
+    def test_empty_lineup_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            replay_grid(self.make_archive(), [])
+
+
+class TestScoreboard:
+    def make_traces(self):
+        return replay_grid(
+            Archive(
+                "mini",
+                [
+                    spiked_labeled("a", seed=1, at=800),
+                    spiked_labeled("b", seed=2, at=1000),
+                ],
+            ),
+            ["diff", "last_point"],
+            batch_size=200,
+            max_delay=300,
+        )
+
+    def test_cells_feed_outcome_matrix(self):
+        traces = self.make_traces()
+        cells = trace_cells(traces)
+        assert all(
+            set(cell) == {"detector", "series", "correct"} for cell in cells
+        )
+        matrix = streaming_matrix(traces)
+        assert matrix.detectors == ("diff", "last_point")
+        assert matrix.series == ("a", "b")
+        assert matrix.values.shape == (2, 2)
+
+    def test_leaderboard_deterministic(self):
+        traces = self.make_traces()
+        first = streaming_leaderboard(traces, resamples=200)
+        second = streaming_leaderboard(traces, resamples=200)
+        assert first.to_json() == second.to_json()
+        labels = [entry.label for entry in first.entries]
+        assert set(labels) == {"diff", "last_point"}
+
+    def test_delay_summary_shape(self):
+        summary = delay_summary(self.make_traces())
+        assert list(summary) == ["diff", "last_point"]
+        for row in summary.values():
+            assert row["series"] == 2
+            assert 0.0 <= row["accuracy"] <= 1.0
+        assert summary["diff"]["median_delay"] is not None
+
+    def test_format_streaming_mentions_everything(self):
+        traces = self.make_traces()
+        text = format_streaming(traces)
+        assert "streaming replay" in text
+        assert "diff" in text and "last_point" in text
+        assert "max delay 300" in text
+        assert format_streaming([]) == "streaming replay: no traces"
+
+
+class TestTracePersistence:
+    def test_write_and_load_round_trip(self, tmp_path):
+        traces = replay_grid(
+            Archive("mini", [spiked_labeled("a", seed=1)]),
+            ["diff"],
+            batch_size=300,
+        )
+        store = ResultsStore(tmp_path)
+        path = store.write_traces(traces, "replay")
+        assert path.name == "replay.traces.jsonl"
+        loaded = store.load_traces("replay")
+        assert len(loaded) == 1
+        assert loaded[0]["detector"] == "diff"
+        assert loaded[0]["series"] == "a"
+        assert loaded[0]["score_fingerprint"] == traces[0].score_fingerprint
+        assert "seconds" not in loaded[0]
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        archive = Archive("mini", [spiked_labeled("a", seed=3)])
+        store = ResultsStore(tmp_path)
+        store.write_traces(
+            replay_grid(archive, ["moving_zscore"], batch_size=150), "r"
+        )
+        first = (tmp_path / "r.traces.jsonl").read_bytes()
+        store.write_traces(
+            replay_grid(archive, ["moving_zscore"], batch_size=150), "r"
+        )
+        assert (tmp_path / "r.traces.jsonl").read_bytes() == first
+
+    def test_missing_traces_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no streaming traces"):
+            ResultsStore(tmp_path).load_traces("ghost")
