@@ -8,10 +8,14 @@ section — bounded-memory column-chunked profiles at n up to 10⁶ with
 the peak working set measured via ``tracemalloc`` — and the
 ``streaming`` section: incremental matrix-profile append throughput
 (unbounded and bounded-history), batch-vs-stream parity under the
-1e-8 correlation-space contract, and replay engine throughput.
+1e-8 correlation-space contract, and replay engine throughput.  The
+``serve`` section drives the multi-tenant service tier
+(:mod:`repro.serve`) with N interleaved UCR-sim streams and records
+sustained points/sec, p50/p99 arrival-to-score latency, backpressure
+rejections and the mid-drive snapshot/restore parity verdict.
 Results are written as machine-readable JSON; the output name derives
 from the trajectory counter (``benchmarks/perf/BENCH_<n>.json``,
-currently ``BENCH_5``) so every recorded point keeps its place in the
+currently ``BENCH_6``) so every recorded point keeps its place in the
 series.
 
 Methodology
@@ -56,7 +60,7 @@ __all__ = [
 # the perf-trajectory counter: bump it when a PR records a new point.
 # Output names and report labels derive from it, so README/CLI help
 # never drift from the actual file written.
-TRAJECTORY = 5
+TRAJECTORY = 6
 BENCH_LABEL = f"BENCH_{TRAJECTORY}"
 DEFAULT_OUT = os.path.join("benchmarks", "perf", f"{BENCH_LABEL}.json")
 SECTIONS = (
@@ -67,6 +71,7 @@ SECTIONS = (
     "engine",
     "scaling",
     "streaming",
+    "serve",
 )
 
 _FULL_SIZES = (2_000, 5_000, 10_000, 20_000)
@@ -656,6 +661,41 @@ def _bench_streaming(quick: bool, repeats: int, w: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# serve: the multi-tenant service under interleaved load
+
+
+def _bench_serve(quick: bool) -> dict:
+    """Drive the serve tier: N interleaved UCR-sim streams, in-process.
+
+    Unlike the other sections this is a single load run, not a median of
+    repeats — the run itself is thousands of appends whose latencies are
+    measured individually, so the p50/p99 digest already aggregates far
+    more samples than a repeat loop would.
+    """
+    from .serve import LoadConfig, run_load
+
+    config = (
+        LoadConfig(
+            streams=100,
+            tenants=8,
+            shards=2,
+            unique_series=8,
+            snapshot_checks=2,
+        )
+        if quick
+        else LoadConfig(
+            streams=1_000,
+            tenants=32,
+            shards=4,
+            unique_series=24,
+            snapshot_checks=5,
+        )
+    )
+    result = run_load(config)
+    return result.to_json()
+
+
+# ---------------------------------------------------------------------------
 # harness
 
 
@@ -752,6 +792,16 @@ def run_bench(
         report["checks"]["streaming_bounded_sublinear"] = bool(
             cost_ratio < size_ratio
         )
+    if "serve" in chosen:
+        serve = _bench_serve(quick)
+        report["sections"]["serve"] = serve
+        report["checks"]["serve_streams"] = serve["streams"]
+        report["checks"]["serve_points_per_second"] = serve[
+            "points_per_second"
+        ]
+        report["checks"]["serve_p99_ms"] = serve["append_p99_ms"]
+        report["checks"]["serve_snapshot_parity"] = serve["snapshot_parity"]
+        report["checks"]["serve_rejections"] = serve["rejections"]
     return report
 
 
@@ -875,4 +925,33 @@ def format_bench(report: dict) -> str:
                 f"{replay['points_per_second']:.0f} points/s, "
                 f"delay {replay['delay']}"
             )
+    serve = report["sections"].get("serve")
+    if serve:
+        lines.append("")
+        parity = (
+            "n/a"
+            if serve["snapshot_parity"] is None
+            else ("ok" if serve["snapshot_parity"] else "FAILED")
+        )
+        p99 = (
+            "-"
+            if serve["append_p99_ms"] is None
+            else f"{serve['append_p99_ms']:.1f}ms"
+        )
+        nab = (
+            "-"
+            if serve["nab_windowed"] is None
+            else f"{serve['nab_windowed']:.1f}"
+        )
+        lines.append(
+            f"serve ({serve['streams']} streams, {serve['tenants']} "
+            f"tenants, {serve['shards']} shards, batch "
+            f"{serve['batch_size']}): "
+            f"{serve['points_per_second']:.0f} points/s, p99 {p99}, "
+            f"{serve['rejections']} rejections, snapshot parity {parity}"
+        )
+        lines.append(
+            f"  delay-acc {serve['accuracy']:.1%}, nab-windowed {nab} over "
+            f"{serve['points_streamed']} streamed points"
+        )
     return "\n".join(lines)

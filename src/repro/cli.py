@@ -21,6 +21,15 @@ Commands mirror the paper's workflow:
   every detector runs left-to-right without hindsight, scored at
   arrival time, with detection delay measured against the labels and a
   delay-aware statistical leaderboard on top.
+* ``serve`` — run the multi-tenant streaming detection service: a
+  stdlib HTTP front over sharded workers with consistent-hash tenant
+  routing, bounded queues with backpressure (``429 Retry-After``),
+  per-tenant metrics and snapshot/restore of live stream state.
+* ``serve-bench`` — drive N interleaved UCR-sim streams through the
+  serve tier in-process and report sustained points/sec, p50/p99
+  arrival-to-score latency, backpressure counts, the mid-drive
+  snapshot/restore parity verdict and the delay-aware + NAB-windowed
+  detection scoreboard.
 * ``detectors`` — list the registry (names + constructor parameters).
 * ``cache <dir>`` — inspect or clear a content-addressed result cache.
 * ``bench`` — time the numeric core (mpx kernel vs the retained naive
@@ -329,6 +338,112 @@ def build_parser() -> argparse.ArgumentParser:
         "bounded by --window instead (default: unbounded)",
     )
     _add_stats_options(stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant streaming detection service "
+        "(stdlib HTTP; sharded workers, backpressure, snapshots)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8765,
+        help="bind port; 0 picks a free one (default: 8765)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="worker shards; tenants are consistent-hashed across them "
+        "(default: 4)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=4096,
+        help="bounded per-shard op queue; a full queue answers 429 with "
+        "Retry-After (default: 4096)",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="drive N interleaved UCR-sim streams through the serve "
+        "tier and report throughput, latency and detection quality",
+    )
+    serve_bench.add_argument(
+        "--streams",
+        type=_positive_int,
+        default=1000,
+        help="concurrent streams to interleave (default: 1000)",
+    )
+    serve_bench.add_argument(
+        "--tenants",
+        type=_positive_int,
+        default=32,
+        help="tenants the streams are spread over (default: 32)",
+    )
+    serve_bench.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="worker shards (default: 4)",
+    )
+    serve_bench.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=4096,
+        help="bounded per-shard op queue (default: 4096)",
+    )
+    serve_bench.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=50,
+        help="points per append micro-batch (default: 50)",
+    )
+    serve_bench.add_argument(
+        "--unique-series",
+        type=_positive_int,
+        default=24,
+        help="distinct UCR-sim series cycled over the streams "
+        "(default: 24)",
+    )
+    serve_bench.add_argument(
+        "--seed",
+        type=int,
+        default=23,
+        help="seed for the generated load archive (default: 23)",
+    )
+    serve_bench.add_argument(
+        "--max-delay",
+        type=_nonnegative_int,
+        default=250,
+        metavar="POINTS",
+        help="latency budget for the delay-aware scoreboard "
+        "(default: 250)",
+    )
+    serve_bench.add_argument(
+        "--snapshot-checks",
+        type=_nonnegative_int,
+        default=3,
+        help="streams given the mid-drive snapshot/restore parity "
+        "drill (default: 3)",
+    )
+    serve_bench.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON report to this path (default: none)",
+    )
+    serve_bench.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
+    )
 
     detectors = sub.add_parser(
         "detectors",
@@ -748,6 +863,68 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeServer, StreamCluster
+
+    server = ServeServer(
+        StreamCluster(num_shards=args.shards, queue_size=args.queue_size),
+        host=args.host,
+        port=args.port,
+    )
+    print(
+        f"repro serve listening on {server.address} "
+        f"({args.shards} shards, queue {args.queue_size})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from .serve import LoadConfig, format_load, run_load
+
+    try:
+        config = LoadConfig(
+            streams=args.streams,
+            tenants=args.tenants,
+            shards=args.shards,
+            queue_size=args.queue_size,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            unique_series=args.unique_series,
+            max_delay=args.max_delay,
+            snapshot_checks=args.snapshot_checks,
+        )
+        result = run_load(config)
+    except (ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = result.to_json()
+    if args.out:
+        import os
+
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_load(result))
+    # a failed parity drill is a correctness failure, not a perf number
+    return 0 if result.snapshot_parity in (None, True) else 1
+
+
 def _cmd_detectors(args) -> int:
     import inspect
     import json
@@ -850,6 +1027,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
+    "serve-bench": _cmd_serve_bench,
     "detectors": _cmd_detectors,
     "cache": _cmd_cache,
     "bench": _cmd_bench,

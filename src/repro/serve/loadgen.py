@@ -1,0 +1,372 @@
+"""Serve load generator: N interleaved UCR-sim streams against a cluster.
+
+The replay engine (PR 5) measures one detector on one stream; the load
+generator measures the *service* — many tenants' streams interleaved
+through the sharded workers, with backpressure, queueing and
+coalescing in the path.  It reuses the repository's own machinery at
+both ends:
+
+* the **input** is the simulated UCR archive
+  (:mod:`repro.datasets.ucr`), shortened so a thousand streams fit a
+  bench budget, cycled over the requested stream count;
+* the **output** goes back through
+  :func:`repro.stream.replay.trace_from_scores`, so every stream's
+  served scores become a normal :class:`~repro.stream.replay.
+  ReplayTrace` and the delay-aware + NAB-windowed scoreboards apply
+  unchanged.  Detection quality measured through the service is
+  directly comparable to quality measured by local replay — by
+  construction, because both paths share the trace builder.
+
+Mid-drive, a configurable handful of streams get the full portability
+drill: snapshot at the halfway point, keep driving the original, then
+restore the snapshot into a *fresh* single-shard cluster, drive the
+identical remainder, and require byte-identical scores.  The bench
+therefore re-proves the round-trip parity contract under concurrency
+on every run, not just in the unit suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.ucr import UcrSimConfig, make_ucr
+from ..stream.replay import ReplayTrace, trace_from_scores
+from ..stream.scoreboard import delay_summary, nab_windowed_score
+from .metrics import quantile
+from .shard import Backpressure, StreamCluster
+
+__all__ = [
+    "LoadConfig",
+    "LoadResult",
+    "run_load",
+    "default_archive",
+    "format_load",
+]
+
+_DETECTORS = (
+    "streaming_zscore(k=48)",
+    "streaming_range(k=48)",
+    "diff",
+)
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Knobs of one load run (deterministic given the config)."""
+
+    streams: int = 100
+    tenants: int = 8
+    shards: int = 4
+    queue_size: int = 4096
+    batch_size: int = 50
+    seed: int = 23
+    # length bounds sized for the bench: long enough for the UCR-sim
+    # injection geometry (the widest injection needs n > ~2500), short
+    # enough that a thousand streams fit a bench budget
+    unique_series: int = 24
+    min_length: int = 2600
+    max_length: int = 3600
+    detectors: "tuple[str, ...]" = _DETECTORS
+    max_delay: int | None = 250
+    slop: int = 100
+    snapshot_checks: int = 3  # streams given the snapshot/restore drill
+    max_retries: int = 50  # backpressure retries per append before giving up
+
+    def __post_init__(self):
+        if self.streams < 1:
+            raise ValueError(f"streams must be >= 1, got {self.streams}")
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if not self.detectors:
+            raise ValueError("need at least one detector spec")
+        if self.snapshot_checks < 0:
+            raise ValueError("snapshot_checks must be >= 0")
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """What one load run measured."""
+
+    config: LoadConfig
+    points_streamed: int
+    seconds: float
+    points_per_second: float
+    append_p50_ms: float | None
+    append_p99_ms: float | None
+    rejections: int
+    retries: int
+    snapshot_parity: bool | None
+    traces: "list[ReplayTrace]" = field(repr=False)
+
+    def to_json(self) -> dict:
+        summary = delay_summary(self.traces)
+        windowed = [
+            score
+            for score in (
+                nab_windowed_score(trace) for trace in self.traces
+            )
+            if score is not None
+        ]
+        return {
+            "streams": self.config.streams,
+            "tenants": self.config.tenants,
+            "shards": self.config.shards,
+            "batch_size": self.config.batch_size,
+            "detectors": list(self.config.detectors),
+            "points_streamed": self.points_streamed,
+            "seconds": round(self.seconds, 4),
+            "points_per_second": round(self.points_per_second, 1),
+            "append_p50_ms": self.append_p50_ms,
+            "append_p99_ms": self.append_p99_ms,
+            "rejections": self.rejections,
+            "retries": self.retries,
+            "snapshot_parity": self.snapshot_parity,
+            "accuracy": round(
+                float(
+                    np.mean([t.delay_correct for t in self.traces])
+                ),
+                4,
+            )
+            if self.traces
+            else None,
+            "nab_windowed": round(float(np.mean(windowed)), 2)
+            if windowed
+            else None,
+            "by_detector": summary,
+        }
+
+
+def default_archive(config: LoadConfig):
+    """The shortened UCR-sim archive a load run cycles over."""
+    return make_ucr(
+        UcrSimConfig(
+            seed=config.seed,
+            size=min(config.unique_series, config.streams),
+            min_length=config.min_length,
+            max_length=config.max_length,
+        )
+    )
+
+
+class _StreamPlan:
+    """One stream's identity and its deterministic append schedule."""
+
+    __slots__ = ("tenant", "stream", "detector", "series", "batches")
+
+    def __init__(self, tenant, stream, detector, series, batch_size):
+        self.tenant = tenant
+        self.stream = stream
+        self.detector = detector
+        self.series = series
+        values = series.values
+        self.batches = [
+            values[start : min(start + batch_size, values.size)]
+            for start in range(series.train_len, values.size, batch_size)
+        ]
+
+
+def _plan(config: LoadConfig, archive) -> "list[_StreamPlan]":
+    plans = []
+    for index in range(config.streams):
+        plans.append(
+            _StreamPlan(
+                tenant=f"t{index % config.tenants:03d}",
+                stream=f"s{index:05d}",
+                detector=config.detectors[index % len(config.detectors)],
+                series=archive.series[index % len(archive.series)],
+                batch_size=config.batch_size,
+            )
+        )
+    return plans
+
+
+def _append_with_retry(cluster, plan, batch, config, counters) -> None:
+    for _ in range(config.max_retries):
+        try:
+            cluster.append(plan.tenant, plan.stream, batch)
+            return
+        except Backpressure as pressure:
+            counters["retries"] += 1
+            time.sleep(pressure.retry_after)
+    raise RuntimeError(
+        f"stream {plan.tenant}/{plan.stream}: still backpressured after "
+        f"{config.max_retries} retries — queue_size too small for this load"
+    )
+
+
+def run_load(config: LoadConfig, *, archive=None) -> LoadResult:
+    """Drive the interleaved load and measure the service.
+
+    The drive is round-robin: every round appends one micro-batch to
+    every still-active stream, so at any instant the cluster holds all
+    ``config.streams`` streams mid-flight — the interleaving is the
+    point, it is what exercises routing, coalescing and fairness.
+    """
+    if archive is None:
+        archive = default_archive(config)
+    plans = _plan(config, archive)
+    mid_checks: dict[int, dict] = {}
+    check_indices = set(
+        range(0, config.streams, max(1, config.streams // max(1, config.snapshot_checks)))
+    ) if config.snapshot_checks else set()
+    check_indices = set(sorted(check_indices)[: config.snapshot_checks])
+
+    counters = {"retries": 0}
+    with StreamCluster(
+        num_shards=config.shards, queue_size=config.queue_size
+    ) as cluster:
+        for plan in plans:
+            cluster.create_stream(
+                plan.tenant,
+                plan.stream,
+                plan.detector,
+                plan.series.train,
+            )
+
+        started = time.perf_counter()
+        max_rounds = max(len(plan.batches) for plan in plans)
+        for round_index in range(max_rounds):
+            for index, plan in enumerate(plans):
+                if round_index >= len(plan.batches):
+                    continue
+                if (
+                    index in check_indices
+                    and round_index == len(plan.batches) // 2
+                ):
+                    # the portability drill: capture state mid-stream,
+                    # remember which batches are still to come
+                    mid_checks[index] = {
+                        "snapshot": cluster.snapshot_stream(
+                            plan.tenant, plan.stream
+                        ),
+                        "remaining": plan.batches[round_index:],
+                    }
+                _append_with_retry(
+                    cluster, plan, plan.batches[round_index], config, counters
+                )
+        # barrier: a per-stream read drains that stream's queue, so the
+        # clock stops only after every point has been scored
+        served: list[dict] = [
+            cluster.scores(plan.tenant, plan.stream) for plan in plans
+        ]
+        seconds = time.perf_counter() - started
+
+        samples = cluster.metrics.latency_samples()
+        rejections = cluster.metrics_json()["totals"]["rejected"]
+
+        snapshot_parity = _verify_snapshots(plans, served, mid_checks)
+
+    traces = _traces(config, plans, served)
+    points = sum(
+        plan.series.values.size - plan.series.train_len for plan in plans
+    )
+    p50 = quantile(samples, 0.50)
+    p99 = quantile(samples, 0.99)
+    return LoadResult(
+        config=config,
+        points_streamed=points,
+        seconds=seconds,
+        points_per_second=points / seconds if seconds > 0 else 0.0,
+        append_p50_ms=None if p50 is None else round(p50 * 1e3, 4),
+        append_p99_ms=None if p99 is None else round(p99 * 1e3, 4),
+        rejections=rejections,
+        retries=counters["retries"],
+        snapshot_parity=snapshot_parity,
+        traces=traces,
+    )
+
+
+def _verify_snapshots(plans, served, mid_checks) -> bool | None:
+    """Replay each captured snapshot in a fresh cluster; require parity."""
+    if not mid_checks:
+        return None
+    for index, check in mid_checks.items():
+        plan = plans[index]
+        snapshot = check["snapshot"]
+        cut = snapshot["scores_total"]
+        with StreamCluster(num_shards=1) as fresh:
+            fresh.restore_stream(snapshot)
+            for batch in check["remaining"]:
+                fresh.append(plan.tenant, plan.stream, batch)
+            replayed = fresh.scores(plan.tenant, plan.stream, start=cut)
+        original = served[index]["scores"][cut:]
+        if replayed["scores"] != original:
+            return False
+    return True
+
+
+def format_load(result: LoadResult) -> str:
+    """Human-readable serve-bench report."""
+    payload = result.to_json()
+    parity = (
+        "n/a"
+        if payload["snapshot_parity"] is None
+        else ("ok" if payload["snapshot_parity"] else "FAILED")
+    )
+    p50 = (
+        "-"
+        if payload["append_p50_ms"] is None
+        else f"{payload['append_p50_ms']:.1f}ms"
+    )
+    p99 = (
+        "-"
+        if payload["append_p99_ms"] is None
+        else f"{payload['append_p99_ms']:.1f}ms"
+    )
+    lines = [
+        f"serve bench: {payload['streams']} streams, "
+        f"{payload['tenants']} tenants, {payload['shards']} shards, "
+        f"batch {payload['batch_size']}",
+        f"  {payload['points_streamed']} points in "
+        f"{payload['seconds']:.2f}s = "
+        f"{payload['points_per_second']:.0f} points/s",
+        f"  arrival-to-score latency p50 {p50}, p99 {p99}",
+        f"  backpressure: {payload['rejections']} rejections, "
+        f"{payload['retries']} retries",
+        f"  snapshot/restore parity: {parity}",
+        "",
+        f"  {'detector':<28} {'streams':>8} {'delay-acc':>9} "
+        f"{'med delay':>10} {'nab-win':>8}",
+    ]
+    for label, row in payload["by_detector"].items():
+        med = (
+            "-"
+            if row["median_delay"] is None
+            else f"{row['median_delay']:.0f}"
+        )
+        nab = (
+            "-"
+            if row["nab_windowed"] is None
+            else f"{row['nab_windowed']:.1f}"
+        )
+        lines.append(
+            f"  {label:<28} {row['series']:>8} {row['accuracy']:>8.1%} "
+            f"{med:>10} {nab:>8}"
+        )
+    return "\n".join(lines)
+
+
+def _traces(config, plans, served) -> "list[ReplayTrace]":
+    traces = []
+    for plan, result in zip(plans, served):
+        n = int(plan.series.values.size)
+        scores = np.full(n, -np.inf)
+        block = np.asarray(result["scores"], dtype=float)
+        start = plan.series.train_len
+        scores[start : start + block.size] = np.where(
+            np.isnan(block), -np.inf, block
+        )
+        traces.append(
+            trace_from_scores(
+                plan.series,
+                scores,
+                detector_label=plan.detector,
+                batch_size=config.batch_size,
+                max_delay=config.max_delay,
+                slop=config.slop,
+            )
+        )
+    return traces

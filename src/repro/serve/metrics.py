@@ -1,0 +1,166 @@
+"""Per-tenant service metrics: counters and latency digests.
+
+The serve layer promises multi-tenant fairness and bounded latency;
+this module is how those promises become observable.  Each tenant gets
+a :class:`TenantMetrics` holding monotonic counters (points ingested,
+scores emitted, batches, backpressure rejections) and a bounded
+reservoir of append latencies from which p50/p99 are read.  The
+registry aggregates across tenants for the cluster-level view the
+``/metrics`` endpoint and the serve bench report.
+
+Everything is stdlib + a lock per tenant: the worker threads on the hot
+path only ever append a float and bump integers.  Quantiles are
+computed at read time from the newest ``reservoir`` samples — a sliding
+window, not a decaying sketch, which keeps the numbers exact and the
+implementation inspectable at the cost of only remembering the recent
+past (the right trade for a load test that reads at the end).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["TenantMetrics", "MetricsRegistry", "quantile"]
+
+
+def quantile(samples: "list[float]", q: float) -> float | None:
+    """Linear-interpolation quantile of ``samples`` (``q`` in [0, 1]).
+
+    ``None`` for an empty sample set — absence of data is not zero
+    latency.  Matches numpy's default ``linear`` method, computed in
+    pure Python so the hot path never imports numpy.
+    """
+    if not samples:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+class TenantMetrics:
+    """Counters + append-latency reservoir for a single tenant."""
+
+    def __init__(self, tenant: str, *, reservoir: int = 4096) -> None:
+        if reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._points_in = 0
+        self._scores_out = 0
+        self._batches = 0
+        self._rejected = 0
+        self._snapshots = 0
+        self._restores = 0
+        self._latencies: deque[float] = deque(maxlen=reservoir)
+
+    # -- write path (worker threads) ----------------------------------
+
+    def record_append(
+        self, points: int, scores: int, seconds: float
+    ) -> None:
+        with self._lock:
+            self._points_in += points
+            self._scores_out += scores
+            self._batches += 1
+            self._latencies.append(float(seconds))
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_snapshot(self) -> None:
+        with self._lock:
+            self._snapshots += 1
+
+    def record_restore(self) -> None:
+        with self._lock:
+            self._restores += 1
+
+    # -- read path ----------------------------------------------------
+
+    def latency_samples(self) -> "list[float]":
+        """The retained append-latency samples, oldest first (seconds)."""
+        with self._lock:
+            return list(self._latencies)
+
+    def to_json(self) -> dict:
+        with self._lock:
+            samples = list(self._latencies)
+            payload = {
+                "tenant": self.tenant,
+                "points_ingested": self._points_in,
+                "scores_emitted": self._scores_out,
+                "append_batches": self._batches,
+                "rejected": self._rejected,
+                "snapshots": self._snapshots,
+                "restores": self._restores,
+            }
+        payload["append_p50_ms"] = _ms(quantile(samples, 0.50))
+        payload["append_p99_ms"] = _ms(quantile(samples, 0.99))
+        return payload
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else round(seconds * 1e3, 4)
+
+
+class MetricsRegistry:
+    """Tenant → :class:`TenantMetrics`, plus the cluster aggregate."""
+
+    def __init__(self, *, reservoir: int = 4096) -> None:
+        self._reservoir = reservoir
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantMetrics] = {}
+
+    def tenant(self, name: str) -> TenantMetrics:
+        with self._lock:
+            metrics = self._tenants.get(name)
+            if metrics is None:
+                metrics = TenantMetrics(name, reservoir=self._reservoir)
+                self._tenants[name] = metrics
+            return metrics
+
+    def latency_samples(self) -> "list[float]":
+        """All tenants' retained append-latency samples (seconds).
+
+        The cluster-wide p99 the serve bench reports comes from this
+        pooled set — a per-tenant p99 hides the worst tenant exactly
+        when multi-tenant fairness is the question.
+        """
+        with self._lock:
+            tenants = list(self._tenants.values())
+        samples: list[float] = []
+        for tenant in tenants:
+            samples.extend(tenant.latency_samples())
+        return samples
+
+    def to_json(self, *, queue_depths: "dict[str, int] | None" = None) -> dict:
+        """Cluster view: per-tenant rows (sorted) plus totals.
+
+        ``queue_depths`` — shard name → resident queue depth — comes
+        from the cluster, which owns the queues; metrics only reports
+        it so the ``/metrics`` endpoint stays one-stop.
+        """
+        with self._lock:
+            tenants = sorted(self._tenants)
+            rows = [self._tenants[name].to_json() for name in tenants]
+        totals = {
+            "points_ingested": sum(row["points_ingested"] for row in rows),
+            "scores_emitted": sum(row["scores_emitted"] for row in rows),
+            "append_batches": sum(row["append_batches"] for row in rows),
+            "rejected": sum(row["rejected"] for row in rows),
+            "snapshots": sum(row["snapshots"] for row in rows),
+            "restores": sum(row["restores"] for row in rows),
+        }
+        payload = {"tenants": rows, "totals": totals}
+        if queue_depths is not None:
+            payload["queue_depths"] = dict(sorted(queue_depths.items()))
+        return payload

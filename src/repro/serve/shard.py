@@ -1,0 +1,498 @@
+"""Sharded stream workers: consistent-hash routing and backpressure.
+
+One Python process cannot score a thousand tenants' streams on one
+thread; it *can* on a handful, provided ownership is unambiguous and
+overload is explicit.  The design here is the classic sharded-log
+shape, small enough to read in one sitting:
+
+* :class:`HashRing` — consistent hashing (sha256, virtual nodes) from
+  tenant to shard.  A tenant's streams always land on the same shard,
+  so per-stream state never needs locking: the owning worker thread is
+  the only mutator.  Adding a shard moves ~1/n of tenants, which is
+  what makes the ring better than ``hash(t) % n`` for any future
+  rebalancing story.
+* :class:`ShardWorker` — a daemon thread draining a **bounded** queue
+  of operations.  Appends are fire-and-forget and the worker coalesces
+  consecutive appends to the same stream into one detector call when
+  the detector declares ``batch_invariant`` (micro-batching recovers
+  vectorized kernel throughput when producers submit point-at-a-time
+  without changing any score).  Control operations (create, read,
+  snapshot, restore) travel the same queue and act as barriers, so a
+  read observes exactly the appends submitted before it.
+* **Backpressure** — a full queue raises :class:`Backpressure` with a
+  ``retry_after`` hint instead of blocking the caller or buffering
+  unboundedly.  The HTTP front turns it into ``429 Retry-After``; the
+  load generator treats it as a signal to back off.  Lost work is
+  visible (the rejection counter), never silent.
+
+Snapshot/restore rides the same barrier mechanism: a snapshot drains
+the stream's pending appends first, then captures the detector through
+:mod:`repro.serve.state`, so the blob always corresponds to a clean
+append boundary — the precondition for the byte-identical continuation
+contract.
+"""
+
+from __future__ import annotations
+
+import base64
+import bisect
+import hashlib
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..stream.adapters import StreamingDetector, as_streaming
+from .metrics import MetricsRegistry
+from .state import restore as restore_state
+from .state import snapshot as snapshot_state
+
+__all__ = ["Backpressure", "HashRing", "ShardWorker", "StreamCluster"]
+
+
+class Backpressure(RuntimeError):
+    """A shard's queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, shard: str, retry_after: float) -> None:
+        super().__init__(
+            f"shard {shard} queue full; retry after {retry_after:.3f}s"
+        )
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+class HashRing:
+    """Consistent tenant→shard map: sha256 positions, virtual nodes."""
+
+    def __init__(self, shards: "list[str]", *, replicas: int = 64) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError(f"duplicate shard names in {shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shards = tuple(shards)
+        self.replicas = replicas
+        points = []
+        for shard in shards:
+            for replica in range(replicas):
+                points.append((self._position(f"{shard}#{replica}"), shard))
+        points.sort()
+        self._points = [position for position, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    @staticmethod
+    def _position(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def route(self, tenant: str) -> str:
+        """The shard owning ``tenant`` — first ring point at/after it."""
+        index = bisect.bisect_left(self._points, self._position(tenant))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+
+class _Stream:
+    """Worker-resident state of one stream (single-thread access only)."""
+
+    __slots__ = (
+        "tenant",
+        "stream",
+        "detector_label",
+        "detector",
+        "points_seen",
+        "score_offset",
+        "scores",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        stream: str,
+        detector_label: str,
+        detector: StreamingDetector,
+        *,
+        points_seen: int = 0,
+        score_offset: int = 0,
+    ) -> None:
+        self.tenant = tenant
+        self.stream = stream
+        self.detector_label = detector_label
+        self.detector = detector
+        self.points_seen = points_seen
+        # scores emitted before this incarnation (snapshot/restore keeps
+        # global score indices stable across a migration)
+        self.score_offset = score_offset
+        self.scores: list[float] = []
+
+
+class _Op:
+    __slots__ = ("kind", "key", "payload", "future", "enqueued")
+
+    def __init__(self, kind, key, payload, future=None):
+        self.kind = kind
+        self.key = key
+        self.payload = payload
+        self.future = future
+        self.enqueued = time.monotonic()
+
+
+class ShardWorker:
+    """One shard: a bounded op queue drained by a daemon thread."""
+
+    def __init__(
+        self,
+        name: str,
+        metrics: MetricsRegistry,
+        *,
+        queue_size: int = 1024,
+        retry_after: float = 0.05,
+    ) -> None:
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self.name = name
+        self.metrics = metrics
+        self.retry_after = retry_after
+        self._queue: "queue.Queue[_Op | None]" = queue.Queue(queue_size)
+        self._streams: dict[str, _Stream] = {}
+        self._thread = threading.Thread(
+            target=self._run, name=f"shard-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- producer side ------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def submit(self, op: _Op, *, tenant: str) -> None:
+        try:
+            self._queue.put_nowait(op)
+        except queue.Full:
+            self.metrics.tenant(tenant).record_rejection()
+            raise Backpressure(self.name, self.retry_after) from None
+
+    def call(self, kind: str, key: str, payload, *, tenant: str):
+        """Submit a control op and wait for its result (barrier).
+
+        Control ops block on a full queue instead of raising
+        :class:`Backpressure`: they are rare, synchronous, and
+        self-limiting (the caller waits on the Future anyway), so
+        rejecting them would only make reads flaky under load.
+        """
+        future: Future = Future()
+        self._queue.put(_Op(kind, key, payload, future))
+        return future.result()
+
+    def close(self) -> None:
+        self._queue.put(None)
+        self._thread.join()
+
+    # -- worker side --------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            op = self._queue.get()
+            if op is None:
+                return
+            batch = [op]
+            # drain whatever queued up behind it: consecutive appends to
+            # one stream coalesce into a single detector call below
+            while True:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            if batch[-1] is None:
+                batch.pop()
+                self._execute(batch)
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: "list[_Op]") -> None:
+        pending: dict[str, list[_Op]] = {}
+        for op in batch:
+            if op.kind == "append":
+                pending.setdefault(op.key, []).append(op)
+            else:
+                # control ops are barriers: flush coalesced appends so
+                # they observe every append submitted before them
+                self._flush(pending)
+                pending = {}
+                self._control(op)
+        self._flush(pending)
+
+    def _flush(self, pending: "dict[str, list[_Op]]") -> None:
+        for key, ops in pending.items():
+            state = self._streams.get(key)
+            if state is None:
+                continue  # stream deleted mid-flight; drop silently
+            if state.detector.batch_invariant:
+                # coalescing is only legal when update([a, b]) equals
+                # update([a]); update([b]) — otherwise merging producer
+                # micro-batches would change the emitted scores
+                groups = [ops]
+            else:
+                groups = [[op] for op in ops]
+            for group in groups:
+                values = (
+                    group[0].payload
+                    if len(group) == 1
+                    else np.concatenate([op.payload for op in group])
+                )
+                scores = np.asarray(
+                    state.detector.update(values), dtype=float
+                )
+                state.points_seen += int(values.size)
+                state.scores.extend(float(s) for s in scores)
+                # arrival-to-score latency: oldest enqueue in the group
+                # to scoring done — what a caller would observe
+                self.metrics.tenant(state.tenant).record_append(
+                    int(values.size),
+                    int(scores.size),
+                    time.monotonic() - min(op.enqueued for op in group),
+                )
+
+    def _control(self, op: _Op) -> None:
+        try:
+            result = self._dispatch(op)
+        except BaseException as error:  # surface to the caller, not the log
+            if op.future is not None:
+                op.future.set_exception(error)
+            return
+        if op.future is not None:
+            op.future.set_result(result)
+
+    def _dispatch(self, op: _Op):
+        if op.kind == "create":
+            return self._create(op.key, op.payload)
+        if op.kind == "scores":
+            return self._scores(op.key, op.payload)
+        if op.kind == "snapshot":
+            return self._snapshot(op.key)
+        if op.kind == "restore":
+            return self._restore(op.key, op.payload)
+        if op.kind == "stats":
+            return self._stats(op.key)
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def _create(self, key: str, payload: dict) -> dict:
+        if key in self._streams:
+            raise ValueError(f"stream {key!r} already exists")
+        tenant, stream = payload["tenant"], payload["stream"]
+        detector = as_streaming(
+            payload["detector"],
+            window=payload.get("window"),
+            refit_every=payload.get("refit_every"),
+        )
+        train = np.asarray(payload.get("train", ()), dtype=float)
+        detector.fit(train)
+        self._streams[key] = _Stream(
+            tenant, stream, payload["detector"], detector,
+            points_seen=int(train.size),
+        )
+        return {"stream": key, "shard": self.name, "train_len": int(train.size)}
+
+    def _require(self, key: str) -> _Stream:
+        state = self._streams.get(key)
+        if state is None:
+            raise KeyError(f"unknown stream {key!r}")
+        return state
+
+    def _scores(self, key: str, payload: dict) -> dict:
+        state = self._require(key)
+        start = int(payload.get("start", 0))
+        local = max(0, start - state.score_offset)
+        block = state.scores[local:]
+        return {
+            "stream": key,
+            "start": state.score_offset + local,
+            "scores": block,
+            "total": state.score_offset + len(state.scores),
+        }
+
+    def _snapshot(self, key: str) -> dict:
+        state = self._require(key)
+        blob = snapshot_state(state.detector)
+        self.metrics.tenant(state.tenant).record_snapshot()
+        return {
+            "stream": key,
+            "tenant": state.tenant,
+            "detector": state.detector_label,
+            "points_seen": state.points_seen,
+            "scores_total": state.score_offset + len(state.scores),
+            "state": base64.b64encode(blob).decode("ascii"),
+        }
+
+    def _restore(self, key: str, payload: dict) -> dict:
+        if key in self._streams:
+            raise ValueError(f"stream {key!r} already exists")
+        detector = restore_state(
+            base64.b64decode(payload["state"].encode("ascii"))
+        )
+        state = _Stream(
+            payload["tenant"],
+            payload["stream"],
+            payload["detector"],
+            detector,
+            points_seen=int(payload["points_seen"]),
+            score_offset=int(payload["scores_total"]),
+        )
+        self._streams[key] = state
+        self.metrics.tenant(state.tenant).record_restore()
+        return {
+            "stream": key,
+            "shard": self.name,
+            "points_seen": state.points_seen,
+        }
+
+    def _stats(self, key: str) -> dict:
+        state = self._require(key)
+        return {
+            "stream": key,
+            "tenant": state.tenant,
+            "detector": state.detector_label,
+            "points_seen": state.points_seen,
+            "scores_total": state.score_offset + len(state.scores),
+            "shard": self.name,
+        }
+
+
+class StreamCluster:
+    """The in-process cluster: ring + workers + metrics, one facade.
+
+    Every public method routes by tenant through the ring and returns
+    plain JSON-shaped data, so the HTTP front is a thin translation
+    layer and tests can drive the cluster directly.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_shards: int = 4,
+        queue_size: int = 1024,
+        retry_after: float = 0.05,
+        replicas: int = 64,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        names = [f"shard-{index}" for index in range(num_shards)]
+        self.metrics = MetricsRegistry()
+        self.ring = HashRing(names, replicas=replicas)
+        self.workers = {
+            name: ShardWorker(
+                name,
+                self.metrics,
+                queue_size=queue_size,
+                retry_after=retry_after,
+            )
+            for name in names
+        }
+        self._closed = False
+
+    # -- routing ------------------------------------------------------
+
+    @staticmethod
+    def stream_key(tenant: str, stream: str) -> str:
+        if not tenant or "/" in tenant:
+            raise ValueError(f"bad tenant name {tenant!r}")
+        if not stream:
+            raise ValueError("stream name must be non-empty")
+        return f"{tenant}/{stream}"
+
+    def worker_for(self, tenant: str) -> ShardWorker:
+        return self.workers[self.ring.route(tenant)]
+
+    # -- stream lifecycle ---------------------------------------------
+
+    def create_stream(
+        self,
+        tenant: str,
+        stream: str,
+        detector: str,
+        train,
+        *,
+        window: int | None = None,
+        refit_every: int | None = None,
+    ) -> dict:
+        key = self.stream_key(tenant, stream)
+        return self.worker_for(tenant).call(
+            "create",
+            key,
+            {
+                "tenant": tenant,
+                "stream": stream,
+                "detector": detector,
+                "train": np.asarray(train, dtype=float),
+                "window": window,
+                "refit_every": refit_every,
+            },
+            tenant=tenant,
+        )
+
+    def append(self, tenant: str, stream: str, values) -> dict:
+        """Fire-and-forget ingest; raises :class:`Backpressure` if full."""
+        key = self.stream_key(tenant, stream)
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            raise ValueError("append needs at least one value")
+        worker = self.worker_for(tenant)
+        worker.submit(_Op("append", key, values), tenant=tenant)
+        return {"stream": key, "queued": int(values.size)}
+
+    def scores(self, tenant: str, stream: str, *, start: int = 0) -> dict:
+        key = self.stream_key(tenant, stream)
+        return self.worker_for(tenant).call(
+            "scores", key, {"start": start}, tenant=tenant
+        )
+
+    def snapshot_stream(self, tenant: str, stream: str) -> dict:
+        key = self.stream_key(tenant, stream)
+        return self.worker_for(tenant).call(
+            "snapshot", key, None, tenant=tenant
+        )
+
+    def restore_stream(self, payload: dict) -> dict:
+        """Register a stream from a :meth:`snapshot_stream` payload."""
+        tenant = payload["tenant"]
+        key = payload["stream"]
+        stream = key.split("/", 1)[1] if "/" in key else key
+        return self.worker_for(tenant).call(
+            "restore",
+            self.stream_key(tenant, stream),
+            payload,
+            tenant=tenant,
+        )
+
+    def stream_stats(self, tenant: str, stream: str) -> dict:
+        key = self.stream_key(tenant, stream)
+        return self.worker_for(tenant).call("stats", key, None, tenant=tenant)
+
+    # -- cluster view -------------------------------------------------
+
+    def metrics_json(self) -> dict:
+        return self.metrics.to_json(
+            queue_depths={
+                name: worker.queue_depth
+                for name, worker in self.workers.items()
+            }
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers.values():
+            worker.close()
+
+    def __enter__(self) -> "StreamCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

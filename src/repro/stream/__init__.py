@@ -38,10 +38,11 @@ from .adapters import (
     as_streaming,
 )
 from .profile import StreamingMatrixProfile
-from .replay import ReplayTrace, replay, replay_grid
+from .replay import ReplayTrace, replay, replay_grid, trace_from_scores
 from .scoreboard import (
     delay_summary,
     format_streaming,
+    nab_windowed_score,
     streaming_leaderboard,
     streaming_matrix,
     trace_cells,
@@ -59,9 +60,11 @@ __all__ = [
     "ReplayTrace",
     "replay",
     "replay_grid",
+    "trace_from_scores",
     "trace_cells",
     "streaming_matrix",
     "streaming_leaderboard",
+    "nab_windowed_score",
     "delay_summary",
     "format_streaming",
     "TrailingExtremum",

@@ -50,17 +50,37 @@ __all__ = [
 class StreamingDetector(ABC):
     """Score points as they arrive, using only the prefix seen so far."""
 
+    #: whether ``update([a, b])`` provably equals ``update([a]);
+    #: update([b])`` — per-point recurrences (the natives) are; the
+    #: generic re-scoring adapter is not (its score at ``t`` may read
+    #: up to ``batch − 1`` points of within-batch future).  Consumers
+    #: that merge pending micro-batches (the serve shard workers) may
+    #: only coalesce when this is True, or they would change scores.
+    batch_invariant: bool = False
+
     @property
     def name(self) -> str:
         return type(self).__name__
 
+    @abstractmethod
+    def reset(self) -> "StreamingDetector":
+        """Discard every trace of the current stream.
+
+        After ``reset`` the detector is indistinguishable from a freshly
+        constructed one with the same parameters: no history, no warm
+        statistics, no egress queues.  ``fit`` routes through it, and
+        the replay engine calls it between series, so reusing one
+        instance across streams can never leak state — the sharp edge
+        that existed when only the native detectors restarted cleanly.
+        """
+
     def fit(self, train: np.ndarray) -> "StreamingDetector":
         """(Re)start the stream from an anomaly-free training prefix.
 
-        Implementations must reset any accumulated stream state before
-        ingesting ``train`` — fitting is how one detector instance is
-        reused across series, so leftover state from a previous stream
-        would silently corrupt the next one's scores.
+        Implementations must :meth:`reset` any accumulated stream state
+        before ingesting ``train`` — fitting is how one detector
+        instance is reused across series, so leftover state from a
+        previous stream would silently corrupt the next one's scores.
         """
         return self
 
@@ -100,6 +120,7 @@ class BatchStreamingAdapter(StreamingDetector):
         *,
         window: int | None = None,
         refit_every: int | None = None,
+        spec: DetectorSpec | None = None,
     ) -> None:
         if window is not None and window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
@@ -108,18 +129,31 @@ class BatchStreamingAdapter(StreamingDetector):
         self.detector = detector
         self.window = window
         self.refit_every = refit_every
+        # the registry spec the wrapped detector was built from, when
+        # known — snapshot/restore (repro.serve.state) rebuilds the
+        # batch detector from it, so only spec-built adapters can
+        # migrate between workers
+        self.spec = spec
         self._history = np.empty(0)
         self._since_fit = 0
+        self._fitted_len = 0  # leading history points of the last fit
 
     @property
     def name(self) -> str:
         return f"streaming[{self.detector.name}]"
 
+    def reset(self) -> "BatchStreamingAdapter":
+        self._history = np.empty(0)
+        self._since_fit = 0
+        self._fitted_len = 0
+        return self
+
     def fit(self, train: np.ndarray) -> "BatchStreamingAdapter":
+        self.reset()
         train = np.asarray(train, dtype=float)
         self.detector.fit(train)
         self._history = train.copy()
-        self._since_fit = 0
+        self._fitted_len = int(train.size)
         return self
 
     def update(self, values: np.ndarray) -> np.ndarray:
@@ -131,6 +165,7 @@ class BatchStreamingAdapter(StreamingDetector):
         if self.refit_every is not None and self._since_fit >= self.refit_every:
             self.detector.fit(self._history)
             self._since_fit = 0
+            self._fitted_len = int(self._history.size)
         scored = self._history
         if self.window is not None and scored.size > self.window:
             scored = scored[-self.window :]
@@ -161,6 +196,8 @@ class StreamingMatrixProfileDetector(StreamingDetector):
     ``max_history`` bounds resident memory via the kernel's egress mode.
     """
 
+    batch_invariant = True  # per-point append recurrence
+
     def __init__(
         self,
         w: int = 100,
@@ -178,11 +215,15 @@ class StreamingMatrixProfileDetector(StreamingDetector):
     def name(self) -> str:
         return f"streaming[MatrixProfile(w={self.w})]"
 
-    def fit(self, train: np.ndarray) -> "StreamingMatrixProfileDetector":
-        """Restart the stream, seeded with the training prefix."""
+    def reset(self) -> "StreamingMatrixProfileDetector":
         self._profile = StreamingMatrixProfile(
             self.w, self.exclusion, max_history=self.max_history
         )
+        return self
+
+    def fit(self, train: np.ndarray) -> "StreamingMatrixProfileDetector":
+        """Restart the stream, seeded with the training prefix."""
+        self.reset()
         train = np.asarray(train, dtype=float)
         if train.size:
             self._profile.append(train)
@@ -216,6 +257,8 @@ class StreamingZScoreDetector(StreamingDetector):
     at the scored point instead of being centered on it.
     """
 
+    batch_invariant = True  # per-point trailing recurrence
+
     def __init__(self, k: int = 50, epsilon: float = 1e-9) -> None:
         if k < 3:
             raise ValueError(f"window must be >= 3, got {k}")
@@ -227,8 +270,12 @@ class StreamingZScoreDetector(StreamingDetector):
     def name(self) -> str:
         return f"streaming[ZScore(k={self.k})]"
 
-    def fit(self, train: np.ndarray) -> "StreamingZScoreDetector":
+    def reset(self) -> "StreamingZScoreDetector":
         self._stats = TrailingStats(self.k)
+        return self
+
+    def fit(self, train: np.ndarray) -> "StreamingZScoreDetector":
+        self.reset()
         for value in np.asarray(train, dtype=float):
             self._stats.push(value)
         return self
@@ -254,6 +301,8 @@ class StreamingRangeDetector(StreamingDetector):
     arrives.
     """
 
+    batch_invariant = True  # per-point trailing recurrence
+
     def __init__(self, k: int = 50) -> None:
         if k < 2:
             raise ValueError(f"window must be >= 2, got {k}")
@@ -265,9 +314,13 @@ class StreamingRangeDetector(StreamingDetector):
     def name(self) -> str:
         return f"streaming[Range(k={self.k})]"
 
-    def fit(self, train: np.ndarray) -> "StreamingRangeDetector":
+    def reset(self) -> "StreamingRangeDetector":
         self._high = TrailingExtremum(self.k)
         self._low = TrailingExtremum(self.k, minimum=True)
+        return self
+
+    def fit(self, train: np.ndarray) -> "StreamingRangeDetector":
+        self.reset()
         for value in np.asarray(train, dtype=float):
             self._high.push(value)
             self._low.push(value)
@@ -281,6 +334,16 @@ class StreamingRangeDetector(StreamingDetector):
         return scores
 
 
+# streaming-native specs: names resolvable by as_streaming (and hence
+# the replay CLI and the serve API) that have no batch counterpart in
+# the registry — the spec's params go straight to the constructor
+NATIVE_STREAMING = {
+    "streaming_matrix_profile": StreamingMatrixProfileDetector,
+    "streaming_zscore": StreamingZScoreDetector,
+    "streaming_range": StreamingRangeDetector,
+}
+
+
 def as_streaming(
     detector,
     *,
@@ -292,7 +355,9 @@ def as_streaming(
     A :class:`StreamingDetector` passes through unchanged (the options
     must then be left at their defaults).  ``matrix_profile`` detectors
     route to the native incremental kernel, with ``window`` becoming the
-    kernel's bounded ``max_history``; everything else gets the generic
+    kernel's bounded ``max_history``; the :data:`NATIVE_STREAMING` names
+    (``streaming_zscore(k=40)`` and friends) construct the streaming-
+    native detectors directly; everything else gets the generic
     re-scoring :class:`BatchStreamingAdapter`.
     """
     if isinstance(detector, StreamingDetector):
@@ -302,10 +367,19 @@ def as_streaming(
                 "streaming detector"
             )
         return detector
+    spec = None
     if isinstance(detector, str):
         # full spec-string syntax, same as the CLI: "matrix_profile(w=64)"
         detector = DetectorSpec.parse(detector)
     if isinstance(detector, DetectorSpec):
+        if detector.name in NATIVE_STREAMING:
+            if window is not None or refit_every is not None:
+                raise ValueError(
+                    f"{detector.name} is streaming-native; parameterize "
+                    f"it through spec params, not window/refit_every"
+                )
+            return NATIVE_STREAMING[detector.name](**dict(detector.params))
+        spec = detector
         detector = make_detector(detector)
     if not isinstance(detector, Detector):
         raise TypeError(
@@ -324,5 +398,5 @@ def as_streaming(
                 str(error).replace("max_history", "window")
             ) from None
     return BatchStreamingAdapter(
-        detector, window=window, refit_every=refit_every
+        detector, window=window, refit_every=refit_every, spec=spec
     )

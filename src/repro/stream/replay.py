@@ -43,7 +43,7 @@ from ..scoring.ucr import ucr_slop
 from ..types import Archive, LabeledSeries
 from .adapters import StreamingDetector, as_streaming
 
-__all__ = ["ReplayTrace", "replay", "replay_grid"]
+__all__ = ["ReplayTrace", "replay", "replay_grid", "trace_from_scores"]
 
 
 @dataclass(frozen=True, eq=False)
@@ -147,6 +147,127 @@ def _detector_label(detector) -> str:
     return str(detector)
 
 
+def _series_region(
+    series: LabeledSeries, slop: int
+) -> tuple[tuple[int, int] | None, int]:
+    """``(region, effective_slop)`` under the single-anomaly protocol."""
+    if series.labels.num_regions > 1:
+        # mirror the batch protocol (ucr_correct): delay and correctness
+        # are defined against *the* anomaly, so multi-region series must
+        # fail loudly in both engines rather than silently diverge
+        raise ValueError(
+            f"{series.name}: streaming replay uses the UCR protocol, "
+            f"which requires exactly one labeled anomaly, found "
+            f"{series.labels.num_regions}"
+        )
+    if series.labels.num_regions:
+        only = series.labels.regions[0]
+        return (int(only.start), int(only.end)), ucr_slop(series, slop)
+    return None, slop
+
+
+def trace_from_scores(
+    series: LabeledSeries,
+    scores: np.ndarray,
+    *,
+    detector_label: str,
+    batch_size: int = 1,
+    max_delay: int | None = None,
+    slop: int = 100,
+    window: int | None = None,
+    refit_every: int | None = None,
+    num_updates: int | None = None,
+    seconds: float = 0.0,
+) -> ReplayTrace:
+    """Build a :class:`ReplayTrace` from already-collected arrival scores.
+
+    ``scores`` are full-series coordinates (length ``series.n``; the
+    training region must be ``-inf``), appended in micro-batches of
+    ``batch_size`` starting at ``series.train_len`` — the structure
+    :func:`replay` produces while driving a detector itself, and the
+    structure the serve load generator reproduces when it collects
+    scores back from a cluster.  The running-argmax walk, the UCR
+    verdict and the first-hit/commit/delay latencies are computed here,
+    identically for both callers, so a trace built from served scores
+    is byte-for-byte the trace a local replay would have produced.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if max_delay is not None and max_delay < 0:
+        raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+    scores = np.asarray(scores, dtype=float)
+    n = int(series.values.size)
+    train_len = int(series.train_len)
+    if scores.shape != (n,):
+        raise ValueError(
+            f"{detector_label}: expected full-series scores of shape "
+            f"({n},), got {scores.shape}"
+        )
+    scores = np.where(np.isnan(scores), -np.inf, scores)
+    region, effective_slop = _series_region(series, slop)
+
+    best_score = -np.inf
+    best_loc: int | None = None
+    running: list[tuple[int, int]] = []  # (arrival index, running argmax)
+    for start in range(train_len, n, batch_size):
+        stop = min(start + batch_size, n)
+        batch_scores = scores[start:stop]
+        # running argmax with np.argmax's first-occurrence tie-break;
+        # best_loc stays None until the first *finite* score — a
+        # detector that has said nothing has not pointed anywhere
+        if np.max(batch_scores, initial=-np.inf) > best_score:
+            offset = int(np.argmax(batch_scores))
+            best_score = float(batch_scores[offset])
+            best_loc = start + offset
+        running.append((stop - 1, best_loc))
+
+    # no finite score anywhere: fall back to the batch convention
+    # (argmax over an all--inf vector is index 0, in the train region)
+    location = int(np.argmax(scores)) if best_loc is None else best_loc
+    correct = False
+    first_hit = commit = delay = None
+    if region is not None:
+        lo, hi = region[0] - effective_slop, region[1] + effective_slop
+        inside = [
+            loc is not None and lo <= loc < hi for _, loc in running
+        ]
+        correct = bool(inside and inside[-1])
+        for (arrival, _), hit in zip(running, inside):
+            if hit:
+                first_hit = int(arrival)
+                break
+        if correct:
+            last_miss = -1
+            for index, hit in enumerate(inside):
+                if not hit:
+                    last_miss = index
+            commit = int(running[last_miss + 1][0])
+            delay = max(0, commit - region[0])
+
+    streamed = n - train_len
+    return ReplayTrace(
+        detector=detector_label,
+        series=series.name,
+        n=n,
+        train_len=train_len,
+        batch_size=int(batch_size),
+        slop=int(slop),
+        max_delay=max_delay,
+        window=None if window is None else int(window),
+        refit_every=None if refit_every is None else int(refit_every),
+        scores=scores,
+        location=int(location),
+        correct=correct,
+        region=region,
+        first_hit=first_hit,
+        commit=commit,
+        delay=delay,
+        num_updates=len(running) if num_updates is None else int(num_updates),
+        seconds=float(seconds),
+        points_per_second=float(streamed / seconds) if seconds > 0 else 0.0,
+    )
+
+
 def replay(
     series: LabeledSeries,
     detector,
@@ -179,28 +300,13 @@ def replay(
     n = int(values.size)
     train_len = int(series.train_len)
     scores = np.full(n, -np.inf)
+    _series_region(series, slop)  # fail fast before any points stream
 
-    region = None
-    effective_slop = slop
-    if series.labels.num_regions > 1:
-        # mirror the batch protocol (ucr_correct): delay and correctness
-        # are defined against *the* anomaly, so multi-region series must
-        # fail loudly in both engines rather than silently diverge
-        raise ValueError(
-            f"{series.name}: streaming replay uses the UCR protocol, "
-            f"which requires exactly one labeled anomaly, found "
-            f"{series.labels.num_regions}"
-        )
-    if series.labels.num_regions:
-        only = series.labels.regions[0]
-        region = (int(only.start), int(only.end))
-        effective_slop = ucr_slop(series, slop)
-
+    # a reused instance must not leak the previous series' stream state
+    # (fit() resets too; the explicit call keeps the contract visible)
+    streaming.reset()
     streaming.fit(series.train)
 
-    best_score = -np.inf
-    best_loc: int | None = None
-    running: list[tuple[int, int]] = []  # (arrival index, running argmax)
     num_updates = 0
     started = time.perf_counter()
     for start in range(train_len, n, batch_size):
@@ -213,63 +319,23 @@ def replay(
                 f"{resolved_label}: update returned shape "
                 f"{batch_scores.shape} for {stop - start} points"
             )
-        batch_scores = np.where(np.isnan(batch_scores), -np.inf, batch_scores)
-        scores[start:stop] = batch_scores
+        scores[start:stop] = np.where(
+            np.isnan(batch_scores), -np.inf, batch_scores
+        )
         num_updates += 1
-        # running argmax with np.argmax's first-occurrence tie-break;
-        # best_loc stays None until the first *finite* score — a
-        # detector that has said nothing has not pointed anywhere
-        if np.max(batch_scores, initial=-np.inf) > best_score:
-            offset = int(np.argmax(batch_scores))
-            best_score = float(batch_scores[offset])
-            best_loc = start + offset
-        running.append((stop - 1, best_loc))
     seconds = time.perf_counter() - started
 
-    # no finite score anywhere: fall back to the batch convention
-    # (argmax over an all--inf vector is index 0, in the train region)
-    location = int(np.argmax(scores)) if best_loc is None else best_loc
-    correct = False
-    first_hit = commit = delay = None
-    if region is not None:
-        lo, hi = region[0] - effective_slop, region[1] + effective_slop
-        inside = [
-            loc is not None and lo <= loc < hi for _, loc in running
-        ]
-        correct = bool(inside and inside[-1])
-        for (arrival, _), hit in zip(running, inside):
-            if hit:
-                first_hit = int(arrival)
-                break
-        if correct:
-            last_miss = -1
-            for index, hit in enumerate(inside):
-                if not hit:
-                    last_miss = index
-            commit = int(running[last_miss + 1][0])
-            delay = max(0, commit - region[0])
-
-    streamed = n - train_len
-    return ReplayTrace(
-        detector=resolved_label,
-        series=series.name,
-        n=n,
-        train_len=train_len,
-        batch_size=int(batch_size),
-        slop=int(slop),
+    return trace_from_scores(
+        series,
+        scores,
+        detector_label=resolved_label,
+        batch_size=batch_size,
         max_delay=max_delay,
-        window=None if window is None else int(window),
-        refit_every=None if refit_every is None else int(refit_every),
-        scores=scores,
-        location=int(location),
-        correct=correct,
-        region=region,
-        first_hit=first_hit,
-        commit=commit,
-        delay=delay,
+        slop=slop,
+        window=window,
+        refit_every=refit_every,
         num_updates=num_updates,
-        seconds=float(seconds),
-        points_per_second=float(streamed / seconds) if seconds > 0 else 0.0,
+        seconds=seconds,
     )
 
 

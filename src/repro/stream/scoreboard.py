@@ -17,14 +17,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..scoring.nab import PROFILES, NabProfile, _scaled_sigmoid, nab_windows
 from ..stats import OutcomeMatrix, build_leaderboard
 from ..stats.resampling import DEFAULT_RESAMPLES
+from ..types import Labels
 from .replay import ReplayTrace
 
 __all__ = [
     "trace_cells",
     "streaming_matrix",
     "streaming_leaderboard",
+    "nab_windowed_score",
     "delay_summary",
     "format_streaming",
 ]
@@ -77,12 +80,66 @@ def streaming_leaderboard(
     )
 
 
+def nab_windowed_score(
+    trace: ReplayTrace,
+    *,
+    window_fraction: float = 0.10,
+    profile: "str | NabProfile" = "standard",
+) -> float | None:
+    """NAB-style windowed, delay-tolerant score of one trace, 0..100.
+
+    The binary ``delay_correct`` cell is a cliff: one point past the
+    ``max_delay`` budget and the cell flips to wrong.  NAB's windowed
+    scoring (§2.3 of the paper; :mod:`repro.scoring.nab`) is the
+    smooth, delay-tolerant alternative — an anomaly window is placed
+    around the labeled region (``window_fraction`` of the series, never
+    narrower than the region itself) and a detection earns a sigmoid
+    reward that decays the later it lands inside the window.
+
+    Here the "detection" is the trace's *stable commit* — the arrival
+    from which the running argmax stayed inside the region (the same
+    event ``delay`` measures), so the score rewards committing early
+    without introducing a threshold parameter:
+
+    * commit at (or before) the window start → 100;
+    * commit mid-window → the sigmoid's smoothly decaying reward;
+    * commit past the window end → the reward keeps falling toward the
+      miss floor;
+    * never committed (or final location wrong) → 0, exactly the
+      missed-window (false-negative) outcome in NAB's cost model.
+
+    Returns ``None`` for traces with no labeled region (nothing to
+    score against).  Raw rewards are normalized between NAB's null
+    detector (miss, score 0) and a window-start commit (score 100),
+    per profile weights.
+    """
+    if trace.region is None:
+        return None
+    prof = PROFILES[profile] if isinstance(profile, str) else profile
+    labels = Labels.single(trace.n, trace.region[0], trace.region[1])
+    window = nab_windows(labels, window_fraction)[0]
+    null = -prof.a_fn
+    perfect = prof.a_tp * _scaled_sigmoid(-1.0)
+    if trace.correct and trace.commit is not None:
+        # relative position in the window: -1 at the start, 0 at the
+        # end, > 0 past it (the reward keeps decaying — a very late
+        # stable commit is worth little, but not less than a miss)
+        relative = (trace.commit - (window.end - 1)) / max(window.length, 1)
+        raw = max(prof.a_tp * _scaled_sigmoid(max(relative, -1.0)), null)
+    else:
+        raw = null
+    return float(100.0 * (raw - null) / (perfect - null))
+
+
 def delay_summary(traces: "list[ReplayTrace]") -> dict[str, dict]:
     """Per-detector latency digest, in first-appearance order.
 
     ``delays`` are only drawn from correct cells (latency of a wrong
     answer is meaningless); ``median_delay``/``max_delay_seen`` are
-    ``None`` when nothing was correct.
+    ``None`` when nothing was correct.  ``nab_windowed`` is the mean
+    NAB-style windowed score (:func:`nab_windowed_score`) over the
+    labeled cells — the smooth, delay-tolerant companion to the binary
+    delay-budget accuracy — ``None`` when no cell had a label.
     """
     order: list[str] = []
     grouped: dict[str, list[ReplayTrace]] = {}
@@ -99,6 +156,11 @@ def delay_summary(traces: "list[ReplayTrace]") -> dict[str, dict]:
             for trace in cells
             if trace.correct and trace.delay is not None
         ]
+        windowed = [
+            score
+            for score in (nab_windowed_score(trace) for trace in cells)
+            if score is not None
+        ]
         summary[label] = {
             "series": len(cells),
             "correct": sum(trace.correct for trace in cells),
@@ -108,6 +170,7 @@ def delay_summary(traces: "list[ReplayTrace]") -> dict[str, dict]:
             ),
             "median_delay": float(np.median(delays)) if delays else None,
             "max_delay_seen": max(delays) if delays else None,
+            "nab_windowed": float(np.mean(windowed)) if windowed else None,
         }
     return summary
 
@@ -127,16 +190,21 @@ def format_streaming(
         f"max delay {budget}",
         "",
         f"  {'detector':<36} {'delay-acc':>9} {'correct':>8} "
-        f"{'med delay':>10}",
+        f"{'med delay':>10} {'nab-win':>8}",
     ]
     ranked = sorted(
         summary.items(), key=lambda kv: (-kv[1]["accuracy"], kv[0])
     )
     for label, row in ranked:
         med = "-" if row["median_delay"] is None else f"{row['median_delay']:.0f}"
+        nab = (
+            "-"
+            if row["nab_windowed"] is None
+            else f"{row['nab_windowed']:.1f}"
+        )
         lines.append(
             f"  {label:<36} {row['accuracy']:>8.1%} "
-            f"{row['correct']:>4}/{row['series']:<3} {med:>10}"
+            f"{row['correct']:>4}/{row['series']:<3} {med:>10} {nab:>8}"
         )
     if leaderboard is not None:
         lines += ["", leaderboard.format()]

@@ -81,6 +81,7 @@ class TestRunBench:
             "engine",
             "scaling",
             "streaming",
+            "serve",
         }
 
     def test_output_name_derives_from_trajectory(self):
@@ -147,6 +148,23 @@ class TestRunBench:
         text = format_bench(report)
         assert "streaming" in text
         assert "replay" in text
+
+    def test_serve_section_schema_and_checks(self):
+        report = run_bench(quick=True, repeats=1, sections=("serve",))
+        section = report["sections"]["serve"]
+        assert section["streams"] == 100
+        assert section["points_per_second"] > 0
+        # the mid-drive snapshot/restore drill ran and held parity
+        assert section["snapshot_parity"] is True
+        assert section["append_p99_ms"] is not None
+        checks = report["checks"]
+        assert checks["serve_streams"] == 100
+        assert checks["serve_points_per_second"] > 0
+        assert checks["serve_snapshot_parity"] is True
+        assert checks["serve_rejections"] >= 0
+        text = format_bench(report)
+        assert "serve" in text
+        assert "parity" in text
 
 
 class TestOutput:

@@ -1,0 +1,108 @@
+"""Load generator: interleaved drive, parity drill, trace equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    LoadConfig,
+    default_archive,
+    format_load,
+    run_load,
+)
+from repro.stream import replay
+
+
+def small_config(**overrides):
+    base = dict(
+        streams=6,
+        tenants=3,
+        shards=2,
+        queue_size=4096,
+        batch_size=200,
+        seed=11,
+        unique_series=2,
+        snapshot_checks=2,
+    )
+    base.update(overrides)
+    return LoadConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    config = small_config()
+    return config, run_load(config)
+
+
+class TestRunLoad:
+    def test_result_shape(self, small_run):
+        config, result = small_run
+        assert result.points_streamed > 0
+        assert result.points_per_second > 0
+        assert len(result.traces) == config.streams
+        assert result.append_p99_ms is not None
+        assert result.rejections >= 0
+
+    def test_snapshot_parity_holds_under_interleaving(self, small_run):
+        _, result = small_run
+        assert result.snapshot_parity is True
+
+    def test_traces_match_local_replay(self, small_run):
+        # the service is a transport: every stream's trace must equal
+        # the trace a local replay of the same (series, detector,
+        # batch size) produces — same scores, same verdict, same delay
+        config, result = small_run
+        archive = default_archive(config)
+        for index, trace in enumerate(result.traces):
+            series = archive.series[index % len(archive.series)]
+            expected = replay(
+                series,
+                config.detectors[index % len(config.detectors)],
+                batch_size=config.batch_size,
+                max_delay=config.max_delay,
+                slop=config.slop,
+            )
+            np.testing.assert_array_equal(trace.scores, expected.scores)
+            assert trace.location == expected.location
+            assert trace.correct == expected.correct
+            assert trace.delay == expected.delay
+            assert trace.score_fingerprint == expected.score_fingerprint
+
+    def test_to_json_fields(self, small_run):
+        config, result = small_run
+        payload = result.to_json()
+        assert payload["streams"] == config.streams
+        assert payload["snapshot_parity"] is True
+        assert payload["points_per_second"] > 0
+        assert 0.0 <= payload["accuracy"] <= 1.0
+        assert set(payload["by_detector"]) == set(config.detectors)
+
+    def test_format_load_mentions_everything(self, small_run):
+        config, result = small_run
+        text = format_load(result)
+        assert "serve bench" in text
+        assert "snapshot/restore parity: ok" in text
+        for detector in config.detectors:
+            assert detector in text
+
+    def test_zero_snapshot_checks_reports_none(self):
+        result = run_load(
+            small_config(streams=2, unique_series=1, snapshot_checks=0)
+        )
+        assert result.snapshot_parity is None
+        assert "parity: n/a" in format_load(result)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="streams"):
+            LoadConfig(streams=0)
+        with pytest.raises(ValueError, match="tenants"):
+            LoadConfig(tenants=0)
+        with pytest.raises(ValueError, match="detector"):
+            LoadConfig(detectors=())
+        with pytest.raises(ValueError, match="snapshot_checks"):
+            LoadConfig(snapshot_checks=-1)
+
+    def test_default_archive_is_bounded_by_unique_series(self):
+        config = small_config(streams=10, unique_series=3, snapshot_checks=0)
+        assert len(default_archive(config).series) == 3

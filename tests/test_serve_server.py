@@ -1,0 +1,149 @@
+"""HTTP front: routes, status mapping, client retry, restore portability."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    Backpressure,
+    ServeClient,
+    ServeError,
+    ServeServer,
+    StreamCluster,
+)
+
+
+@pytest.fixture()
+def served():
+    with ServeServer(StreamCluster(num_shards=2)) as server:
+        yield ServeClient(server.address), server
+
+
+def wave(n=700, seed=0, at=520, width=8):
+    rng = np.random.default_rng(seed)
+    values = np.sin(2 * np.pi * np.arange(n) / 80) + 0.05 * rng.standard_normal(n)
+    values[at : at + width] += 8.0
+    return values
+
+
+class TestRoutes:
+    def test_health(self, served):
+        client, _ = served
+        assert client.health() == {"ok": True}
+
+    def test_create_append_scores_stats(self, served):
+        client, _ = served
+        created = client.create_stream("acme", "s1", "diff", np.arange(40.0))
+        assert created["train_len"] == 40
+        client.append("acme", "s1", np.arange(25.0))
+        out = client.scores("acme", "s1")
+        assert out["total"] == 25 and len(out["scores"]) == 25
+        paged = client.scores("acme", "s1", start=20)
+        assert paged["start"] == 20 and len(paged["scores"]) == 5
+        stats = client.stream_stats("acme", "s1")
+        assert stats["points_seen"] == 65
+        assert stats["detector"] == "diff"
+
+    def test_unknown_stream_is_404(self, served):
+        client, _ = served
+        with pytest.raises(ServeError) as caught:
+            client.scores("acme", "ghost")
+        assert caught.value.status == 404
+
+    def test_unknown_route_is_404(self, served):
+        client, _ = served
+        with pytest.raises(ServeError) as caught:
+            client.request("GET", "/v2/nothing")
+        assert caught.value.status == 404
+
+    def test_bad_payloads_are_400(self, served):
+        client, _ = served
+        client.create_stream("acme", "s1", "diff", np.arange(20.0))
+        with pytest.raises(ServeError) as caught:
+            client.request(
+                "POST", "/v1/streams/acme/s1/append", {"values": []}
+            )
+        assert caught.value.status == 400
+        with pytest.raises(ServeError) as caught:
+            client.request("POST", "/v1/streams", {"tenant": "only"})
+        assert caught.value.status == 400
+        with pytest.raises(ServeError) as caught:
+            client.create_stream("acme", "s2", "warp-drive", [])
+        assert caught.value.status == 400
+
+    def test_metrics_endpoint_shape(self, served):
+        client, _ = served
+        client.create_stream("acme", "s1", "diff", np.arange(30.0))
+        client.append("acme", "s1", np.arange(15.0))
+        client.scores("acme", "s1")
+        payload = client.metrics()
+        assert payload["totals"]["points_ingested"] == 15
+        assert payload["totals"]["scores_emitted"] == 15
+        assert {row["tenant"] for row in payload["tenants"]} == {"acme"}
+        assert set(payload["queue_depths"]) == {"shard-0", "shard-1"}
+
+
+class TestBackpressureMapping:
+    def test_client_retries_through_429(self, served):
+        client, server = served
+        client.create_stream("acme", "s1", "diff", np.arange(20.0))
+        calls = {"n": 0}
+        original = server.cluster.append
+
+        def flaky(tenant, stream, values):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise Backpressure("shard-0", 0.01)
+            return original(tenant, stream, values)
+
+        server.cluster.append = flaky
+        result = client.append("acme", "s1", [1.0, 2.0])
+        assert result["queued"] == 2
+        assert calls["n"] == 3  # two 429s absorbed by the retry loop
+
+    def test_429_carries_retry_after_hint(self, served):
+        _, server = served
+
+        def full(tenant, stream, values):
+            raise Backpressure("shard-0", 0.25)
+
+        server.cluster.append = full
+        impatient = ServeClient(server.address, max_retries=1)
+        with pytest.raises(Backpressure) as caught:
+            impatient.append("acme", "s1", [1.0])
+        assert caught.value.retry_after == pytest.approx(0.25, abs=0.01)
+
+
+class TestRestoreOverHttp:
+    def test_snapshot_restores_into_another_server(self):
+        # the snapshot payload is a portable JSON object: capture over
+        # HTTP on one server, POST it to a different server, and the
+        # continuation scores must match the uninterrupted stream's
+        values = wave(seed=5)
+        with ServeServer(StreamCluster(num_shards=2)) as origin:
+            a = ServeClient(origin.address)
+            a.create_stream("acme", "s1", "moving_zscore(k=30)", values[:250])
+            for start in range(250, 460, 30):
+                a.append("acme", "s1", values[start : start + 30])
+            snap = a.snapshot("acme", "s1")
+            cut = snap["scores_total"]
+            for start in range(460, 700, 30):
+                a.append("acme", "s1", values[start : start + 30])
+            original = a.scores("acme", "s1", start=cut)["scores"]
+
+            with ServeServer(StreamCluster(num_shards=1)) as target:
+                b = ServeClient(target.address)
+                restored = b.restore(snap)
+                assert restored["points_seen"] == snap["points_seen"]
+                for start in range(460, 700, 30):
+                    b.append("acme", "s1", values[start : start + 30])
+                replayed = b.scores("acme", "s1", start=cut)["scores"]
+                assert b.metrics()["totals"]["restores"] == 1
+        assert replayed == original
+
+    def test_restore_into_occupied_name_is_400(self, served):
+        client, _ = served
+        client.create_stream("acme", "s1", "diff", np.arange(30.0))
+        snap = client.snapshot("acme", "s1")
+        with pytest.raises(ServeError) as caught:
+            client.restore(snap)
+        assert caught.value.status == 400

@@ -1,0 +1,242 @@
+"""Sharded workers: routing, ordering, backpressure, snapshot barriers."""
+
+import numpy as np
+import pytest
+
+from repro.serve import Backpressure, HashRing, StreamCluster
+from repro.stream import replay
+from repro.types import LabeledSeries, Labels
+
+
+def spiked(name="s", n=900, seed=0, at=700, width=6, train=250):
+    rng = np.random.default_rng(seed)
+    values = np.sin(2 * np.pi * np.arange(n) / 90) + 0.05 * rng.standard_normal(n)
+    values[at : at + width] += 9.0
+    return LabeledSeries(
+        name, values, Labels.single(n, at, at + width), train_len=train
+    )
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_and_total(self):
+        ring = HashRing(["a", "b", "c"])
+        routes = {f"tenant-{i}": ring.route(f"tenant-{i}") for i in range(200)}
+        again = HashRing(["a", "b", "c"])
+        assert all(again.route(t) == s for t, s in routes.items())
+        assert set(routes.values()) <= {"a", "b", "c"}
+
+    def test_every_shard_owns_tenants(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        owners = {ring.route(f"t{i}") for i in range(500)}
+        assert owners == {"a", "b", "c", "d"}
+
+    def test_adding_a_shard_moves_a_minority(self):
+        before = HashRing(["a", "b", "c"])
+        after = HashRing(["a", "b", "c", "d"])
+        tenants = [f"t{i}" for i in range(1000)]
+        moved = sum(before.route(t) != after.route(t) for t in tenants)
+        # consistent hashing: ~1/4 move; mod-hashing would move ~3/4
+        assert 0 < moved < 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["a"], replicas=0)
+
+
+class TestClusterLifecycle:
+    def test_create_append_read(self):
+        series = spiked()
+        with StreamCluster(num_shards=2) as cluster:
+            created = cluster.create_stream(
+                "acme", "s1", "diff", series.train
+            )
+            assert created["train_len"] == 250
+            for start in range(250, 900, 130):
+                cluster.append(
+                    "acme", "s1", series.values[start : start + 130]
+                )
+            out = cluster.scores("acme", "s1")
+            assert out["total"] == 650
+            assert len(out["scores"]) == 650
+            paged = cluster.scores("acme", "s1", start=600)
+            assert paged["start"] == 600 and len(paged["scores"]) == 50
+
+    def test_served_scores_match_local_replay(self):
+        # the service is a transport, not a different algorithm: the
+        # scores a stream emits through the cluster must equal a local
+        # left-to-right replay of the same detector
+        series = spiked(seed=3)
+        trace = replay(series, "moving_zscore(k=25)", batch_size=64)
+        with StreamCluster(num_shards=2) as cluster:
+            cluster.create_stream(
+                "acme", "s1", "moving_zscore(k=25)", series.train
+            )
+            for start in range(250, 900, 64):
+                cluster.append(
+                    "acme", "s1", series.values[start : start + 64]
+                )
+            served = cluster.scores("acme", "s1")["scores"]
+        expected = trace.scores[250:]
+        np.testing.assert_array_equal(
+            np.where(np.isfinite(served), served, -np.inf), expected
+        )
+
+    def test_native_streaming_spec(self):
+        with StreamCluster(num_shards=1) as cluster:
+            cluster.create_stream(
+                "acme", "s1", "streaming_zscore(k=12)", np.arange(30.0)
+            )
+            cluster.append("acme", "s1", np.arange(30.0, 40.0))
+            assert cluster.scores("acme", "s1")["total"] == 10
+
+    def test_duplicate_create_rejected(self):
+        with StreamCluster(num_shards=1) as cluster:
+            cluster.create_stream("acme", "s1", "diff", np.arange(20.0))
+            with pytest.raises(ValueError, match="already exists"):
+                cluster.create_stream("acme", "s1", "diff", np.arange(20.0))
+
+    def test_unknown_stream_is_keyerror(self):
+        with StreamCluster(num_shards=1) as cluster:
+            with pytest.raises(KeyError, match="ghost"):
+                cluster.scores("acme", "ghost")
+
+    def test_bad_names_rejected(self):
+        with StreamCluster(num_shards=1) as cluster:
+            with pytest.raises(ValueError, match="tenant"):
+                cluster.create_stream("a/b", "s", "diff", [])
+            with pytest.raises(ValueError, match="non-empty"):
+                cluster.append("acme", "", [1.0])
+
+    def test_empty_append_rejected(self):
+        with StreamCluster(num_shards=1) as cluster:
+            cluster.create_stream("acme", "s1", "diff", np.arange(20.0))
+            with pytest.raises(ValueError, match="at least one"):
+                cluster.append("acme", "s1", [])
+
+    def test_tenant_streams_share_a_shard(self):
+        with StreamCluster(num_shards=4) as cluster:
+            shards = {
+                cluster.create_stream(
+                    "acme", f"s{i}", "diff", np.arange(20.0)
+                )["shard"]
+                for i in range(8)
+            }
+            assert len(shards) == 1  # consistent routing by tenant
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_retry_after(self):
+        with StreamCluster(num_shards=1, queue_size=1) as cluster:
+            cluster.create_stream("acme", "s1", "diff", np.arange(40.0))
+            rejected = 0
+            for _ in range(200):
+                try:
+                    cluster.append("acme", "s1", np.arange(64.0))
+                except Backpressure as pressure:
+                    assert pressure.retry_after > 0
+                    rejected += 1
+            assert rejected > 0
+            # the rejection is visible in the metrics, never silent
+            totals = cluster.metrics_json()["totals"]
+            assert totals["rejected"] == rejected
+            ingested_eventually = cluster.scores("acme", "s1")["total"]
+            assert ingested_eventually == (200 - rejected) * 64
+
+    def test_rejected_appends_are_not_applied(self):
+        with StreamCluster(num_shards=1, queue_size=1) as cluster:
+            cluster.create_stream("acme", "s1", "diff", np.arange(40.0))
+            accepted = 0
+            for index in range(100):
+                try:
+                    cluster.append("acme", "s1", [float(index)])
+                    accepted += 1
+                except Backpressure:
+                    pass
+            assert cluster.scores("acme", "s1")["total"] == accepted
+
+
+class TestSnapshotBarrier:
+    def test_snapshot_sees_all_prior_appends(self):
+        # snapshot is a control op: every append submitted before it
+        # must be folded into the captured state
+        with StreamCluster(num_shards=1, queue_size=512) as cluster:
+            cluster.create_stream("acme", "s1", "diff", np.arange(40.0))
+            for start in range(0, 300, 10):
+                cluster.append(
+                    "acme", "s1", np.arange(float(start), float(start + 10))
+                )
+            snap = cluster.snapshot_stream("acme", "s1")
+            assert snap["points_seen"] == 40 + 300
+            assert snap["scores_total"] == 300
+
+    def test_restore_continues_byte_identically(self):
+        series = spiked(seed=9)
+        with StreamCluster(num_shards=2) as cluster:
+            cluster.create_stream(
+                "acme", "s1", "moving_zscore(k=30)", series.train
+            )
+            for start in range(250, 560, 31):
+                cluster.append(
+                    "acme", "s1", series.values[start : start + 31]
+                )
+            snap = cluster.snapshot_stream("acme", "s1")
+            cut = snap["scores_total"]
+            for start in range(560, 900, 31):
+                cluster.append(
+                    "acme", "s1", series.values[start : start + 31]
+                )
+            original = cluster.scores("acme", "s1", start=cut)["scores"]
+
+            with StreamCluster(num_shards=3) as other:
+                other.restore_stream(snap)
+                for start in range(560, 900, 31):
+                    other.append(
+                        "acme", "s1", series.values[start : start + 31]
+                    )
+                restored = other.scores("acme", "s1", start=cut)["scores"]
+                assert other.metrics_json()["totals"]["restores"] == 1
+        assert restored == original
+
+    def test_restore_into_existing_stream_rejected(self):
+        with StreamCluster(num_shards=1) as cluster:
+            cluster.create_stream("acme", "s1", "diff", np.arange(30.0))
+            snap = cluster.snapshot_stream("acme", "s1")
+            with pytest.raises(ValueError, match="already exists"):
+                cluster.restore_stream(snap)
+
+    def test_stream_stats(self):
+        with StreamCluster(num_shards=1) as cluster:
+            cluster.create_stream("acme", "s1", "diff", np.arange(30.0))
+            cluster.append("acme", "s1", np.arange(12.0))
+            stats = cluster.stream_stats("acme", "s1")
+            assert stats["points_seen"] == 42
+            assert stats["scores_total"] == 12
+            assert stats["detector"] == "diff"
+
+
+class TestMetrics:
+    def test_counters_and_latency_digest(self):
+        with StreamCluster(num_shards=2) as cluster:
+            cluster.create_stream("a", "s", "diff", np.arange(30.0))
+            cluster.create_stream("b", "s", "diff", np.arange(30.0))
+            cluster.append("a", "s", np.arange(40.0))
+            cluster.append("b", "s", np.arange(10.0))
+            cluster.scores("a", "s")
+            cluster.scores("b", "s")
+            payload = cluster.metrics_json()
+        assert [row["tenant"] for row in payload["tenants"]] == ["a", "b"]
+        totals = payload["totals"]
+        assert totals["points_ingested"] == 50
+        assert totals["scores_emitted"] == 50
+        by_tenant = {row["tenant"]: row for row in payload["tenants"]}
+        assert by_tenant["a"]["points_ingested"] == 40
+        assert by_tenant["a"]["append_p99_ms"] is not None
+        assert set(payload["queue_depths"]) == {"shard-0", "shard-1"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            StreamCluster(num_shards=0)

@@ -36,6 +36,10 @@ class ScriptedDetector(StreamingDetector):
         self._scores = np.asarray(scores, dtype=float)
         self._cursor = 0
 
+    def reset(self):
+        self._cursor = 0
+        return self
+
     def update(self, values):
         count = np.atleast_1d(values).size
         out = self._scores[self._cursor : self._cursor + count]

@@ -1,0 +1,126 @@
+"""NAB-windowed delay-tolerant scoring and the reset() protocol."""
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    StreamingMatrixProfileDetector,
+    StreamingRangeDetector,
+    StreamingZScoreDetector,
+    as_streaming,
+    delay_summary,
+    nab_windowed_score,
+    replay,
+    trace_from_scores,
+)
+from repro.types import LabeledSeries, Labels
+
+from test_stream_replay import ScriptedDetector, spiked_labeled
+
+
+def commit_trace(commit_at, n=400, at=200, width=10, slop=50):
+    """A trace whose stable commit lands exactly at ``commit_at``."""
+    scores = np.zeros(n)
+    if commit_at is not None:
+        scores[commit_at] = 9.0
+    series = LabeledSeries(
+        "s", np.zeros(n), Labels.single(n, at, at + width), train_len=0
+    )
+    return replay(series, ScriptedDetector(scores), batch_size=1, slop=slop)
+
+
+class TestNabWindowedScore:
+    # geometry: n=400, region [200, 210) → NAB window width 40,
+    # centered: [185, 225); relative position hits -1 at commit 184
+
+    def test_commit_at_window_start_scores_100(self):
+        assert nab_windowed_score(commit_trace(184)) == pytest.approx(100.0)
+
+    def test_silent_detector_scores_zero(self):
+        assert nab_windowed_score(commit_trace(None)) == 0.0
+
+    def test_wrong_final_location_scores_zero(self):
+        # commit far outside region + slop → correct False → miss floor
+        assert nab_windowed_score(commit_trace(380)) == 0.0
+
+    def test_reward_decays_with_commit_lateness(self):
+        scores = [
+            nab_windowed_score(commit_trace(c)) for c in (184, 205, 224, 250)
+        ]
+        assert scores[0] == pytest.approx(100.0)
+        assert all(a > b for a, b in zip(scores, scores[1:]))
+        # a late-but-correct commit still beats a miss — the smooth
+        # alternative to the binary max_delay cliff
+        assert scores[-1] > 0.0
+
+    def test_unlabeled_trace_is_none(self):
+        series = LabeledSeries("u", np.zeros(300), Labels.empty(300))
+        trace = replay(series, "diff", batch_size=50)
+        assert nab_windowed_score(trace) is None
+
+    def test_delay_summary_carries_the_mean(self):
+        traces = [commit_trace(184), commit_trace(250)]
+        row = delay_summary(traces)["ScriptedDetector"]
+        expected = np.mean([nab_windowed_score(t) for t in traces])
+        assert row["nab_windowed"] == pytest.approx(float(expected))
+
+
+def detector_factories():
+    return [
+        lambda: StreamingMatrixProfileDetector(w=16, max_history=100),
+        lambda: StreamingZScoreDetector(k=20),
+        lambda: StreamingRangeDetector(k=12),
+        lambda: as_streaming("moving_zscore(k=25)"),
+        lambda: as_streaming("diff", window=60, refit_every=50),
+    ]
+
+
+class TestResetProtocol:
+    @pytest.mark.parametrize(
+        "make", detector_factories(), ids=lambda f: f().name
+    )
+    def test_reset_matches_fresh_instance(self, make):
+        values = spiked_labeled(n=500, at=380, train=150).values
+        dirty = make()
+        dirty.fit(values[:150])
+        dirty.update(values[150:300])
+        dirty.reset()
+        dirty.fit(values[:150])
+        a = np.asarray(dirty.update(values[150:]), dtype=float)
+        fresh = make()
+        fresh.fit(values[:150])
+        b = np.asarray(fresh.update(values[150:]), dtype=float)
+        assert a.tobytes() == b.tobytes()
+
+    def test_instance_reuse_across_series_leaks_nothing(self):
+        # the replay engine resets between series, so driving two
+        # series through ONE instance must equal two fresh instances
+        first = spiked_labeled("a", seed=1, at=800)
+        second = spiked_labeled("b", seed=2, at=1000)
+        shared = as_streaming("moving_zscore(k=25)")
+        replay(first, shared, batch_size=100)
+        reused = replay(second, shared, batch_size=100)
+        pristine = replay(
+            second, as_streaming("moving_zscore(k=25)"), batch_size=100
+        )
+        assert reused.score_fingerprint == pristine.score_fingerprint
+
+
+class TestTraceFromScores:
+    def test_equivalent_to_replay(self):
+        series = spiked_labeled("a", seed=4)
+        driven = replay(series, "diff", batch_size=64, max_delay=200)
+        rebuilt = trace_from_scores(
+            series,
+            driven.scores,
+            detector_label="diff",
+            batch_size=64,
+            max_delay=200,
+        )
+        assert rebuilt.location == driven.location
+        assert rebuilt.correct == driven.correct
+        assert rebuilt.first_hit == driven.first_hit
+        assert rebuilt.commit == driven.commit
+        assert rebuilt.delay == driven.delay
+        assert rebuilt.delay_correct == driven.delay_correct
+        assert rebuilt.score_fingerprint == driven.score_fingerprint
