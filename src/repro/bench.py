@@ -13,9 +13,15 @@ the peak working set measured via ``tracemalloc`` — and the
 (:mod:`repro.serve`) with N interleaved UCR-sim streams and records
 sustained points/sec, p50/p99 arrival-to-score latency, backpressure
 rejections and the mid-drive snapshot/restore parity verdict.
+The ``obs`` section prices the :mod:`repro.obs` instrumentation
+itself: the kernel hot loop bare (no telemetry calls at all) vs
+through :func:`matrix_profile` with the shipped disabled tracer vs
+under an enabled tracing session, plus span and counter
+microbenchmarks — the disabled-path overhead is the number the
+"observability is free until you ask" claim rests on.
 Results are written as machine-readable JSON; the output name derives
 from the trajectory counter (``benchmarks/perf/BENCH_<n>.json``,
-currently ``BENCH_6``) so every recorded point keeps its place in the
+currently ``BENCH_7``) so every recorded point keeps its place in the
 series.
 
 Methodology
@@ -60,7 +66,7 @@ __all__ = [
 # the perf-trajectory counter: bump it when a PR records a new point.
 # Output names and report labels derive from it, so README/CLI help
 # never drift from the actual file written.
-TRAJECTORY = 6
+TRAJECTORY = 7
 BENCH_LABEL = f"BENCH_{TRAJECTORY}"
 DEFAULT_OUT = os.path.join("benchmarks", "perf", f"{BENCH_LABEL}.json")
 SECTIONS = (
@@ -72,6 +78,7 @@ SECTIONS = (
     "scaling",
     "streaming",
     "serve",
+    "obs",
 )
 
 _FULL_SIZES = (2_000, 5_000, 10_000, 20_000)
@@ -696,6 +703,120 @@ def _bench_serve(quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# obs: what the instrumentation itself costs
+
+
+def _bench_obs(quick: bool, repeats: int, w: int) -> dict:
+    """Price the telemetry layer on the kernel hot path.
+
+    Three timings of the same profile: the sweep+finalize pipeline with
+    no telemetry calls at all (``bare``), through
+    :func:`matrix_profile` with the shipped *disabled* tracer
+    (``disabled`` — the default every untraced run pays), and inside an
+    enabled tracing session (``enabled`` — what ``--trace`` costs).
+    The disabled-vs-bare gap is the advisory
+    ``obs_disabled_overhead_pct`` check: instrumentation must stay
+    within a few percent when nobody asked for it.  Span and counter
+    microbenchmarks give the per-operation prices behind those totals.
+    """
+    from .detectors import matrix_profile
+    from .detectors.matrix_profile import (
+        _diagonal_sweep,
+        _finalize,
+        _resolve_chunk,
+        _validated,
+    )
+    from .detectors.sliding import SlidingStats
+    from .obs import MetricsRegistry, Tracer, tracing_session
+
+    n = 8_192 if quick else 20_000
+    values = _walk(n)
+    stats = SlidingStats(values)
+    # overhead is a small difference of two medians; extra repeats keep
+    # scheduler noise from swamping the few registry/tracer calls
+    reps = max(repeats, 5)
+
+    def bare():
+        s, exclusion = _validated(values, w, None, stats)
+        mean, inv, constant = s.kernel_stats(w)
+        chunk = _resolve_chunk(
+            s.n - w + 1, exclusion, None, None, need_indices=False
+        )
+        best, bestj, _ = _diagonal_sweep(
+            s.shifted, w, exclusion, mean, inv,
+            need_indices=False, chunk=chunk,
+        )
+        return _finalize(best, bestj, w, exclusion, constant)
+
+    def disabled():
+        return matrix_profile(values, w, stats=stats, with_indices=False)
+
+    def enabled():
+        with tracing_session():
+            return matrix_profile(values, w, stats=stats, with_indices=False)
+
+    # warm every variant once first: the first sweep of the session pays
+    # allocator/cache warmup that would otherwise be billed to whichever
+    # variant happens to run first
+    if not np.array_equal(bare()[0], disabled().profile):
+        raise AssertionError("instrumented kernel changed the profile")
+    enabled()
+    # interleave the variants round-robin rather than timing each in a
+    # contiguous block: on a busy (or thermally drifting) host a block
+    # layout bills any monotonic slowdown to whichever variant ran
+    # first, which dwarfs the few-percent signal being measured
+    runs: dict[str, list[float]] = {"bare": [], "disabled": [], "enabled": []}
+    for _ in range(reps):
+        for label, fn in (("bare", bare), ("disabled", disabled),
+                          ("enabled", enabled)):
+            start = time.perf_counter()
+            fn()
+            runs[label].append(time.perf_counter() - start)
+    bare_seconds = float(median(runs["bare"]))
+    disabled_seconds = float(median(runs["disabled"]))
+    enabled_seconds = float(median(runs["enabled"]))
+
+    iters = 20_000 if quick else 100_000
+    off = Tracer(enabled=False)
+
+    def spans_disabled():
+        for _ in range(iters):
+            with off.span("bench.noop"):
+                pass
+
+    def spans_enabled():
+        tracer = Tracer(enabled=True)
+        for _ in range(iters):
+            with tracer.span("bench.noop"):
+                pass
+
+    counter = MetricsRegistry().counter("bench_counter")
+
+    def counter_incs():
+        for _ in range(iters):
+            counter.inc()
+
+    span_disabled = _timed(spans_disabled, repeats)
+    span_enabled = _timed(spans_enabled, repeats)
+    counter_inc = _timed(counter_incs, repeats)
+    return {
+        "n": n,
+        "w": w,
+        "kernel_bare_seconds": bare_seconds,
+        "kernel_disabled_seconds": disabled_seconds,
+        "kernel_enabled_seconds": enabled_seconds,
+        "disabled_overhead_pct": 100.0
+        * (_ratio(disabled_seconds, bare_seconds) - 1.0),
+        "enabled_overhead_pct": 100.0
+        * (_ratio(enabled_seconds, bare_seconds) - 1.0),
+        "span_iters": iters,
+        "span_disabled_ns": 1e9 * span_disabled / iters,
+        "span_enabled_ns": 1e9 * span_enabled / iters,
+        "counter_inc_ns": 1e9 * counter_inc / iters,
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 
 
@@ -802,6 +923,17 @@ def run_bench(
         report["checks"]["serve_p99_ms"] = serve["append_p99_ms"]
         report["checks"]["serve_snapshot_parity"] = serve["snapshot_parity"]
         report["checks"]["serve_rejections"] = serve["rejections"]
+    if "obs" in chosen:
+        obs = _bench_obs(quick, repeats, w)
+        report["sections"]["obs"] = obs
+        # advisory: disabled instrumentation must stay within a few
+        # percent of the bare kernel (negative = within timing noise)
+        report["checks"]["obs_disabled_overhead_pct"] = obs[
+            "disabled_overhead_pct"
+        ]
+        report["checks"]["obs_disabled_overhead_ok"] = bool(
+            obs["disabled_overhead_pct"] < 5.0
+        )
     return report
 
 
@@ -953,5 +1085,21 @@ def format_bench(report: dict) -> str:
         lines.append(
             f"  delay-acc {serve['accuracy']:.1%}, nab-windowed {nab} over "
             f"{serve['points_streamed']} streamed points"
+        )
+    obs = report["sections"].get("obs")
+    if obs:
+        lines.append("")
+        lines.append(
+            f"obs (kernel n={obs['n']}, w={obs['w']}): bare "
+            f"{obs['kernel_bare_seconds']:.3f}s, disabled tracer "
+            f"{obs['kernel_disabled_seconds']:.3f}s "
+            f"({obs['disabled_overhead_pct']:+.1f}%), enabled "
+            f"{obs['kernel_enabled_seconds']:.3f}s "
+            f"({obs['enabled_overhead_pct']:+.1f}%)"
+        )
+        lines.append(
+            f"  span disabled {obs['span_disabled_ns']:.0f}ns, enabled "
+            f"{obs['span_enabled_ns']:.0f}ns, counter inc "
+            f"{obs['counter_inc_ns']:.0f}ns"
         )
     return "\n".join(lines)

@@ -32,6 +32,9 @@ Commands mirror the paper's workflow:
   detection scoreboard.
 * ``detectors`` — list the registry (names + constructor parameters).
 * ``cache <dir>`` — inspect or clear a content-addressed result cache.
+* ``obs <dump|rollup> TRACE.jsonl`` — inspect a trace file written by
+  ``--trace``: the span tree, or the per-span-name profile rollup
+  (calls, total/self/mean time, counters).
 * ``bench`` — time the numeric core (mpx kernel vs the retained naive
   and STOMP references, MERLIN before/after, kNN, one-liners, engine
   grid, bounded-memory scaling, streaming appends/replay) and write a
@@ -46,6 +49,13 @@ block buffers to fit, bit-identically).  ``compare`` and ``run
 --stats`` execute through :mod:`repro.stats`; their output is
 byte-identical across repeated invocations and across serial vs
 parallel source runs.
+
+``run``, ``stream`` and ``serve-bench`` accept ``--trace OUT.jsonl``:
+the command executes inside a fresh :mod:`repro.obs` tracing session
+and exports every span (engine cells, kernel chunk sweeps, replay
+batches) plus the session's counters as deterministic JSON Lines —
+two identical invocations differ only in the timing fields.  ``repro
+obs rollup`` folds such a file into a self-time profile.
 """
 
 from __future__ import annotations
@@ -89,6 +99,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         metavar="SIZE",
         help="cap the matrix-profile sweep workspace per process, e.g. "
         "256M or 1G (default: unbounded); results are bit-identical",
+    )
+
+
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.jsonl",
+        help="execute inside a fresh tracing session and write every "
+        "span plus the session's counters to this JSONL file "
+        "(inspect with `repro obs rollup`)",
     )
 
 
@@ -226,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(run)
     _add_stats_options(run)
+    _add_trace_option(run)
 
     compare = sub.add_parser(
         "compare",
@@ -338,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bounded by --window instead (default: unbounded)",
     )
     _add_stats_options(stream)
+    _add_trace_option(stream)
 
     serve = sub.add_parser(
         "serve",
@@ -444,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="stdout format (default: text)",
     )
+    _add_trace_option(serve_bench)
 
     detectors = sub.add_parser(
         "detectors",
@@ -465,6 +489,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear",
         action="store_true",
         help="delete every cached entry after reporting the totals",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect a --trace JSONL file: span tree or per-span-name "
+        "self-time profile",
+    )
+    obs.add_argument(
+        "mode",
+        choices=["dump", "rollup"],
+        help="dump: the indented span tree; rollup: per-span-name "
+        "calls, total/self/mean time, plus the trace's counters",
+    )
+    obs.add_argument("trace", help="trace file a --trace run wrote")
+    obs.add_argument(
+        "--max-spans",
+        type=_positive_int,
+        default=200,
+        help="dump: elide the tree after this many lines (default: 200)",
+    )
+    obs.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
     )
 
     bench = sub.add_parser(
@@ -628,6 +677,26 @@ def _apply_memory_budget(text) -> bool:
     return True
 
 
+def _traced(args, fn) -> int:
+    """Run a command body, exporting a trace when ``--trace`` was given.
+
+    The session is fresh per invocation (own tracer *and* metrics
+    registry), so the exported file covers exactly this command — the
+    determinism contract `repro obs` relies on.
+    """
+    if not getattr(args, "trace", None):
+        return fn()
+    from .obs import tracing_session, write_trace
+
+    with tracing_session() as (tracer, registry):
+        code = fn()
+        spans = write_trace(
+            args.trace, tracer, registry=registry, argv=args.cli_argv
+        )
+    print(f"wrote trace: {args.trace} ({spans} spans)", file=sys.stderr)
+    return code
+
+
 def _build_engine(args, specs, config=None):
     from .runner import EvalEngine, UcrScoring
 
@@ -707,38 +776,44 @@ def _cmd_run(args) -> int:
     specs = _parse_lineup(args.detectors)
     if specs is None:
         return 2
-    config = {
-        "archive_directory": args.directory,
-        "detectors": [spec.label for spec in specs],
-    }
-    engine = _build_engine(args, specs, config)
-    report = engine.run(archive)
-    store = ResultsStore(args.out)
-    paths = store.write(report, args.name)
-    leaderboard = None
-    if args.stats:
-        from .stats import fit_noise_floor
 
-        floor = fit_noise_floor(
-            archive,
-            engine.scoring,
-            resamples=args.resamples,
-            alpha=args.alpha,
-            seed=args.seed,
-        )
-        leaderboard = _build_leaderboard(report, noise_floor=floor, args=args)
-        paths["stats"] = store.write_stats(leaderboard, args.name)
-    if args.format == "json":
-        print(report.manifest().to_json(), end="")
-    else:
-        print(format_report(report))
-        if leaderboard is not None:
-            print()
-            print(leaderboard.format())
-        print(report.stats.format(), file=sys.stderr)
-        for kind, path in paths.items():
-            print(f"wrote {kind}: {path}", file=sys.stderr)
-    return 0
+    def execute() -> int:
+        config = {
+            "archive_directory": args.directory,
+            "detectors": [spec.label for spec in specs],
+        }
+        engine = _build_engine(args, specs, config)
+        report = engine.run(archive)
+        store = ResultsStore(args.out)
+        paths = store.write(report, args.name)
+        leaderboard = None
+        if args.stats:
+            from .stats import fit_noise_floor
+
+            floor = fit_noise_floor(
+                archive,
+                engine.scoring,
+                resamples=args.resamples,
+                alpha=args.alpha,
+                seed=args.seed,
+            )
+            leaderboard = _build_leaderboard(
+                report, noise_floor=floor, args=args
+            )
+            paths["stats"] = store.write_stats(leaderboard, args.name)
+        if args.format == "json":
+            print(report.manifest().to_json(), end="")
+        else:
+            print(format_report(report))
+            if leaderboard is not None:
+                print()
+                print(leaderboard.format())
+            print(report.stats.format(), file=sys.stderr)
+            for kind, path in paths.items():
+                print(f"wrote {kind}: {path}", file=sys.stderr)
+        return 0
+
+    return _traced(args, execute)
 
 
 def _cmd_compare(args) -> int:
@@ -818,49 +893,53 @@ def _cmd_stream(args) -> int:
     specs = _parse_lineup(args.detectors)
     if specs is None:
         return 2
-    try:
-        traces = replay_grid(
-            archive,
-            specs,
-            batch_size=args.batch_size,
-            max_delay=args.max_delay,
-            slop=args.slop,
-            window=args.window,
-            refit_every=args.refit_every,
-        )
-    except ValueError as error:
-        # e.g. a --window too small for a detector's kernel history
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    leaderboard = streaming_leaderboard(
-        traces,
-        archive={"name": archive.name, "num_series": len(archive)},
-        alpha=args.alpha,
-        resamples=args.resamples,
-        seed=args.seed,
-    )
-    if args.out:
-        from .runner import ResultsStore
 
-        store = ResultsStore(args.out)
-        trace_path = store.write_traces(traces, args.name)
-        stats_path = store.write_stats(leaderboard, args.name)
-        print(f"wrote traces: {trace_path}", file=sys.stderr)
-        print(f"wrote stats: {stats_path}", file=sys.stderr)
-    if args.format == "json":
-        payload = {
-            "schema": "repro-stream/1",
-            "archive": {"name": archive.name, "num_series": len(archive)},
-            "batch_size": args.batch_size,
-            "max_delay": args.max_delay,
-            "detectors": delay_summary(traces),
-            "leaderboard": json.loads(leaderboard.to_json()),
-            "traces": [trace.to_json() for trace in traces],
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    else:
-        print(format_streaming(traces, leaderboard))
-    return 0
+    def execute() -> int:
+        try:
+            traces = replay_grid(
+                archive,
+                specs,
+                batch_size=args.batch_size,
+                max_delay=args.max_delay,
+                slop=args.slop,
+                window=args.window,
+                refit_every=args.refit_every,
+            )
+        except ValueError as error:
+            # e.g. a --window too small for a detector's kernel history
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        leaderboard = streaming_leaderboard(
+            traces,
+            archive={"name": archive.name, "num_series": len(archive)},
+            alpha=args.alpha,
+            resamples=args.resamples,
+            seed=args.seed,
+        )
+        if args.out:
+            from .runner import ResultsStore
+
+            store = ResultsStore(args.out)
+            trace_path = store.write_traces(traces, args.name)
+            stats_path = store.write_stats(leaderboard, args.name)
+            print(f"wrote traces: {trace_path}", file=sys.stderr)
+            print(f"wrote stats: {stats_path}", file=sys.stderr)
+        if args.format == "json":
+            payload = {
+                "schema": "repro-stream/1",
+                "archive": {"name": archive.name, "num_series": len(archive)},
+                "batch_size": args.batch_size,
+                "max_delay": args.max_delay,
+                "detectors": delay_summary(traces),
+                "leaderboard": json.loads(leaderboard.to_json()),
+                "traces": [trace.to_json() for trace in traces],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_streaming(traces, leaderboard))
+        return 0
+
+    return _traced(args, execute)
 
 
 def _cmd_serve(args) -> int:
@@ -890,39 +969,43 @@ def _cmd_serve_bench(args) -> int:
 
     from .serve import LoadConfig, format_load, run_load
 
-    try:
-        config = LoadConfig(
-            streams=args.streams,
-            tenants=args.tenants,
-            shards=args.shards,
-            queue_size=args.queue_size,
-            batch_size=args.batch_size,
-            seed=args.seed,
-            unique_series=args.unique_series,
-            max_delay=args.max_delay,
-            snapshot_checks=args.snapshot_checks,
-        )
-        result = run_load(config)
-    except (ValueError, RuntimeError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    payload = result.to_json()
-    if args.out:
-        import os
+    def execute() -> int:
+        try:
+            config = LoadConfig(
+                streams=args.streams,
+                tenants=args.tenants,
+                shards=args.shards,
+                queue_size=args.queue_size,
+                batch_size=args.batch_size,
+                seed=args.seed,
+                unique_series=args.unique_series,
+                max_delay=args.max_delay,
+                snapshot_checks=args.snapshot_checks,
+            )
+            result = run_load(config)
+        except (ValueError, RuntimeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        payload = result.to_json()
+        if args.out:
+            import os
 
-        directory = os.path.dirname(args.out)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(args.out, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.out}", file=sys.stderr)
-    if args.format == "json":
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    else:
-        print(format_load(result))
-    # a failed parity drill is a correctness failure, not a perf number
-    return 0 if result.snapshot_parity in (None, True) else 1
+            directory = os.path.dirname(args.out)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(args.out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_load(result))
+        # a failed parity drill is a correctness failure, not a perf
+        # number
+        return 0 if result.snapshot_parity in (None, True) else 1
+
+    return _traced(args, execute)
 
 
 def _cmd_detectors(args) -> int:
@@ -1018,6 +1101,37 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    import json
+
+    from .obs import format_rollup, format_tree, load_trace, rollup
+
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.mode == "rollup":
+        rows = rollup(trace["spans"])
+        if args.format == "json":
+            payload = {
+                "schema": "repro-rollup/1",
+                "trace": args.trace,
+                "spans": len(trace["spans"]),
+                "rows": rows,
+                "metrics": trace["metrics"],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_rollup(rows, metrics=trace["metrics"]))
+    else:
+        if args.format == "json":
+            print(json.dumps(trace, indent=2, sort_keys=True))
+        else:
+            print(format_tree(trace["spans"], max_spans=args.max_spans))
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "audit": _cmd_audit,
@@ -1031,12 +1145,15 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "detectors": _cmd_detectors,
     "cache": _cmd_cache,
+    "obs": _cmd_obs,
     "bench": _cmd_bench,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # the resolved command line, recorded in --trace file headers
+    args.cli_argv = list(sys.argv[1:] if argv is None else argv)
     return _COMMANDS[args.command](args)
 
 

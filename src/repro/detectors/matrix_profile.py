@@ -47,6 +47,7 @@ from dataclasses import dataclass
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from ..obs import get_registry, get_tracer
 from .base import Detector
 from .sliding import SlidingStats, moving_mean_std, sliding_max
 
@@ -345,8 +346,17 @@ def _diagonal_sweep(
     block: int = _DIAG_BLOCK,
     chunk: int | None = None,
     diag_limit: int | None = None,
+    tracer=None,
 ) -> tuple[np.ndarray, np.ndarray | None, int] | None:
     """mpx diagonal traversal over the (mean-shifted) series ``x``.
+
+    ``tracer`` is an *enabled* :class:`repro.obs.Tracer` or ``None``
+    (the default and the fast path): the hot loops pay one ``is not
+    None`` test per block/chunk, so un-traced sweeps stay within noise
+    of the pre-instrumentation kernel — the ``obs`` bench section
+    measures exactly this.  When tracing, each diagonal block emits an
+    ``mpx.block`` span and each column chunk inside it an ``mpx.chunk``
+    span (explicit start/finish, keeping the loop bodies unindented).
 
     Returns ``(best_correlation, best_index, workspace_bytes)`` per
     subsequence (the index array is ``None`` unless ``need_indices``;
@@ -419,11 +429,15 @@ def _diagonal_sweep(
     for d in range(exclusion, stop, block):
         B = min(block, m - d)
         L = m - d
+        if tracer is not None:
+            block_span = tracer.start_span("mpx.block", d=d, rows=B)
         if need_indices:
             colval[:L].fill(-np.inf)
         for p0 in range(0, L, cw0):
             p1 = min(p0 + cw0, L)
             cw = p1 - p0
+            if tracer is not None:
+                chunk_span = tracer.start_span("mpx.chunk", p0=p0, cols=cw)
             rowlen = cw + B
             # block rows live in one reusable buffer; B padding columns
             # past each row hold -inf so the skewed view below reads a
@@ -501,11 +515,15 @@ def _diagonal_sweep(
                     rowval[:sw],
                     out=best[d + p0 : d + p0 + sw],
                 )
+            if tracer is not None:
+                tracer.end_span(chunk_span)
         if need_indices:
             np.greater(colval[:L], best[d:], out=upd[:L])
             np.copyto(best[d:], colval[:L], where=upd[:L])
             np.subtract(idx[:L], colarg[:L], out=tmpj[:L])
             np.copyto(bestj[d:], tmpj[:L], where=upd[:L])
+        if tracer is not None:
+            tracer.end_span(block_span)
         if abandon is not None and _alive_min(best, exclusion) >= abandon:
             return None
     return best, bestj, ws.bytes
@@ -630,16 +648,28 @@ def matrix_profile(
         chunk_width,
         need_indices=with_indices,
     )
-    best, bestj, workspace = _diagonal_sweep(
-        stats.shifted,
-        w,
-        exclusion,
-        mean,
-        inv,
-        need_indices=with_indices,
+    tracer = get_tracer()
+    with tracer.span(
+        "mpx.profile",
+        n=stats.n,
+        w=w,
         chunk=chunk,
-    )
-    profile, indices = _finalize(best, bestj, w, exclusion, constant)
+        with_indices=with_indices,
+    ):
+        best, bestj, workspace = _diagonal_sweep(
+            stats.shifted,
+            w,
+            exclusion,
+            mean,
+            inv,
+            need_indices=with_indices,
+            chunk=chunk,
+            tracer=tracer if tracer.enabled else None,
+        )
+        profile, indices = _finalize(best, bestj, w, exclusion, constant)
+    registry = get_registry()
+    registry.counter("mpx_profiles").inc()
+    registry.gauge("mpx_workspace_bytes").set(workspace)
     return MatrixProfileResult(
         w=w,
         profile=profile,
@@ -683,18 +713,24 @@ def discord_search(
         chunk_width,
         need_indices=False,
     )
-    swept = _diagonal_sweep(
-        stats.shifted,
-        w,
-        exclusion,
-        mean,
-        inv,
-        need_indices=False,
-        abandon=abandon,
-        chunk=chunk,
-    )
-    if swept is None:
-        return None
+    tracer = get_tracer()
+    with tracer.span("mpx.discord_search", n=stats.n, w=w) as span:
+        swept = _diagonal_sweep(
+            stats.shifted,
+            w,
+            exclusion,
+            mean,
+            inv,
+            need_indices=False,
+            abandon=abandon,
+            chunk=chunk,
+            tracer=tracer if tracer.enabled else None,
+        )
+        if swept is None:
+            if span is not None:
+                span.set(abandoned=True)
+            get_registry().counter("mpx_abandoned_sweeps").inc()
+            return None
     best, _, _ = swept
     profile, _ = _finalize(best, None, w, exclusion, constant)
     finite = np.where(np.isfinite(profile), profile, -np.inf)

@@ -1,0 +1,190 @@
+"""Read a trace file back and fold it into human-shaped views.
+
+Two consumers: ``repro obs rollup`` wants the flamegraph-shaped table
+(per-span-name call counts, total time, *self* time — total minus the
+time attributed to direct children), and ``repro obs dump`` wants the
+span tree itself.  Both operate on the JSONL files
+:func:`repro.obs.trace.write_trace` produces and nothing else — the
+trace file is the interface, so a rollup works on traces from other
+machines or other runs.
+
+Self-time is the number that answers "where did the wall clock go":
+summing ``self`` over all rows reproduces the root span's total (up to
+scheduling gaps the tracer cannot see), which is the acceptance
+contract for the ``repro run --trace`` round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "load_trace",
+    "rollup",
+    "format_rollup",
+    "format_tree",
+]
+
+
+def load_trace(path) -> dict:
+    """Parse a trace file into ``{"header", "spans", "metrics"}``.
+
+    Unknown record kinds are ignored (forward compatibility); a file
+    without a valid header is rejected — it is probably not a trace.
+    """
+    header: dict | None = None
+    spans: list[dict] = []
+    metrics: dict | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}: line {line_no} is not JSON: {error}"
+                ) from None
+            kind = record.get("kind")
+            if kind == "header":
+                header = record
+            elif kind == "span":
+                spans.append(record)
+            elif kind == "metrics":
+                metrics = record
+    if header is None or not str(header.get("schema", "")).startswith(
+        "repro-trace/"
+    ):
+        raise ValueError(f"{path}: missing repro-trace header record")
+    return {"header": header, "spans": spans, "metrics": metrics}
+
+
+def rollup(spans: "list[dict]") -> "list[dict]":
+    """Per-span-name profile rows, sorted by total time descending.
+
+    Each row: ``{"name", "calls", "errors", "total_us", "self_us",
+    "mean_us"}``.  ``self_us`` is the span's own duration minus its
+    direct children's durations (floored at zero per span: clock
+    granularity can make children sum past the parent by a tick).
+    """
+    child_time: dict[int, int] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0) + int(
+                span.get("duration_us", 0)
+            )
+    rows: dict[str, dict] = {}
+    for span in spans:
+        name = span["name"]
+        duration = int(span.get("duration_us", 0))
+        self_us = max(0, duration - child_time.get(span["id"], 0))
+        row = rows.get(name)
+        if row is None:
+            row = rows[name] = {
+                "name": name,
+                "calls": 0,
+                "errors": 0,
+                "total_us": 0,
+                "self_us": 0,
+            }
+        row["calls"] += 1
+        row["total_us"] += duration
+        row["self_us"] += self_us
+        if span.get("error"):
+            row["errors"] += 1
+    out = sorted(
+        rows.values(), key=lambda row: (-row["total_us"], row["name"])
+    )
+    for row in out:
+        row["mean_us"] = row["total_us"] // max(1, row["calls"])
+    return out
+
+
+def _fmt_us(us: int) -> str:
+    if us >= 1_000_000:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1_000:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us}us"
+
+
+def format_rollup(rows: "list[dict]", *, metrics: dict | None = None) -> str:
+    """The profile table, optionally followed by the trace's counters."""
+    lines = [
+        f"{'span':<28} {'calls':>7} {'total':>10} {'self':>10} "
+        f"{'mean':>10} {'errors':>6}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            f"{row['name']:<28} {row['calls']:>7} "
+            f"{_fmt_us(row['total_us']):>10} {_fmt_us(row['self_us']):>10} "
+            f"{_fmt_us(row['mean_us']):>10} {row['errors']:>6}"
+        )
+    if not rows:
+        lines.append("(no spans)")
+    if metrics:
+        counters = metrics.get("counters") or {}
+        gauges = metrics.get("gauges") or {}
+        if counters or gauges:
+            lines.append("")
+            lines.append("counters:")
+            for key, value in counters.items():
+                lines.append(f"  {key} = {value}")
+            for key, value in gauges.items():
+                lines.append(f"  {key} = {value:g} (gauge)")
+    return "\n".join(lines)
+
+
+def format_tree(spans: "list[dict]", *, max_spans: int = 200) -> str:
+    """Indented span tree in start order (``repro obs dump``).
+
+    Large traces are elided after ``max_spans`` lines — dump is for
+    eyeballing structure; rollup is the tool for full aggregation.
+    """
+    by_parent: dict = {}
+    index: dict[int, dict] = {}
+    for span in spans:
+        index[span["id"]] = span
+        # roots include orphans whose parent never finished (crash cut)
+        parent = span.get("parent")
+        if parent is not None and parent not in index:
+            pass  # parent may appear later; resolved below
+        by_parent.setdefault(parent, []).append(span)
+    known = set(index)
+    roots = []
+    for parent, group in by_parent.items():
+        if parent is None or parent not in known:
+            roots.extend(group)
+    roots.sort(key=lambda span: span["id"])
+
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        if len(lines) >= max_spans:
+            return
+        attrs = span.get("attrs") or {}
+        rendered = (
+            " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        )
+        error = f" !{span['error']}" if span.get("error") else ""
+        lines.append(
+            f"{'  ' * depth}{span['name']} "
+            f"[{_fmt_us(int(span.get('duration_us', 0)))}]"
+            f"{' ' + rendered if rendered else ''}{error}"
+        )
+        children = sorted(
+            by_parent.get(span["id"], []), key=lambda child: child["id"]
+        )
+        for child in children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    if len(lines) >= max_spans:
+        lines.append(f"... ({len(spans)} spans total; showing {max_spans})")
+    if not lines:
+        lines.append("(no spans)")
+    return "\n".join(lines)

@@ -18,9 +18,11 @@ ship to worker processes in the first place.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..detectors import DetectorSpec
+from ..obs import get_registry, get_tracer, tracing_session
 from ..scoring.ucr import UcrOutcome, UcrSummary, ucr_correct
 from ..types import Archive, LabeledSeries
 from .cache import ResultCache, cache_key
@@ -201,6 +203,26 @@ def _locate_cell(task: tuple[DetectorSpec, LabeledSeries]) -> int:
     return int(spec.build().locate(series))
 
 
+def _locate_cell_traced(
+    task: tuple[DetectorSpec, LabeledSeries],
+) -> tuple[int, list, list]:
+    """Traced worker entry point: spans and metrics travel by value.
+
+    A ProcessPool worker cannot share the parent's tracer, so it opens
+    its own tracing session (fresh tracer *and* registry — also what
+    shields the parent registry when this runs in-process for serial
+    jobs), locates the cell, and returns the exported span records plus
+    the registry state alongside the result.  The parent adopts both in
+    task order, which is what makes serial and parallel traces
+    identical after timing fields are stripped.
+    """
+    spec, series = task
+    with tracing_session(enabled=True) as (tracer, registry):
+        with tracer.span("engine.locate"):
+            location = int(spec.build().locate(series))
+        return location, tracer.export(), registry.export_state()
+
+
 class EvalEngine:
     """Single execution path for detector × archive evaluation.
 
@@ -248,6 +270,16 @@ class EvalEngine:
 
     def run(self, archive: Archive) -> RunReport:
         """Evaluate every spec on every series and aggregate."""
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.run",
+            archive=archive.name,
+            specs=len(self.specs),
+            jobs=self.jobs,
+        ):
+            return self._run(archive, tracer)
+
+    def _run(self, archive: Archive, tracer) -> RunReport:
         for spec in self.specs:
             spec.build()  # fail fast on unknown names or bad params
         scoring_desc = self.scoring.describe()
@@ -269,16 +301,34 @@ class EvalEngine:
                     locations[index] = None  # malformed entry: miss
             pending.append(index)
 
+        registry = get_registry()
+        registry.counter("engine_cells").inc(len(tasks))
+        registry.counter("engine_cache_hits").inc(len(tasks) - len(pending))
+        registry.counter("engine_cache_misses").inc(len(pending))
+
+        # with tracing on, workers return (location, spans, metrics) and
+        # the adoption below splices them under per-cell spans; the
+        # traced path is also taken for jobs=1 so serial and parallel
+        # runs export the same tree
+        traced = tracer.enabled
+        worker = _locate_cell_traced if traced else _locate_cell
+        exports: dict[int, tuple[list, list]] = {}
         if pending:
             batch = [tasks[index] for index in pending]
             if self.jobs > 1 and len(batch) > 1:
                 chunksize = max(1, len(batch) // (self.jobs * 4))
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                     found = list(
-                        pool.map(_locate_cell, batch, chunksize=chunksize)
+                        pool.map(worker, batch, chunksize=chunksize)
                     )
             else:
-                found = [_locate_cell(task) for task in batch]
+                found = [worker(task) for task in batch]
+            if traced:
+                unpacked = []
+                for offset, (location, records, state) in enumerate(found):
+                    exports[pending[offset]] = (records, state)
+                    unpacked.append(location)
+                found = unpacked
             for index, location in zip(pending, found):
                 locations[index] = location
                 if self.cache is not None:
@@ -289,18 +339,34 @@ class EvalEngine:
         for index, ((spec, series), location) in enumerate(
             zip(tasks, locations)
         ):
-            nearest = series.labels.nearest_region(location)
-            cells.append(
-                CellResult(
+            cached = index not in executed
+            cell_span = (
+                tracer.span(
+                    "engine.cell",
                     detector=spec.label,
                     series=series.name,
-                    location=location,
-                    correct=self.scoring.correct(series, location),
-                    region_start=None if nearest is None else nearest.start,
-                    region_end=None if nearest is None else nearest.end,
-                    cached=index not in executed,
+                    cached=cached,
                 )
+                if traced
+                else nullcontext()
             )
+            with cell_span:
+                if index in exports:
+                    records, state = exports[index]
+                    tracer.adopt(records)
+                    registry.merge_state(state)
+                nearest = series.labels.nearest_region(location)
+                cells.append(
+                    CellResult(
+                        detector=spec.label,
+                        series=series.name,
+                        location=location,
+                        correct=self.scoring.correct(series, location),
+                        region_start=None if nearest is None else nearest.start,
+                        region_end=None if nearest is None else nearest.end,
+                        cached=cached,
+                    )
+                )
 
         return RunReport(
             archive_name=archive.name,

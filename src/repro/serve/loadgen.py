@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..datasets.ucr import UcrSimConfig, make_ucr
+from ..obs import get_registry, get_tracer
 from ..stream.replay import ReplayTrace, trace_from_scores
 from ..stream.scoreboard import delay_summary, nab_windowed_score
 from .metrics import quantile
@@ -96,6 +97,10 @@ class LoadResult:
     points_per_second: float
     append_p50_ms: float | None
     append_p99_ms: float | None
+    queue_wait_p50_ms: float | None
+    queue_wait_p99_ms: float | None
+    score_p50_ms: float | None
+    score_p99_ms: float | None
     rejections: int
     retries: int
     snapshot_parity: bool | None
@@ -121,6 +126,10 @@ class LoadResult:
             "points_per_second": round(self.points_per_second, 1),
             "append_p50_ms": self.append_p50_ms,
             "append_p99_ms": self.append_p99_ms,
+            "queue_wait_p50_ms": self.queue_wait_p50_ms,
+            "queue_wait_p99_ms": self.queue_wait_p99_ms,
+            "score_p50_ms": self.score_p50_ms,
+            "score_p99_ms": self.score_p99_ms,
             "rejections": self.rejections,
             "retries": self.retries,
             "snapshot_parity": self.snapshot_parity,
@@ -215,6 +224,18 @@ def run_load(config: LoadConfig, *, archive=None) -> LoadResult:
     check_indices = set(sorted(check_indices)[: config.snapshot_checks])
 
     counters = {"retries": 0}
+    tracer = get_tracer()
+    load_span = (
+        tracer.start_span(
+            "serve.load",
+            streams=config.streams,
+            tenants=config.tenants,
+            shards=config.shards,
+            batch_size=config.batch_size,
+        )
+        if tracer.enabled
+        else None
+    )
     with StreamCluster(
         num_shards=config.shards, queue_size=config.queue_size
     ) as cluster:
@@ -255,23 +276,37 @@ def run_load(config: LoadConfig, *, archive=None) -> LoadResult:
         seconds = time.perf_counter() - started
 
         samples = cluster.metrics.latency_samples()
+        queue_waits = cluster.metrics.queue_wait_samples()
+        score_times = cluster.metrics.score_samples()
         rejections = cluster.metrics_json()["totals"]["rejected"]
 
         snapshot_parity = _verify_snapshots(plans, served, mid_checks)
+        # fold the cluster's serve_* series into the session registry so
+        # a --trace run's metrics record covers the service tier too
+        get_registry().merge_state(cluster.metrics.obs.export_state())
+    if load_span is not None:
+        tracer.end_span(load_span)
 
     traces = _traces(config, plans, served)
     points = sum(
         plan.series.values.size - plan.series.train_len for plan in plans
     )
-    p50 = quantile(samples, 0.50)
-    p99 = quantile(samples, 0.99)
+
+    def _q_ms(values, q):
+        value = quantile(values, q)
+        return None if value is None else round(value * 1e3, 4)
+
     return LoadResult(
         config=config,
         points_streamed=points,
         seconds=seconds,
         points_per_second=points / seconds if seconds > 0 else 0.0,
-        append_p50_ms=None if p50 is None else round(p50 * 1e3, 4),
-        append_p99_ms=None if p99 is None else round(p99 * 1e3, 4),
+        append_p50_ms=_q_ms(samples, 0.50),
+        append_p99_ms=_q_ms(samples, 0.99),
+        queue_wait_p50_ms=_q_ms(queue_waits, 0.50),
+        queue_wait_p99_ms=_q_ms(queue_waits, 0.99),
+        score_p50_ms=_q_ms(score_times, 0.50),
+        score_p99_ms=_q_ms(score_times, 0.99),
         rejections=rejections,
         retries=counters["retries"],
         snapshot_parity=snapshot_parity,
@@ -306,16 +341,9 @@ def format_load(result: LoadResult) -> str:
         if payload["snapshot_parity"] is None
         else ("ok" if payload["snapshot_parity"] else "FAILED")
     )
-    p50 = (
-        "-"
-        if payload["append_p50_ms"] is None
-        else f"{payload['append_p50_ms']:.1f}ms"
-    )
-    p99 = (
-        "-"
-        if payload["append_p99_ms"] is None
-        else f"{payload['append_p99_ms']:.1f}ms"
-    )
+    def fmt(key):
+        return "-" if payload[key] is None else f"{payload[key]:.1f}ms"
+
     lines = [
         f"serve bench: {payload['streams']} streams, "
         f"{payload['tenants']} tenants, {payload['shards']} shards, "
@@ -323,7 +351,11 @@ def format_load(result: LoadResult) -> str:
         f"  {payload['points_streamed']} points in "
         f"{payload['seconds']:.2f}s = "
         f"{payload['points_per_second']:.0f} points/s",
-        f"  arrival-to-score latency p50 {p50}, p99 {p99}",
+        f"  arrival-to-score latency p50 {fmt('append_p50_ms')}, "
+        f"p99 {fmt('append_p99_ms')}",
+        f"  … queue wait p50 {fmt('queue_wait_p50_ms')}, "
+        f"p99 {fmt('queue_wait_p99_ms')}; "
+        f"score time p50 {fmt('score_p50_ms')}, p99 {fmt('score_p99_ms')}",
         f"  backpressure: {payload['rejections']} rejections, "
         f"{payload['retries']} retries",
         f"  snapshot/restore parity: {parity}",

@@ -1,122 +1,153 @@
-"""Per-tenant service metrics: counters and latency digests.
+"""Per-tenant service metrics, rebased on :mod:`repro.obs`.
 
 The serve layer promises multi-tenant fairness and bounded latency;
-this module is how those promises become observable.  Each tenant gets
-a :class:`TenantMetrics` holding monotonic counters (points ingested,
-scores emitted, batches, backpressure rejections) and a bounded
-reservoir of append latencies from which p50/p99 are read.  The
-registry aggregates across tenants for the cluster-level view the
-``/metrics`` endpoint and the serve bench report.
+this module is how those promises become observable.  Each tenant's
+counters (points ingested, scores emitted, batches, backpressure
+rejections) and latency reservoirs are **labeled series on one
+:class:`repro.obs.MetricsRegistry`** owned by the cluster — the same
+registry the obs layer exposes as Prometheus text, so the JSON
+``/metrics`` payload and the text exposition are two reads of the same
+live objects and can never disagree.
 
-Everything is stdlib + a lock per tenant: the worker threads on the hot
-path only ever append a float and bump integers.  Quantiles are
-computed at read time from the newest ``reservoir`` samples — a sliding
-window, not a decaying sketch, which keeps the numbers exact and the
-implementation inspectable at the cost of only remembering the recent
-past (the right trade for a load test that reads at the end).
+:class:`TenantMetrics` and :class:`MetricsRegistry` keep the shapes the
+rest of the serve tier (and its tests) already rely on; they are now
+thin views.  Append latency is recorded three ways per batch: the
+arrival-to-score total a caller observes, plus its split into **queue
+wait** (enqueue → worker pickup) and **score time** (the detector
+call) — the split that makes a p99 regression attributable at a glance
+instead of a guessing game between overload and kernel cost.
+
+Quantiles come from :func:`repro.obs.quantile`, which is well-defined
+on the 0- and 1-sample reservoirs a freshly created tenant actually
+has: ``None`` for no data (absence of data is not zero latency), the
+sample itself for one.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
+
+from ..obs import MetricsRegistry as ObsRegistry
+from ..obs import quantile
 
 __all__ = ["TenantMetrics", "MetricsRegistry", "quantile"]
-
-
-def quantile(samples: "list[float]", q: float) -> float | None:
-    """Linear-interpolation quantile of ``samples`` (``q`` in [0, 1]).
-
-    ``None`` for an empty sample set — absence of data is not zero
-    latency.  Matches numpy's default ``linear`` method, computed in
-    pure Python so the hot path never imports numpy.
-    """
-    if not samples:
-        return None
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    position = q * (len(ordered) - 1)
-    low = int(position)
-    high = min(low + 1, len(ordered) - 1)
-    fraction = position - low
-    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
-
-
-class TenantMetrics:
-    """Counters + append-latency reservoir for a single tenant."""
-
-    def __init__(self, tenant: str, *, reservoir: int = 4096) -> None:
-        if reservoir < 1:
-            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
-        self.tenant = tenant
-        self._lock = threading.Lock()
-        self._points_in = 0
-        self._scores_out = 0
-        self._batches = 0
-        self._rejected = 0
-        self._snapshots = 0
-        self._restores = 0
-        self._latencies: deque[float] = deque(maxlen=reservoir)
-
-    # -- write path (worker threads) ----------------------------------
-
-    def record_append(
-        self, points: int, scores: int, seconds: float
-    ) -> None:
-        with self._lock:
-            self._points_in += points
-            self._scores_out += scores
-            self._batches += 1
-            self._latencies.append(float(seconds))
-
-    def record_rejection(self) -> None:
-        with self._lock:
-            self._rejected += 1
-
-    def record_snapshot(self) -> None:
-        with self._lock:
-            self._snapshots += 1
-
-    def record_restore(self) -> None:
-        with self._lock:
-            self._restores += 1
-
-    # -- read path ----------------------------------------------------
-
-    def latency_samples(self) -> "list[float]":
-        """The retained append-latency samples, oldest first (seconds)."""
-        with self._lock:
-            return list(self._latencies)
-
-    def to_json(self) -> dict:
-        with self._lock:
-            samples = list(self._latencies)
-            payload = {
-                "tenant": self.tenant,
-                "points_ingested": self._points_in,
-                "scores_emitted": self._scores_out,
-                "append_batches": self._batches,
-                "rejected": self._rejected,
-                "snapshots": self._snapshots,
-                "restores": self._restores,
-            }
-        payload["append_p50_ms"] = _ms(quantile(samples, 0.50))
-        payload["append_p99_ms"] = _ms(quantile(samples, 0.99))
-        return payload
 
 
 def _ms(seconds: float | None) -> float | None:
     return None if seconds is None else round(seconds * 1e3, 4)
 
 
-class MetricsRegistry:
-    """Tenant → :class:`TenantMetrics`, plus the cluster aggregate."""
+class TenantMetrics:
+    """One tenant's view over the cluster's shared obs registry."""
 
-    def __init__(self, *, reservoir: int = 4096) -> None:
+    def __init__(
+        self, tenant: str, *, registry: ObsRegistry | None = None,
+        reservoir: int = 4096,
+    ) -> None:
+        if reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
+        self.tenant = tenant
+        self.registry = registry if registry is not None else ObsRegistry()
+        label = {"tenant": tenant}
+        self._points_in = self.registry.counter(
+            "serve_points_ingested", **label
+        )
+        self._scores_out = self.registry.counter(
+            "serve_scores_emitted", **label
+        )
+        self._batches = self.registry.counter("serve_append_batches", **label)
+        self._rejected = self.registry.counter("serve_rejected", **label)
+        self._snapshots = self.registry.counter("serve_snapshots", **label)
+        self._restores = self.registry.counter("serve_restores", **label)
+        self._latency = self.registry.histogram(
+            "serve_append_seconds", reservoir=reservoir, **label
+        )
+        self._queue_wait = self.registry.histogram(
+            "serve_queue_wait_seconds", reservoir=reservoir, **label
+        )
+        self._score_time = self.registry.histogram(
+            "serve_score_seconds", reservoir=reservoir, **label
+        )
+
+    # -- write path (worker threads) ----------------------------------
+
+    def record_append(
+        self,
+        points: int,
+        scores: int,
+        seconds: float,
+        *,
+        queue_wait: float | None = None,
+        score_seconds: float | None = None,
+    ) -> None:
+        """One scored append group: counts, total latency, and its split.
+
+        ``seconds`` is arrival-to-score (what a caller observes);
+        ``queue_wait``/``score_seconds`` attribute it to time spent in
+        the shard queue vs inside the detector call, when the worker
+        measured them.
+        """
+        self._points_in.inc(int(points))
+        self._scores_out.inc(int(scores))
+        self._batches.inc()
+        self._latency.observe(float(seconds))
+        if queue_wait is not None:
+            self._queue_wait.observe(float(queue_wait))
+        if score_seconds is not None:
+            self._score_time.observe(float(score_seconds))
+
+    def record_rejection(self) -> None:
+        self._rejected.inc()
+
+    def record_snapshot(self) -> None:
+        self._snapshots.inc()
+
+    def record_restore(self) -> None:
+        self._restores.inc()
+
+    # -- read path ----------------------------------------------------
+
+    def latency_samples(self) -> "list[float]":
+        """The retained append-latency samples, oldest first (seconds)."""
+        return self._latency.samples()
+
+    def queue_wait_samples(self) -> "list[float]":
+        return self._queue_wait.samples()
+
+    def score_samples(self) -> "list[float]":
+        return self._score_time.samples()
+
+    def to_json(self) -> dict:
+        samples = self._latency.samples()
+        return {
+            "tenant": self.tenant,
+            "points_ingested": self._points_in.value,
+            "scores_emitted": self._scores_out.value,
+            "append_batches": self._batches.value,
+            "rejected": self._rejected.value,
+            "snapshots": self._snapshots.value,
+            "restores": self._restores.value,
+            "append_p50_ms": _ms(quantile(samples, 0.50)),
+            "append_p99_ms": _ms(quantile(samples, 0.99)),
+            "queue_wait_p99_ms": _ms(self._queue_wait.quantile(0.99)),
+            "score_p99_ms": _ms(self._score_time.quantile(0.99)),
+        }
+
+
+class MetricsRegistry:
+    """Tenant → :class:`TenantMetrics`, plus the cluster aggregate.
+
+    ``obs`` is the underlying :class:`repro.obs.MetricsRegistry` every
+    tenant records into; the serve tier also hangs its shard-level
+    series (queue-depth gauges, backpressure counters, uptime) on it,
+    and :meth:`render_prometheus` exposes the whole thing as text.
+    """
+
+    def __init__(
+        self, *, reservoir: int = 4096, obs: ObsRegistry | None = None
+    ) -> None:
         self._reservoir = reservoir
+        self.obs = obs if obs is not None else ObsRegistry()
         self._lock = threading.Lock()
         self._tenants: dict[str, TenantMetrics] = {}
 
@@ -124,9 +155,15 @@ class MetricsRegistry:
         with self._lock:
             metrics = self._tenants.get(name)
             if metrics is None:
-                metrics = TenantMetrics(name, reservoir=self._reservoir)
+                metrics = TenantMetrics(
+                    name, registry=self.obs, reservoir=self._reservoir
+                )
                 self._tenants[name] = metrics
             return metrics
+
+    def _tenant_list(self) -> "list[TenantMetrics]":
+        with self._lock:
+            return list(self._tenants.values())
 
     def latency_samples(self) -> "list[float]":
         """All tenants' retained append-latency samples (seconds).
@@ -135,11 +172,21 @@ class MetricsRegistry:
         pooled set — a per-tenant p99 hides the worst tenant exactly
         when multi-tenant fairness is the question.
         """
-        with self._lock:
-            tenants = list(self._tenants.values())
         samples: list[float] = []
-        for tenant in tenants:
+        for tenant in self._tenant_list():
             samples.extend(tenant.latency_samples())
+        return samples
+
+    def queue_wait_samples(self) -> "list[float]":
+        samples: list[float] = []
+        for tenant in self._tenant_list():
+            samples.extend(tenant.queue_wait_samples())
+        return samples
+
+    def score_samples(self) -> "list[float]":
+        samples: list[float] = []
+        for tenant in self._tenant_list():
+            samples.extend(tenant.score_samples())
         return samples
 
     def to_json(self, *, queue_depths: "dict[str, int] | None" = None) -> dict:
@@ -164,3 +211,7 @@ class MetricsRegistry:
         if queue_depths is not None:
             payload["queue_depths"] = dict(sorted(queue_depths.items()))
         return payload
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the shared obs registry."""
+        return self.obs.render_prometheus()

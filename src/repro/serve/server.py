@@ -61,8 +61,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: dict, *, headers=None) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send(status, body, "application/json", headers)
+
+    def _reply_text(self, status: int, text: str) -> None:
+        # Prometheus exposition format 0.0.4 content type
+        self._send(
+            status,
+            text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+            None,
+        )
+
+    def _send(self, status, body, content_type, headers) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -101,10 +113,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method, parts, query) -> None:
         if method == "GET" and parts == ["healthz"]:
-            self._reply(200, {"ok": True})
+            self._reply(200, self.cluster.healthz_json())
             return
         if method == "GET" and parts == ["metrics"]:
-            self._reply(200, self.cluster.metrics_json())
+            # same registry both ways: ?format=prometheus renders the
+            # text exposition, default stays the JSON cluster view
+            if query.get("format") == "prometheus":
+                self._reply_text(200, self.cluster.metrics_prometheus())
+            else:
+                self._reply(200, self.cluster.metrics_json())
             return
         if method == "POST" and parts == ["v1", "streams"]:
             body = self._body()
@@ -340,3 +357,11 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of ``/metrics``."""
+        req = urllib.request.Request(
+            self.base_url + "/metrics?format=prometheus", method="GET"
+        )
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")

@@ -45,6 +45,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import get_registry
+
 __all__ = ["StreamingMatrixProfile"]
 
 
@@ -205,6 +207,10 @@ class StreamingMatrixProfile:
         block = np.asarray(self._egress, dtype=float)
         self._egress = []
         self._egress_base = start + block.size
+        if block.size:
+            registry = get_registry()
+            registry.counter("stream_egress_points").inc(int(block.size))
+            registry.counter("stream_egress_drains").inc()
         return start, block
 
     # -- ingestion ----------------------------------------------------

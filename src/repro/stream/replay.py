@@ -39,6 +39,7 @@ import numpy as np
 
 from ..detectors.base import Detector
 from ..detectors.registry import DetectorSpec
+from ..obs import get_registry, get_tracer
 from ..scoring.ucr import ucr_slop
 from ..types import Archive, LabeledSeries
 from .adapters import StreamingDetector, as_streaming
@@ -307,23 +308,40 @@ def replay(
     streaming.reset()
     streaming.fit(series.train)
 
+    registry = get_registry()
+    append_seconds = registry.histogram(
+        "replay_append_seconds", detector=resolved_label
+    )
+    points_counter = registry.counter("replay_points")
+    tracer = get_tracer()
+
     num_updates = 0
-    started = time.perf_counter()
-    for start in range(train_len, n, batch_size):
-        stop = min(start + batch_size, n)
-        batch_scores = np.asarray(
-            streaming.update(values[start:stop]), dtype=float
-        )
-        if batch_scores.shape != (stop - start,):
-            raise ValueError(
-                f"{resolved_label}: update returned shape "
-                f"{batch_scores.shape} for {stop - start} points"
+    with tracer.span(
+        "replay.cell",
+        detector=resolved_label,
+        series=series.name,
+        batch_size=batch_size,
+    ):
+        started = time.perf_counter()
+        for start in range(train_len, n, batch_size):
+            stop = min(start + batch_size, n)
+            append_started = time.perf_counter()
+            batch_scores = np.asarray(
+                streaming.update(values[start:stop]), dtype=float
             )
-        scores[start:stop] = np.where(
-            np.isnan(batch_scores), -np.inf, batch_scores
-        )
-        num_updates += 1
-    seconds = time.perf_counter() - started
+            append_seconds.observe(time.perf_counter() - append_started)
+            if batch_scores.shape != (stop - start,):
+                raise ValueError(
+                    f"{resolved_label}: update returned shape "
+                    f"{batch_scores.shape} for {stop - start} points"
+                )
+            scores[start:stop] = np.where(
+                np.isnan(batch_scores), -np.inf, batch_scores
+            )
+            num_updates += 1
+        seconds = time.perf_counter() - started
+    points_counter.inc(n - train_len)
+    registry.counter("replay_updates").inc(num_updates)
 
     return trace_from_scores(
         series,

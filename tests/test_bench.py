@@ -82,6 +82,7 @@ class TestRunBench:
             "scaling",
             "streaming",
             "serve",
+            "obs",
         }
 
     def test_output_name_derives_from_trajectory(self):
@@ -165,6 +166,26 @@ class TestRunBench:
         text = format_bench(report)
         assert "serve" in text
         assert "parity" in text
+
+    def test_obs_section_schema_and_checks(self):
+        report = run_bench(quick=True, repeats=1, sections=("obs",))
+        section = report["sections"]["obs"]
+        assert section["kernel_bare_seconds"] > 0
+        assert section["kernel_disabled_seconds"] > 0
+        assert section["kernel_enabled_seconds"] > 0
+        assert section["span_disabled_ns"] > 0
+        assert section["span_enabled_ns"] > 0
+        assert section["counter_inc_ns"] > 0
+        checks = report["checks"]
+        # the overhead number itself is wall clock (asserted as a perf
+        # floor only in the advisory CI job); here just the wiring
+        assert checks["obs_disabled_overhead_pct"] == (
+            section["disabled_overhead_pct"]
+        )
+        assert isinstance(checks["obs_disabled_overhead_ok"], bool)
+        text = format_bench(report)
+        assert "obs" in text
+        assert "disabled tracer" in text
 
 
 class TestOutput:

@@ -518,3 +518,129 @@ class TestMaxMemory:
             assert default_memory_budget() == 32 << 20
         finally:
             mp.set_default_memory_budget(None)
+
+
+class TestTraceFlag:
+    """The --trace flag and its determinism contract (repro.obs)."""
+
+    @pytest.fixture()
+    def archive_dir(self, tmp_path, capsys):
+        path = tmp_path / "arch"
+        assert main(["build-archive", str(path), "--size", "4",
+                     "--max-trivial", "1.0"]) == 0
+        capsys.readouterr()
+        return path
+
+    def canonical(self, path):
+        from repro.obs import canonical_records
+
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        return canonical_records(records)
+
+    def test_run_trace_is_deterministic(self, archive_dir, tmp_path, capsys):
+        # identical argv twice (same output path): after stripping the
+        # timing fields the trace files must match record-for-record
+        trace_path = tmp_path / "run.trace.jsonl"
+        argv = ["run", str(archive_dir), "--detectors",
+                "diff,moving_zscore(k=50)", "--out", str(tmp_path / "out"),
+                "--trace", str(trace_path)]
+        assert main(argv) == 0
+        assert "wrote trace" in capsys.readouterr().err
+        first = self.canonical(trace_path)
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert self.canonical(trace_path) == first
+
+    def test_run_trace_parallel_matches_serial(
+        self, archive_dir, tmp_path, capsys
+    ):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        base = ["run", str(archive_dir), "--detectors", "diff",
+                "--out", str(tmp_path / "out")]
+        assert main(base + ["--trace", str(serial)]) == 0
+        assert main(base + ["--jobs", "2", "--trace", str(parallel)]) == 0
+        capsys.readouterr()
+
+        def normalized(path):
+            records = self.canonical(path)
+            for record in records:
+                record.pop("argv", None)  # --trace path/--jobs differ
+                if record.get("kind") == "span":
+                    record["attrs"].pop("jobs", None)
+            return records
+
+        assert normalized(serial) == normalized(parallel)
+
+    def test_run_trace_covers_engine_and_kernel(
+        self, archive_dir, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["run", str(archive_dir), "--detectors",
+                     "matrix_profile(w=64)", "--out", str(tmp_path / "out"),
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        from repro.obs import load_trace, rollup
+
+        trace = load_trace(trace_path)
+        names = {row["name"] for row in rollup(trace["spans"])}
+        assert {"engine.run", "engine.cell", "engine.locate",
+                "mpx.profile"} <= names
+        assert trace["metrics"]["counters"]["engine_cells"] == 4
+        assert trace["metrics"]["counters"]["mpx_profiles"] == 4
+
+    def test_rollup_self_time_accounts_for_the_run(
+        self, archive_dir, tmp_path, capsys
+    ):
+        # the acceptance round-trip: per-stage self times must sum to
+        # the engine.run wall clock (up to gaps the tracer cannot see)
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["run", str(archive_dir), "--detectors", "diff",
+                     "--out", str(tmp_path / "out"),
+                     "--trace", str(trace_path)]) == 0
+        assert main(["obs", "rollup", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.run" in out
+        from repro.obs import load_trace, rollup
+
+        trace = load_trace(trace_path)
+        rows = rollup(trace["spans"])
+        total = next(r for r in rows if r["name"] == "engine.run")["total_us"]
+        # in-worker spans are adopted with honest in-worker durations;
+        # everything the engine timed must fit inside its wall clock
+        locate = next(
+            r for r in rows if r["name"] == "engine.locate"
+        )["total_us"]
+        assert 0 < locate <= total
+
+    def test_stream_trace_records_replay_cells(
+        self, archive_dir, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "s.jsonl"
+        assert main(["stream", str(archive_dir), "--detectors", "diff",
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        from repro.obs import load_trace
+
+        trace = load_trace(trace_path)
+        names = [span["name"] for span in trace["spans"]]
+        assert names.count("replay.cell") == 4
+        assert trace["metrics"]["counters"]["replay_points"] > 0
+
+    def test_serve_bench_trace_carries_serve_series(self, tmp_path, capsys):
+        trace_path = tmp_path / "sb.jsonl"
+        assert main(["serve-bench", "--streams", "4", "--tenants", "2",
+                     "--shards", "2", "--unique-series", "2",
+                     "--snapshot-checks", "0", "--batch-size", "200",
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        from repro.obs import load_trace
+
+        trace = load_trace(trace_path)
+        assert [s["name"] for s in trace["spans"]].count("serve.load") == 1
+        counters = trace["metrics"]["counters"]
+        ingested = sum(
+            value for key, value in counters.items()
+            if key.startswith("serve_points_ingested")
+        )
+        assert ingested > 0

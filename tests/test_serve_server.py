@@ -28,7 +28,12 @@ def wave(n=700, seed=0, at=520, width=8):
 class TestRoutes:
     def test_health(self, served):
         client, _ = served
-        assert client.health() == {"ok": True}
+        health = client.health()
+        assert health["ok"] is True
+        assert health["uptime_seconds"] >= 0
+        assert health["shards"] == 2
+        assert set(health["queue_depths"]) == {"shard-0", "shard-1"}
+        assert all(depth >= 0 for depth in health["queue_depths"].values())
 
     def test_create_append_scores_stats(self, served):
         client, _ = served
