@@ -35,11 +35,19 @@ Methodology
   ``"naive_estimated": true`` and the row count used;
 * the retained STOMP kernel is timed in full, with fewer repeats at
   sizes where a single run is already seconds long;
-* the scaling section times a leading slice of *diagonals* and
-  extrapolates by exact pair count (``"seconds_estimated": true``) —
-  the O(m²) full sweep at n = 10⁶ is an hour of arithmetic, but the
-  working set peaks in the very first block, so the memory claim is
-  measured, not modeled.
+* the scaling section runs the kernel's public anytime mode
+  (``approx=``) and extrapolates by exact pair count
+  (``"seconds_estimated": true``) — the O(m²) full sweep at n = 10⁶ is
+  hours of serial arithmetic, but the working set peaks in the very
+  first block, so the memory claim is measured, not modeled;
+* the anytime section measures the ``approx=`` upper bound's real
+  convergence (max/mean/p99 corr-space deviation from the exact
+  profile) on a periodic fixture and on the adversarial random walk;
+* the parallel section runs *full* exact sweeps serially and with
+  ``jobs=N`` and asserts the profiles and indices bit-identical; the
+  measured speedup is reported next to a critical-path model over the
+  shard pair counts plus ``cpu_count``, because a container with fewer
+  cores than ``jobs`` measures ~1x no matter how good the sharding is.
 """
 
 from __future__ import annotations
@@ -66,7 +74,7 @@ __all__ = [
 # the perf-trajectory counter: bump it when a PR records a new point.
 # Output names and report labels derive from it, so README/CLI help
 # never drift from the actual file written.
-TRAJECTORY = 7
+TRAJECTORY = 8
 BENCH_LABEL = f"BENCH_{TRAJECTORY}"
 DEFAULT_OUT = os.path.join("benchmarks", "perf", f"{BENCH_LABEL}.json")
 SECTIONS = (
@@ -79,6 +87,8 @@ SECTIONS = (
     "streaming",
     "serve",
     "obs",
+    "anytime",
+    "parallel",
 )
 
 _FULL_SIZES = (2_000, 5_000, 10_000, 20_000)
@@ -99,6 +109,27 @@ _SCALING_QUICK_PAIR_CAP = 30_000_000
 # measure the unchunked kernel's real peak only where its O(block·n)
 # buffers stay modest; above this we report the analytic footprint
 _SCALING_UNCHUNKED_MEASURE_LIMIT = 600 << 20
+
+# anytime: fixtures where the leading-diagonal upper bound is measured
+# against the exact profile.  The top fraction stays a hair under 10%
+# because the kernel rounds coverage UP to whole 128-diagonal blocks —
+# requesting exactly 0.10 can sweep 10.03% of the pairs, which would
+# make the "within 10% of the pair budget" claim false by rounding.
+_ANYTIME_N = 100_000
+_ANYTIME_QUICK_N = 20_000
+_ANYTIME_W = 100
+_ANYTIME_PERIOD = 150
+_ANYTIME_FRACTIONS = (0.01, 0.02, 0.05, 0.098)
+_ANYTIME_QUICK_FRACTIONS = (0.05, 0.098)
+
+# parallel: (n, jobs-to-measure) cases.  Every case runs the FULL exact
+# sweep — once serial, once per jobs value — with indices, and asserts
+# bit identity; repeats stay at 1 because each run is minutes long.
+# jobs=2 is only exercised at the affordable size; at n = 10⁶ the
+# serial + jobs=4 pair alone is the better part of a core-day.
+_PARALLEL_CASES = ((200_000, (2, 4)), (1_000_000, (4,)))
+_PARALLEL_QUICK_CASES = ((50_000, (2,)),)
+_PARALLEL_W = 100
 
 
 def _timed(fn, repeats: int) -> float:
@@ -351,33 +382,6 @@ def _bench_engine(quick: bool, repeats: int) -> dict:
 # scaling: bounded-memory column-chunked profiles at 1e5..1e6 points
 
 
-def _leading_pairs(limit: int, longest: int) -> int:
-    """Pairs on the first ``limit`` diagonals out from the exclusion zone.
-
-    Diagonal ``i`` (0-based) holds ``longest - i`` pairs, so the first
-    ``limit`` cost ``limit·longest − limit(limit−1)/2`` — the single
-    source of truth for the scaling section's extrapolation basis.
-    """
-    return limit * longest - limit * (limit - 1) // 2
-
-
-def _diag_limit_for_pairs(num_diagonals: int, longest: int, pair_cap: int) -> int:
-    """Largest leading diagonal count whose total pair work fits the cap.
-
-    ``_leading_pairs`` is monotone in the count, so bisection finds it.
-    """
-    if _leading_pairs(num_diagonals, longest) <= pair_cap:
-        return num_diagonals
-    low, high = 1, num_diagonals
-    while low < high:
-        mid = (low + high + 1) // 2
-        if _leading_pairs(mid, longest) <= pair_cap:
-            low = mid
-        else:
-            high = mid - 1
-    return low
-
-
 def _traced_peak(fn):
     """``(fn(), peak_bytes)`` with tracemalloc covering just the call."""
     already = tracemalloc.is_tracing()
@@ -398,80 +402,77 @@ def _traced_peak(fn):
 def _scaling_case(
     n: int, w: int, budget: int, pair_cap: int, repeats: int
 ) -> dict:
-    from .detectors.matrix_profile import (
-        _chunk_for_budget,
-        _diagonal_sweep,
-        _sweep_allocation_bytes,
-    )
+    from .detectors import matrix_profile
+    # accounting only: the analytic footprint of a hypothetical
+    # unchunked sweep, reported next to the chunked one.  The sweeps
+    # themselves all go through the public entry point.
+    from .detectors.matrix_profile import _sweep_allocation_bytes
     from .detectors.sliding import SlidingStats
 
     values = _walk(n)
     m = n - w + 1
     exclusion = w
-    num_diagonals = m - exclusion  # longest diagonal also has this many pairs
-    total_pairs = _leading_pairs(num_diagonals, num_diagonals)
-    diag_limit = _diag_limit_for_pairs(num_diagonals, num_diagonals, pair_cap)
-    pairs_timed = _leading_pairs(diag_limit, num_diagonals)
+    # the pair cap becomes an anytime fraction; the kernel's own
+    # ApproxReport is the single source of truth for how many pairs the
+    # resolved (block-rounded) coverage actually sweeps
+    num_diagonals = m - exclusion
+    total_pairs = num_diagonals * (num_diagonals + 1) // 2
+    fraction = min(1.0, pair_cap / total_pairs)
 
-    chunk = _chunk_for_budget(m, exclusion, budget, need_indices=False)
-    chunked_workspace = _sweep_allocation_bytes(
-        m, exclusion, need_indices=False, chunk=chunk
-    )
+    stats = SlidingStats(values)
+
+    def sweep(frac: float, chunk_width: int | None = None):
+        return matrix_profile(
+            values,
+            w,
+            stats=stats,
+            with_indices=False,
+            approx=frac,
+            # an explicit chunk width overrides the budget-derived one
+            max_memory_bytes=None if chunk_width is not None else budget,
+            chunk_width=chunk_width,
+        )
+
+    probe = sweep(fraction)
+    report = probe.report
+    chunk = probe.chunk_width
+    chunked_workspace = probe.workspace_bytes
     unchunked_workspace = _sweep_allocation_bytes(
         m, exclusion, need_indices=False, chunk=None
     )
 
-    stats = SlidingStats(values)
-    mean, inv, _ = stats.kernel_stats(w)
-
-    def sweep(limit: int, width=chunk):
-        return _diagonal_sweep(
-            stats.shifted,
-            w,
-            exclusion,
-            mean,
-            inv,
-            need_indices=False,
-            chunk=width,
-            diag_limit=limit,
-        )
-
-    seconds_timed = _timed(lambda: sweep(diag_limit), repeats)
-    estimated = diag_limit < num_diagonals
+    seconds_timed = _timed(lambda: sweep(fraction), repeats)
+    estimated = not report.exact
     if estimated:
         # two-point extrapolation: a second, smaller slice isolates the
         # per-pair marginal cost from the fixed setup (stats, anchor
         # covariances, buffer allocation), which a single-slice linear
         # scale would multiply along with the sweep itself
-        small_limit = max(1, diag_limit // 8)
-        pairs_small = _leading_pairs(small_limit, num_diagonals)
-        seconds_small = _timed(lambda: sweep(small_limit), repeats)
+        small = sweep(fraction / 8.0)
+        pairs_small = small.report.pairs_swept
+        seconds_small = _timed(lambda: sweep(fraction / 8.0), repeats)
         per_pair = max(
             (seconds_timed - seconds_small)
-            / max(pairs_timed - pairs_small, 1),
+            / max(report.pairs_swept - pairs_small, 1),
             0.0,
         )
-        seconds = seconds_timed + per_pair * (total_pairs - pairs_timed)
+        seconds = seconds_timed + per_pair * (
+            total_pairs - report.pairs_swept
+        )
     else:
         seconds = seconds_timed
 
     # measured peak of the whole pipeline (stats + kernel stats + sweep),
     # in a fresh untraced-data pass so only this case's allocations count
-    def pipeline():
-        fresh = SlidingStats(values)
-        fmean, finv, _ = fresh.kernel_stats(w)
-        return _diagonal_sweep(
-            fresh.shifted,
+    chunked_run, peak = _traced_peak(
+        lambda: matrix_profile(
+            values,
             w,
-            exclusion,
-            fmean,
-            finv,
-            need_indices=False,
-            chunk=chunk,
-            diag_limit=diag_limit,
+            with_indices=False,
+            approx=fraction,
+            max_memory_bytes=budget,
         )
-
-    chunked_run, peak = _traced_peak(pipeline)
+    )
 
     row = {
         "n": n,
@@ -481,26 +482,28 @@ def _scaling_case(
         "chunk_width": chunk,
         "chunked_workspace_bytes": int(chunked_workspace),
         "unchunked_workspace_bytes": int(unchunked_workspace),
-        "measured_workspace_bytes": int(chunked_run[2]),
+        "measured_workspace_bytes": int(chunked_run.workspace_bytes),
         "tracemalloc_peak_bytes": int(peak),
         "series_bytes": int(values.nbytes),
         "seconds": float(seconds),
         "seconds_timed": float(seconds_timed),
         "seconds_estimated": estimated,
-        "diagonals_timed": int(diag_limit),
-        "diagonals_total": int(num_diagonals),
-        "pairs_timed": int(pairs_timed),
-        "pairs_total": int(total_pairs),
+        "approx_fraction": float(fraction),
+        "diagonals_timed": int(report.diagonals_swept),
+        "diagonals_total": int(report.diagonals_total),
+        "pairs_timed": int(report.pairs_swept),
+        "pairs_total": int(report.pairs_total),
     }
     if unchunked_workspace <= _SCALING_UNCHUNKED_MEASURE_LIMIT:
-        # cross-check: the unchunked sweep over the same diagonals must be
+        # cross-check: the same coverage in one full-width chunk (the
+        # public spelling of the unchunked footprint) must be
         # bit-identical, and its measured peak shows the O(block·n) cost
         unchunked_run, unchunked_peak = _traced_peak(
-            lambda: sweep(diag_limit, width=None)
+            lambda: sweep(fraction, chunk_width=m)
         )
-        if not np.array_equal(chunked_run[0], unchunked_run[0]):
+        if not np.array_equal(chunked_run.profile, unchunked_run.profile):
             raise AssertionError(
-                f"chunked sweep diverged from the unchunked kernel at "
+                f"chunked sweep diverged from the full-width kernel at "
                 f"n={n}, chunk={chunk}"
             )
         row["unchunked_peak_bytes"] = int(unchunked_peak)
@@ -541,6 +544,212 @@ def _bench_scaling(
             for n in sizes
         ],
     }
+
+
+# ---------------------------------------------------------------------------
+# anytime: measured convergence of the approx= leading-diagonal bound
+
+
+def _anytime_fixtures(n: int) -> dict:
+    rng = np.random.default_rng(_SEED)
+    periodic = np.sin(
+        2 * np.pi * np.arange(n) / _ANYTIME_PERIOD
+    ) + 0.05 * rng.standard_normal(n)
+    return {"periodic": periodic, "walk": _walk(n)}
+
+
+def _bench_anytime(
+    quick: bool, fractions: tuple[float, ...] | None = None
+) -> dict:
+    """Measure how fast the ``approx=`` upper bound approaches exact.
+
+    The anytime mode guarantees an upper bound on every distance; how
+    *tight* the bound is at a given pair budget is a data property, not
+    a contract.  Two fixtures bracket it: a noisy periodic signal — the
+    shape the bound is good at, because every subsequence has a near
+    neighbour a few periods away, i.e. on a leading diagonal — and the
+    random walk, the honest adversarial case whose true nearest
+    neighbours sit on arbitrary diagonals.  Deviations are reported in
+    correlation space (``dev = (d_approx² − d_exact²) / 2w``), the same
+    space as the kernel's 1e-8 numerical contract.  Within a fixture
+    the rows must be pointwise monotone: the coverage grids are nested
+    prefixes, so a larger fraction can never loosen the bound — that
+    and the bound itself are asserted, not just reported.
+    """
+    from .detectors import matrix_profile
+    from .detectors.sliding import SlidingStats
+
+    n = _ANYTIME_QUICK_N if quick else _ANYTIME_N
+    w = _ANYTIME_W
+    if fractions is None:
+        fractions = _ANYTIME_QUICK_FRACTIONS if quick else _ANYTIME_FRACTIONS
+    fixtures = []
+    for name, values in _anytime_fixtures(n).items():
+        stats = SlidingStats(values)
+        start = time.perf_counter()
+        exact = matrix_profile(values, w, stats=stats, with_indices=False)
+        exact_seconds = time.perf_counter() - start
+        exact_discord = int(np.argmax(exact.profile))
+        rows = []
+        previous = None
+        for fraction in fractions:
+            start = time.perf_counter()
+            result = matrix_profile(
+                values, w, stats=stats, with_indices=False, approx=fraction
+            )
+            seconds = time.perf_counter() - start
+            report = result.report
+            # exact arithmetic, not a tolerance: the bound keeps the
+            # best-so-far of a *subset* of the same float candidates
+            dev = (result.profile**2 - exact.profile**2) / (2.0 * w)
+            if float(dev.min()) < 0.0:
+                raise AssertionError(
+                    f"anytime bound violated on {name} at "
+                    f"fraction={fraction}: min dev {dev.min():.3e}"
+                )
+            if previous is not None and np.any(result.profile > previous):
+                raise AssertionError(
+                    f"anytime bound loosened on {name} between nested "
+                    f"fractions at fraction={fraction}"
+                )
+            previous = result.profile
+            rows.append(
+                {
+                    "fraction": float(fraction),
+                    "fraction_swept": float(report.fraction_swept),
+                    "pairs_swept": int(report.pairs_swept),
+                    "pairs_total": int(report.pairs_total),
+                    "diagonals_swept": int(report.diagonals_swept),
+                    "diagonals_total": int(report.diagonals_total),
+                    "seconds": float(seconds),
+                    "max_dev": float(dev.max()),
+                    "mean_dev": float(dev.mean()),
+                    "p99_dev": float(np.quantile(dev, 0.99)),
+                    "discord_match": bool(
+                        int(np.argmax(result.profile)) == exact_discord
+                    ),
+                }
+            )
+        fixtures.append(
+            {
+                "fixture": name,
+                "exact_seconds": float(exact_seconds),
+                "results": rows,
+            }
+        )
+    return {
+        "n": n,
+        "w": w,
+        "fractions": [float(f) for f in fractions],
+        "fixtures": fixtures,
+    }
+
+
+# ---------------------------------------------------------------------------
+# parallel: sharded sweeps must be bit-identical, and fast where cores exist
+
+
+def _parallel_model(shard_pairs, jobs: int) -> float:
+    """Critical-path speedup over the shard pair counts.
+
+    List-schedules shards in submission order onto the earliest-free
+    worker — the order the pool dispatches them — and divides total
+    pair work by the longest worker's share.  This is the arithmetic
+    ceiling: it ignores process start-up, argument pickling, and the
+    merge, so measured speedups approach it from below as cores allow.
+    """
+    free = [0] * max(1, int(jobs))
+    for pairs in shard_pairs:
+        worker = min(range(len(free)), key=free.__getitem__)
+        free[worker] += pairs
+    return _ratio(sum(shard_pairs), max(free))
+
+
+def _bench_parallel(
+    quick: bool,
+    cases=None,
+    max_memory_bytes: int | None = None,
+) -> dict:
+    """Full exact sweeps, serial vs ``jobs=N``, identity asserted.
+
+    Every case runs the complete profile with indices — no slices, no
+    extrapolation — once serially and once per jobs value, and raises
+    if a single bit of either array differs.  ``speedup_measured`` is
+    the honest wall-clock ratio on *this* host; ``speedup_modeled`` is
+    the shard-plan critical path, which is what a host with >= jobs
+    idle cores would approach.  ``cpu_count`` is recorded so the two
+    can be read together: on a 1-core container the measured ratio
+    hovers near 1x however good the sharding is.
+    """
+    from .detectors import matrix_profile, plan_shards
+
+    if cases is None:
+        cases = _PARALLEL_QUICK_CASES if quick else _PARALLEL_CASES
+    budget = (
+        _SCALING_KERNEL_BUDGET if max_memory_bytes is None else max_memory_bytes
+    )
+    w = _PARALLEL_W
+    results = []
+    for n, jobs_list in cases:
+        values = _walk(n)
+        m = n - w + 1
+        shards = plan_shards(m, w)
+        # diagonal d holds m - d pairs, so shard [lo, hi) holds the
+        # arithmetic series (hi-lo)(2m - lo - hi + 1)/2 of them
+        shard_pairs = [
+            (hi - lo) * (2 * m - lo - hi + 1) // 2 for lo, hi in shards
+        ]
+        start = time.perf_counter()
+        serial = matrix_profile(values, w, max_memory_bytes=budget)
+        serial_seconds = time.perf_counter() - start
+        row = {
+            "n": n,
+            "w": w,
+            "max_memory_bytes": budget,
+            "shards": len(shards),
+            "pairs_total": int(sum(shard_pairs)),
+            "serial_seconds": float(serial_seconds),
+            "serial_chunk_width": serial.chunk_width,
+            "serial_workspace_bytes": int(serial.workspace_bytes),
+            "runs": [],
+        }
+        for jobs in jobs_list:
+            start = time.perf_counter()
+            sharded = matrix_profile(
+                values, w, max_memory_bytes=budget, jobs=jobs
+            )
+            seconds = time.perf_counter() - start
+            if not (
+                np.array_equal(serial.profile, sharded.profile)
+                and np.array_equal(serial.indices, sharded.indices)
+            ):
+                raise AssertionError(
+                    f"jobs={jobs} diverged from the serial sweep at n={n}"
+                )
+            if sharded.shards != len(shards):
+                raise AssertionError(
+                    f"shard plan changed under jobs={jobs} at n={n}: "
+                    f"{sharded.shards} != {len(shards)}"
+                )
+            if sharded.workspace_bytes * jobs > budget:
+                raise AssertionError(
+                    f"per-worker workspace {sharded.workspace_bytes} x "
+                    f"{jobs} jobs exceeds the {budget} byte budget"
+                )
+            row["runs"].append(
+                {
+                    "jobs": int(jobs),
+                    "seconds": float(seconds),
+                    "worker_workspace_bytes": int(sharded.workspace_bytes),
+                    "speedup_measured": _ratio(serial_seconds, seconds),
+                    "speedup_modeled": float(
+                        _parallel_model(shard_pairs, jobs)
+                    ),
+                    "identical": True,
+                }
+            )
+        results.append(row)
+    return {"w": w, "cpu_count": os.cpu_count(), "results": results}
 
 
 # ---------------------------------------------------------------------------
@@ -829,13 +1038,18 @@ def run_bench(
     max_memory_bytes: int | None = None,
     scaling_sizes: tuple[int, ...] | None = None,
     scaling_pair_cap: int | None = None,
+    anytime_fractions: tuple[float, ...] | None = None,
+    parallel_cases: tuple[tuple[int, tuple[int, ...]], ...] | None = None,
 ) -> dict:
     """Run the selected sections and return the machine-readable report.
 
     ``max_memory_bytes`` is the kernel workspace budget the ``scaling``
-    section hands to the column-chunked sweep (default 128 MiB);
-    ``scaling_sizes``/``scaling_pair_cap`` shrink that section for
-    tests.
+    and ``parallel`` sections hand to the column-chunked sweep (default
+    128 MiB); ``scaling_sizes``/``scaling_pair_cap`` shrink the scaling
+    section for tests.  ``anytime_fractions`` overrides the anytime
+    section's coverage grid (``repro bench --approx``);
+    ``parallel_cases`` is ``((n, (jobs, ...)), ...)`` for the parallel
+    section — tests shrink it, the full default ends at n = 10⁶.
     """
     chosen = SECTIONS if sections is None else tuple(sections)
     unknown = set(chosen) - set(SECTIONS)
@@ -933,6 +1147,61 @@ def run_bench(
         ]
         report["checks"]["obs_disabled_overhead_ok"] = bool(
             obs["disabled_overhead_pct"] < 5.0
+        )
+    if "anytime" in chosen:
+        anytime = _bench_anytime(quick, fractions=anytime_fractions)
+        report["sections"]["anytime"] = anytime
+        # the headline claim: on the periodic fixture, the bound is
+        # within 1e-3 mean corr-space deviation inside 10% of the pair
+        # budget.  Judged on fraction_swept (what actually ran, after
+        # block rounding), not on the requested fraction.
+        periodic = next(
+            f for f in anytime["fixtures"] if f["fixture"] == "periodic"
+        )
+        in_budget = [
+            row
+            for row in periodic["results"]
+            if row["fraction_swept"] <= 0.10
+        ]
+        best = min(in_budget, key=lambda row: row["mean_dev"], default=None)
+        if best is not None:
+            report["checks"]["anytime_mean_dev"] = best["mean_dev"]
+            report["checks"]["anytime_fraction_swept"] = best[
+                "fraction_swept"
+            ]
+            report["checks"]["anytime_converged"] = bool(
+                best["mean_dev"] <= 1e-3
+            )
+        # the bound/monotonicity properties raise inside the section,
+        # so reaching this line means they held on every fixture
+        report["checks"]["anytime_bound_held"] = True
+    if "parallel" in chosen:
+        par = _bench_parallel(
+            quick, cases=parallel_cases, max_memory_bytes=max_memory_bytes
+        )
+        report["sections"]["parallel"] = par
+        top = par["results"][-1]
+        run = top["runs"][-1]
+        report["checks"]["parallel_identical"] = True  # asserted per run
+        report["checks"]["parallel_n"] = top["n"]
+        report["checks"]["parallel_jobs"] = run["jobs"]
+        report["checks"]["parallel_speedup_measured"] = run[
+            "speedup_measured"
+        ]
+        report["checks"]["parallel_speedup_modeled"] = run["speedup_modeled"]
+        # the headline target is >= 3x at jobs=4, i.e. 75% parallel
+        # efficiency — scaled by jobs so a 2-worker quick run is judged
+        # against 1.5x, not an unreachable 3x.  A host with fewer cores
+        # than jobs cannot measure any speedup; there the modeled
+        # critical path is the honest judgement, and cpu_count in env
+        # says which case this report is.
+        cores = par["cpu_count"] or 1
+        target = 0.75 * run["jobs"]
+        report["checks"]["parallel_speedup_target"] = target
+        report["checks"]["parallel_speedup_ok"] = bool(
+            run["speedup_measured"] >= target
+            if cores >= run["jobs"]
+            else run["speedup_modeled"] >= target
         )
     return report
 
@@ -1102,4 +1371,42 @@ def format_bench(report: dict) -> str:
             f"{obs['span_enabled_ns']:.0f}ns, counter inc "
             f"{obs['counter_inc_ns']:.0f}ns"
         )
+    anytime = report["sections"].get("anytime")
+    if anytime:
+        lines.append("")
+        lines.append(
+            f"anytime (n={anytime['n']}, w={anytime['w']}): corr-space "
+            f"deviation of the approx= upper bound"
+        )
+        for fixture in anytime["fixtures"]:
+            lines.append(
+                f"  {fixture['fixture']:<9} exact "
+                f"{fixture['exact_seconds']:.1f}s"
+            )
+            for row in fixture["results"]:
+                mark = "=" if row["discord_match"] else " "
+                lines.append(
+                    f"    {row['fraction_swept']:>6.1%} of pairs  "
+                    f"{row['seconds']:>6.2f}s  mean {row['mean_dev']:.1e}  "
+                    f"p99 {row['p99_dev']:.1e}  max {row['max_dev']:.1e}  "
+                    f"discord{mark}"
+                )
+    parallel = report["sections"].get("parallel")
+    if parallel:
+        lines.append("")
+        lines.append(
+            f"parallel (w={parallel['w']}, {parallel['cpu_count']} cpu(s)): "
+            f"full exact sweeps, bit-identity asserted"
+        )
+        for row in parallel["results"]:
+            lines.append(
+                f"  n={row['n']:<9} serial {row['serial_seconds']:.1f}s "
+                f"({row['shards']} shards)"
+            )
+            for run in row["runs"]:
+                lines.append(
+                    f"    jobs={run['jobs']}  {run['seconds']:>8.1f}s  "
+                    f"{run['speedup_measured']:.2f}x measured, "
+                    f"{run['speedup_modeled']:.2f}x critical-path model"
+                )
     return "\n".join(lines)

@@ -37,7 +37,8 @@ Commands mirror the paper's workflow:
   (calls, total/self/mean time, counters).
 * ``bench`` — time the numeric core (mpx kernel vs the retained naive
   and STOMP references, MERLIN before/after, kNN, one-liners, engine
-  grid, bounded-memory scaling, streaming appends/replay) and write a
+  grid, bounded-memory scaling, streaming appends/replay, anytime
+  convergence, parallel-sweep bit-identity) and write a
   machine-readable report whose name derives from the perf trajectory
   (``benchmarks/perf/BENCH_<n>.json``).
 
@@ -45,10 +46,14 @@ Commands mirror the paper's workflow:
 ``--jobs`` parallelizes and ``--cache-dir`` makes re-runs skip every
 already-computed cell; ``--max-memory`` caps the matrix-profile
 family's sweep workspace in every worker (the kernel column-chunks its
-block buffers to fit, bit-identically).  ``compare`` and ``run
---stats`` execute through :mod:`repro.stats`; their output is
-byte-identical across repeated invocations and across serial vs
-parallel source runs.
+block buffers to fit, bit-identically) and ``--kernel-jobs`` shards
+each sweep itself across processes (also bit-identical; the budget is
+split per worker).  Anytime profiles are a *detector spec* parameter,
+not a flag — ``matrix_profile(w=100, approx=0.1)`` — because partial
+coverage changes scores and so belongs in manifests and cache keys.
+``compare`` and ``run --stats`` execute through :mod:`repro.stats`;
+their output is byte-identical across repeated invocations and across
+serial vs parallel source runs.
 
 ``run``, ``stream`` and ``serve-bench`` accept ``--trace OUT.jsonl``:
 the command executes inside a fresh :mod:`repro.obs` tracing session
@@ -99,6 +104,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         metavar="SIZE",
         help="cap the matrix-profile sweep workspace per process, e.g. "
         "256M or 1G (default: unbounded); results are bit-identical",
+    )
+    parser.add_argument(
+        "--kernel-jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard every matrix-profile sweep across N worker processes "
+        "(bit-identical profiles and indices; a --max-memory budget is "
+        "split per worker; engine --jobs workers cap this to 1 to avoid "
+        "oversubscription; default: in-process)",
     )
 
 
@@ -359,6 +374,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--refit-every); the native streaming kernel's memory is "
         "bounded by --window instead (default: unbounded)",
     )
+    stream.add_argument(
+        "--kernel-jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard batch matrix-profile sweeps (wrapped detectors, "
+        "--refit-every) across N worker processes; bit-identical "
+        "(default: in-process)",
+    )
     _add_stats_options(stream)
     _add_trace_option(stream)
 
@@ -519,8 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="time the numeric core (mpx kernel vs retained references, "
-        "MERLIN, kNN, one-liners, engine grid, bounded-memory scaling) "
-        "and write a machine-readable report",
+        "MERLIN, kNN, one-liners, engine grid, bounded-memory scaling, "
+        "anytime convergence, parallel bit-identity) and write a "
+        "machine-readable report",
     )
     bench.add_argument(
         "--quick",
@@ -550,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--sections",
         default=",".join(BENCH_SECTIONS),
         help=f"comma-separated subset of: {', '.join(BENCH_SECTIONS)}",
+    )
+    bench.add_argument(
+        "--approx",
+        default=None,
+        metavar="F1,F2,...",
+        help="coverage-fraction grid for the anytime section, e.g. "
+        "0.01,0.05,0.1 — each in (0, 1] (default: the built-in grid)",
     )
     bench.add_argument(
         "--min-kernel-speedup",
@@ -677,6 +709,25 @@ def _apply_memory_budget(text) -> bool:
     return True
 
 
+def _apply_kernel_jobs(jobs) -> bool:
+    """Install ``--kernel-jobs`` as the process-wide sweep default.
+
+    Mirrored into ``REPRO_KERNEL_JOBS`` so spawned engine workers
+    inherit it; each pool worker then caps the inherited default back
+    to 1 so engine-level and kernel-level parallelism do not multiply.
+    """
+    if not jobs:
+        return True
+    from .detectors import set_default_kernel_jobs
+
+    try:
+        set_default_kernel_jobs(jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return False
+    return True
+
+
 def _traced(args, fn) -> int:
     """Run a command body, exporting a trace when ``--trace`` was given.
 
@@ -721,6 +772,8 @@ def _load_scored_archive(directory: str):
 
 def _cmd_score(args) -> int:
     if not _apply_memory_budget(args.max_memory):
+        return 2
+    if not _apply_kernel_jobs(args.kernel_jobs):
         return 2
     archive = _load_scored_archive(args.directory)
     if archive is None:
@@ -769,6 +822,8 @@ def _cmd_run(args) -> int:
     from .runner import ResultsStore, format_report
 
     if not _apply_memory_budget(args.max_memory):
+        return 2
+    if not _apply_kernel_jobs(args.kernel_jobs):
         return 2
     archive = _load_scored_archive(args.directory)
     if archive is None:
@@ -886,6 +941,8 @@ def _cmd_stream(args) -> int:
     )
 
     if not _apply_memory_budget(args.max_memory):
+        return 2
+    if not _apply_kernel_jobs(args.kernel_jobs):
         return 2
     archive = _load_scored_archive(args.directory)
     if archive is None:
@@ -1051,12 +1108,28 @@ def _cmd_bench(args) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    fractions = None
+    if args.approx:
+        try:
+            fractions = tuple(
+                float(part) for part in args.approx.split(",") if part.strip()
+            )
+        except ValueError:
+            print(f"error: malformed --approx {args.approx!r}", file=sys.stderr)
+            return 2
+        if not fractions or any(not 0.0 < f <= 1.0 for f in fractions):
+            print(
+                "error: --approx fractions must be in (0, 1]",
+                file=sys.stderr,
+            )
+            return 2
     try:
         report = run_bench(
             quick=args.quick,
             repeats=args.repeats,
             sections=sections,
             max_memory_bytes=max_memory,
+            anytime_fractions=fractions,
         )
     except (ValueError, AssertionError) as error:
         # AssertionError: a before/after cross-check inside a section

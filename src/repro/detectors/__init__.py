@@ -12,19 +12,23 @@ from .baselines import (
 )
 from .knn import KnnDistanceDetector
 from .matrix_profile import (
+    ApproxReport,
     MatrixProfileDetector,
     MatrixProfileResult,
+    default_kernel_jobs,
     default_memory_budget,
     discord_search,
     discords,
     matrix_profile,
     moving_mean_std,
     parse_memory_size,
+    set_default_kernel_jobs,
     set_default_memory_budget,
     sliding_dot_products,
     subsequence_to_point_scores,
 )
 from .merlin import MerlinDetector, MerlinResult, merlin
+from .parallel import plan_shards
 from .reference import naive_profile, stomp_profile
 from .sliding import SlidingStats, chunk_spans, sliding_max, sliding_min
 from .registry import (
@@ -56,6 +60,8 @@ __all__ = [
     "matrix_profile",
     "MatrixProfileResult",
     "MatrixProfileDetector",
+    "ApproxReport",
+    "plan_shards",
     "discord_search",
     "discords",
     "moving_mean_std",
@@ -68,6 +74,8 @@ __all__ = [
     "parse_memory_size",
     "set_default_memory_budget",
     "default_memory_budget",
+    "set_default_kernel_jobs",
+    "default_kernel_jobs",
     "naive_profile",
     "stomp_profile",
     "merlin",

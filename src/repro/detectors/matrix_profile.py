@@ -56,6 +56,7 @@ __all__ = [
     "moving_mean_std",
     "matrix_profile",
     "MatrixProfileResult",
+    "ApproxReport",
     "discord_search",
     "discords",
     "subsequence_to_point_scores",
@@ -63,6 +64,8 @@ __all__ = [
     "parse_memory_size",
     "set_default_memory_budget",
     "default_memory_budget",
+    "set_default_kernel_jobs",
+    "default_kernel_jobs",
 ]
 
 # diagonals per kernel block, large enough to amortize numpy dispatch.
@@ -140,6 +143,48 @@ def default_memory_budget() -> "int | None":
     return parse_memory_size(raw)
 
 
+# process-wide default for matrix_profile(..., jobs=); mirrored into the
+# environment exactly like the memory budget so `repro ... --kernel-jobs`
+# reaches engine worker processes, where the engine caps it back to 1 to
+# keep one level of process parallelism (no nested pools).
+_JOBS_ENV = "REPRO_KERNEL_JOBS"
+_default_kernel_jobs: int | None = None
+
+
+def set_default_kernel_jobs(jobs: "int | None") -> None:
+    """Set the process-wide default for ``matrix_profile(..., jobs=)``.
+
+    ``None`` removes the default (sweeps stay single-process and
+    unsharded).  The value is mirrored into ``REPRO_KERNEL_JOBS`` so
+    worker processes inherit it whatever their start method; the
+    evaluation engine's pool initializer caps an inherited default to 1
+    so engine parallelism and kernel parallelism never multiply.
+    """
+    global _default_kernel_jobs
+    if jobs is not None:
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(f"kernel jobs must be >= 1, got {jobs}")
+    _default_kernel_jobs = jobs
+    if jobs is None:
+        os.environ.pop(_JOBS_ENV, None)
+    else:
+        os.environ[_JOBS_ENV] = str(jobs)
+
+
+def default_kernel_jobs() -> "int | None":
+    """The active default kernel jobs: explicit setting, else environment."""
+    if _default_kernel_jobs is not None:
+        return _default_kernel_jobs
+    raw = os.environ.get(_JOBS_ENV)
+    if not raw:
+        return None
+    jobs = int(raw)
+    if jobs < 1:
+        raise ValueError(f"{_JOBS_ENV} must be >= 1, got {raw!r}")
+    return jobs
+
+
 def sliding_dot_products(query: np.ndarray, series: np.ndarray) -> np.ndarray:
     """Dot product of ``query`` with every window of ``series`` (FFT)."""
     query = np.asarray(query, dtype=float)
@@ -154,6 +199,116 @@ def sliding_dot_products(query: np.ndarray, series: np.ndarray) -> np.ndarray:
     return product[m - 1 : n]
 
 
+@dataclass(frozen=True)
+class ApproxReport:
+    """Convergence/error report for an anytime (``approx=``) profile.
+
+    The anytime mode sweeps only the *leading* diagonals — pair
+    separations in ``[exclusion, exclusion + diagonals_swept)`` — so
+    every reported value is a **pointwise upper bound** on the exact
+    nearest-neighbour distance (a subset of candidate neighbours can
+    only raise the minimum distance), and the bound is **monotone**:
+    sweeping a larger fraction never loosens any entry, because a
+    larger fraction covers a superset of diagonals and the shared
+    prefix is computed bit-identically.
+
+    ``fraction`` is what the caller asked for; ``fraction_swept`` what
+    the kernel actually covered after rounding the diagonal count up to
+    whole kernel blocks (always ``>= fraction``).  ``exact`` is True
+    when the rounding reached full coverage — the result then *is* the
+    exact profile.  Measured deviation from exact is deliberately not a
+    field: computing it would cost the full sweep the mode exists to
+    avoid; the ``anytime`` bench section measures it on fixtures.
+    """
+
+    fraction: float  # requested share of the pair budget
+    fraction_swept: float  # actual share after block rounding
+    pairs_swept: int
+    pairs_total: int
+    diagonals_swept: int
+    diagonals_total: int
+    exact: bool
+
+    def to_json(self) -> dict:
+        return {
+            "fraction": self.fraction,
+            "fraction_swept": self.fraction_swept,
+            "pairs_swept": self.pairs_swept,
+            "pairs_total": self.pairs_total,
+            "diagonals_swept": self.diagonals_swept,
+            "diagonals_total": self.diagonals_total,
+            "exact": self.exact,
+            "guarantee": "upper_bound",
+        }
+
+
+def _leading_pairs(limit: int, total_diagonals: int) -> int:
+    """Pairs on the first ``limit`` diagonals (of ``total_diagonals``).
+
+    Diagonal ``k`` of the ``L`` admissible ones holds ``L - k`` …
+    ``1`` pairs going outward, i.e. the leading diagonals are the
+    heaviest; this closed form is what the anytime mode and the bench
+    extrapolation both budget with.
+    """
+    limit = min(int(limit), int(total_diagonals))
+    return limit * int(total_diagonals) - limit * (limit - 1) // 2
+
+
+def _diag_limit_for_pairs(target_pairs: int, total_diagonals: int) -> int:
+    """Smallest leading-diagonal count covering ``target_pairs`` pairs."""
+    low, high = 1, max(1, int(total_diagonals))
+    while low < high:
+        mid = (low + high) // 2
+        if _leading_pairs(mid, total_diagonals) >= target_pairs:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def _resolve_approx(
+    approx: "float | None", total_diagonals: int, block: int = _DIAG_BLOCK
+) -> "tuple[int | None, ApproxReport | None]":
+    """Turn an ``approx=`` fraction into a diagonal limit plus report.
+
+    The limit is rounded *up* to whole kernel blocks because the sweep
+    always processes full blocks — the report accounts for what is
+    actually swept, not what was asked for.  Full coverage after
+    rounding degrades gracefully to the exact sweep (``limit=None``).
+    """
+    if approx is None:
+        return None, None
+    fraction = float(approx)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"approx must be in (0, 1], got {approx!r}")
+    L = int(total_diagonals)
+    if L <= 0:
+        return None, ApproxReport(
+            fraction=fraction,
+            fraction_swept=1.0,
+            pairs_swept=0,
+            pairs_total=0,
+            diagonals_swept=0,
+            diagonals_total=0,
+            exact=True,
+        )
+    total_pairs = _leading_pairs(L, L)
+    target = max(1, int(np.ceil(fraction * total_pairs)))
+    limit = _diag_limit_for_pairs(target, L)
+    covered = min(L, block * ((limit + block - 1) // block))
+    pairs_swept = _leading_pairs(covered, L)
+    report = ApproxReport(
+        fraction=fraction,
+        fraction_swept=pairs_swept / total_pairs,
+        pairs_swept=pairs_swept,
+        pairs_total=total_pairs,
+        diagonals_swept=covered,
+        diagonals_total=L,
+        exact=covered >= L,
+    )
+    return (None if covered >= L else covered), report
+
+
 @dataclass
 class MatrixProfileResult:
     """Self-join matrix profile for window length ``w``.
@@ -162,9 +317,19 @@ class MatrixProfileResult:
     ``with_indices=False`` (the fast path detectors use — nothing on the
     scoring path reads neighbour locations).  ``chunk_width`` and
     ``workspace_bytes`` record how the sweep was tiled: the column-chunk
-    width actually used (``None`` = one full-width chunk) and the exact
-    bytes of sweep scratch it allocated, from the kernel's allocation
-    accounting — the number ``max_memory_bytes`` budgets against.
+    width actually used (``None`` = one full-width chunk; sharded sweeps
+    derive a width per shard, so only an explicit ``chunk_width`` is
+    echoed back) and the exact bytes of sweep scratch it allocated, from
+    the kernel's allocation accounting — for a sharded sweep the
+    *largest single shard*, the per-worker number ``max_memory_bytes``
+    divides by ``jobs`` to bound.
+
+    ``jobs``/``shards`` record how a parallel sweep executed (``None``/
+    ``0`` for the single-sweep path); ``report`` is the anytime mode's
+    :class:`ApproxReport` (``None`` for exact sweeps) — when present,
+    ``profile`` is a pointwise upper bound and ``indices`` are the
+    best neighbours *among the pairs swept*, the witnesses of that
+    bound.
     """
 
     w: int
@@ -172,6 +337,9 @@ class MatrixProfileResult:
     indices: np.ndarray | None  # nearest-neighbour location per subsequence
     chunk_width: int | None = None
     workspace_bytes: int | None = None
+    jobs: int | None = None
+    shards: int = 0
+    report: ApproxReport | None = None
 
     @property
     def discord_index(self) -> int:
@@ -608,6 +776,50 @@ def _validated(
     return stats, w if exclusion is None else exclusion
 
 
+def _resolve_jobs(jobs: "int | None") -> "int | None":
+    """Explicit ``jobs`` wins; otherwise the process-wide default."""
+    if jobs is None:
+        return default_kernel_jobs()
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _worker_budget(
+    max_memory_bytes: "int | None", jobs: int
+) -> "tuple[int | None, int | None]":
+    """Split a process-level budget into per-worker shares.
+
+    Returns ``(budget, per_worker)``.  ``max_memory_bytes`` stays an
+    honest *process* cap under parallelism: each of the ``jobs`` workers
+    gets an equal share, so the sum of live shard workspaces never
+    exceeds the budget (``workspace_bytes × jobs <= budget`` — asserted
+    after the sweep against the kernel's exact allocation accounting).
+    """
+    budget = (
+        max_memory_bytes if max_memory_bytes is not None else default_memory_budget()
+    )
+    if budget is None:
+        return None, None
+    budget = int(budget)
+    return budget, budget // jobs
+
+
+def _adopt_shards(tracer, registry, outcome) -> None:
+    """Splice shard traces/metrics into the parent, in shard order.
+
+    Adoption order is the shard plan's order — deterministic and
+    jobs-independent — so the merged span tree is identical whether the
+    shards ran in-process or across any number of pool workers.
+    """
+    for records, state in outcome.exports:
+        if records:
+            tracer.adopt(records)
+        if state:
+            registry.merge_state(state)
+
+
 def matrix_profile(
     values: np.ndarray,
     w: int,
@@ -617,6 +829,8 @@ def matrix_profile(
     with_indices: bool = True,
     max_memory_bytes: int | None = None,
     chunk_width: int | None = None,
+    jobs: int | None = None,
+    approx: float | None = None,
 ) -> MatrixProfileResult:
     """Exact z-normalized self-join matrix profile (mpx diagonal kernel).
 
@@ -638,36 +852,105 @@ def matrix_profile(
     :func:`set_default_memory_budget` / ``REPRO_MAX_MEMORY`` applies;
     unbounded means one full-width chunk, the fastest layout.  Results
     are bit-identical for every chunk width.
+
+    ``jobs`` shards the diagonal sweep across that many worker
+    processes (``jobs=1``: the same shard plan, in-process).  Shards
+    are block-aligned and merged with the serial first-occurrence tie
+    rule, so profiles *and* neighbour indices are bit-identical to the
+    single-sweep kernel for every ``jobs`` value; the memory budget is
+    divided per worker (``workspace_bytes`` then reports the largest
+    single shard, and ``workspace_bytes × jobs`` honours the process
+    cap).  ``None`` defers to :func:`set_default_kernel_jobs` /
+    ``REPRO_KERNEL_JOBS`` (`repro … --kernel-jobs`), else stays on the
+    historical single-sweep path.
+
+    ``approx`` enables the anytime mode: sweep only the leading
+    diagonals covering at least that fraction of the pair budget and
+    return a pointwise **upper bound** on the exact profile, with the
+    accounting in :attr:`MatrixProfileResult.report` (an
+    :class:`ApproxReport`).  The bound is monotone — a larger fraction
+    never loosens any entry — and composes with ``jobs``.
     """
     stats, exclusion = _validated(values, w, exclusion, stats)
     mean, inv, constant = stats.kernel_stats(w)
-    chunk = _resolve_chunk(
-        stats.n - w + 1,
-        exclusion,
-        max_memory_bytes,
-        chunk_width,
-        need_indices=with_indices,
-    )
+    m = stats.n - w + 1
+    jobs = _resolve_jobs(jobs)
+    diag_limit, report = _resolve_approx(approx, m - exclusion)
     tracer = get_tracer()
-    with tracer.span(
-        "mpx.profile",
-        n=stats.n,
-        w=w,
-        chunk=chunk,
-        with_indices=with_indices,
-    ):
-        best, bestj, workspace = _diagonal_sweep(
-            stats.shifted,
-            w,
-            exclusion,
-            mean,
-            inv,
-            need_indices=with_indices,
-            chunk=chunk,
-            tracer=tracer if tracer.enabled else None,
-        )
-        profile, indices = _finalize(best, bestj, w, exclusion, constant)
     registry = get_registry()
+
+    if jobs is None:
+        chunk = _resolve_chunk(
+            m,
+            exclusion,
+            max_memory_bytes,
+            chunk_width,
+            need_indices=with_indices,
+        )
+        with tracer.span(
+            "mpx.profile",
+            n=stats.n,
+            w=w,
+            chunk=chunk,
+            with_indices=with_indices,
+        ) as span:
+            if span is not None and report is not None:
+                span.set(approx=report.fraction, diag_limit=report.diagonals_swept)
+            best, bestj, workspace = _diagonal_sweep(
+                stats.shifted,
+                w,
+                exclusion,
+                mean,
+                inv,
+                need_indices=with_indices,
+                chunk=chunk,
+                diag_limit=diag_limit,
+                tracer=tracer if tracer.enabled else None,
+            )
+            profile, indices = _finalize(best, bestj, w, exclusion, constant)
+        shards = 0
+    else:
+        from .parallel import sharded_sweep
+
+        budget, per_worker = _worker_budget(max_memory_bytes, jobs)
+        with tracer.span(
+            "mpx.profile",
+            n=stats.n,
+            w=w,
+            chunk=chunk_width,
+            with_indices=with_indices,
+            jobs=jobs,
+        ) as span:
+            if span is not None and report is not None:
+                span.set(approx=report.fraction, diag_limit=report.diagonals_swept)
+            outcome = sharded_sweep(
+                stats.values,
+                w,
+                exclusion,
+                need_indices=with_indices,
+                jobs=jobs,
+                chunk_width=chunk_width,
+                worker_budget=per_worker,
+                diag_stop=(
+                    None if diag_limit is None else exclusion + diag_limit
+                ),
+                traced=tracer.enabled,
+            )
+            if span is not None:
+                span.set(shards=len(outcome.shards))
+            _adopt_shards(tracer, registry, outcome)
+            profile, indices = _finalize(
+                outcome.best, outcome.bestj, w, exclusion, constant
+            )
+        workspace = outcome.workspace_bytes
+        shards = len(outcome.shards)
+        chunk = chunk_width
+        registry.counter("mpx_shards").inc(shards)
+        assert budget is None or workspace * jobs <= budget, (
+            f"per-worker budgeting violated: {workspace} bytes/worker × "
+            f"{jobs} jobs exceeds the {budget}-byte process budget"
+        )
+
     registry.counter("mpx_profiles").inc()
     registry.gauge("mpx_workspace_bytes").set(workspace)
     return MatrixProfileResult(
@@ -676,6 +959,9 @@ def matrix_profile(
         indices=indices,
         chunk_width=chunk,
         workspace_bytes=workspace,
+        jobs=jobs,
+        shards=shards,
+        report=report,
     )
 
 
@@ -688,6 +974,7 @@ def discord_search(
     normalized_floor: float | None = None,
     max_memory_bytes: int | None = None,
     chunk_width: int | None = None,
+    jobs: int | None = None,
 ) -> tuple[int, float] | None:
     """Top discord ``(start_index, distance)`` for one window length.
 
@@ -699,6 +986,14 @@ def discord_search(
     ``chunk_width`` bound the sweep's working set exactly as in
     :func:`matrix_profile`, so MERLIN's whole length sweep runs inside
     the budget.
+
+    ``jobs`` shards the sweep across worker processes exactly as in
+    :func:`matrix_profile` (same bit-identical merge, same per-worker
+    budget split).  Early abandonment stays sound under sharding: a
+    shard that saturates on its own diagonals proves the merged profile
+    saturates too, and the merged result gets the same final
+    all-subsequences check the serial sweep ends on — so the
+    abandoned/not-abandoned answer is identical for every ``jobs``.
     """
     stats, exclusion = _validated(values, w, exclusion, stats)
     mean, inv, constant = stats.kernel_stats(w)
@@ -706,32 +1001,70 @@ def discord_search(
     if normalized_floor is not None and np.isfinite(normalized_floor):
         # d/sqrt(w) <= floor  ⇔  corr >= 1 - floor²/2, identically in w
         abandon = 1.0 - 0.5 * float(normalized_floor) ** 2
-    chunk = _resolve_chunk(
-        stats.n - w + 1,
-        exclusion,
-        max_memory_bytes,
-        chunk_width,
-        need_indices=False,
-    )
+    jobs = _resolve_jobs(jobs)
     tracer = get_tracer()
-    with tracer.span("mpx.discord_search", n=stats.n, w=w) as span:
-        swept = _diagonal_sweep(
-            stats.shifted,
-            w,
+    registry = get_registry()
+    if jobs is None:
+        chunk = _resolve_chunk(
+            stats.n - w + 1,
             exclusion,
-            mean,
-            inv,
+            max_memory_bytes,
+            chunk_width,
             need_indices=False,
-            abandon=abandon,
-            chunk=chunk,
-            tracer=tracer if tracer.enabled else None,
         )
-        if swept is None:
+        with tracer.span("mpx.discord_search", n=stats.n, w=w) as span:
+            swept = _diagonal_sweep(
+                stats.shifted,
+                w,
+                exclusion,
+                mean,
+                inv,
+                need_indices=False,
+                abandon=abandon,
+                chunk=chunk,
+                tracer=tracer if tracer.enabled else None,
+            )
+            if swept is None:
+                if span is not None:
+                    span.set(abandoned=True)
+                registry.counter("mpx_abandoned_sweeps").inc()
+                return None
+        best, _, _ = swept
+    else:
+        from .parallel import sharded_sweep
+
+        _budget, per_worker = _worker_budget(max_memory_bytes, jobs)
+        with tracer.span(
+            "mpx.discord_search", n=stats.n, w=w, jobs=jobs
+        ) as span:
+            outcome = sharded_sweep(
+                stats.values,
+                w,
+                exclusion,
+                need_indices=False,
+                jobs=jobs,
+                chunk_width=chunk_width,
+                worker_budget=per_worker,
+                abandon=abandon,
+                traced=tracer.enabled,
+            )
             if span is not None:
-                span.set(abandoned=True)
-            get_registry().counter("mpx_abandoned_sweeps").inc()
-            return None
-    best, _, _ = swept
+                span.set(shards=len(outcome.shards))
+            _adopt_shards(tracer, registry, outcome)
+            registry.counter("mpx_shards").inc(len(outcome.shards))
+            # the serial sweep's abandon rule is a final-state property
+            # (the running minimum only grows); a shard abandoning on
+            # its own subset already implies it, but the merged check
+            # keeps the answer identical when no single shard saturates
+            if outcome.abandoned or (
+                abandon is not None
+                and _alive_min(outcome.best, exclusion) >= abandon
+            ):
+                if span is not None:
+                    span.set(abandoned=True)
+                registry.counter("mpx_abandoned_sweeps").inc()
+                return None
+        best = outcome.best
     profile, _ = _finalize(best, None, w, exclusion, constant)
     finite = np.where(np.isfinite(profile), profile, -np.inf)
     location = int(np.argmax(finite))
@@ -786,7 +1119,13 @@ class MatrixProfileDetector(Detector):
 
     ``max_memory_bytes`` caps the kernel's sweep workspace (chunk width
     auto-derived); ``None`` defers to the process-wide default set via
-    ``repro score/run --max-memory`` or ``REPRO_MAX_MEMORY``.
+    ``repro score/run --max-memory`` or ``REPRO_MAX_MEMORY``.  ``jobs``
+    shards the sweep across worker processes (``None`` defers to
+    ``--kernel-jobs`` / ``REPRO_KERNEL_JOBS``) — scores are
+    bit-identical either way.  ``approx`` trades exactness for speed:
+    scores come from the anytime upper-bound profile over that fraction
+    of the pair budget; unlike ``jobs`` it *changes the output*, which
+    is why it is a spec parameter that reaches manifests and cache keys.
     """
 
     def __init__(
@@ -794,10 +1133,14 @@ class MatrixProfileDetector(Detector):
         w: int = 100,
         exclusion: int | None = None,
         max_memory_bytes: int | None = None,
+        jobs: int | None = None,
+        approx: float | None = None,
     ) -> None:
         self.w = w
         self.exclusion = exclusion
         self.max_memory_bytes = max_memory_bytes
+        self.jobs = jobs
+        self.approx = approx
 
     @property
     def name(self) -> str:
@@ -811,5 +1154,7 @@ class MatrixProfileDetector(Detector):
             self.exclusion,
             with_indices=False,
             max_memory_bytes=self.max_memory_bytes,
+            jobs=self.jobs,
+            approx=self.approx,
         )
         return subsequence_to_point_scores(result.profile, self.w, values.size)

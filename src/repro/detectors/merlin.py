@@ -66,6 +66,7 @@ def merlin(
     num_lengths: int = 8,
     early_abandon: bool = False,
     max_memory_bytes: int | None = None,
+    jobs: int | None = None,
 ) -> MerlinResult:
     """Discord of every candidate length in ``[min_w, max_w]``.
 
@@ -73,6 +74,9 @@ def merlin(
     kernel column-chunks its block buffers to fit), so the whole
     candidate sweep — early-abandoned or not — runs inside one bounded
     footprint on top of the shared O(n) :class:`SlidingStats`.
+    ``jobs`` parallelizes each per-length sweep across worker processes
+    (bit-identical results, budget split per worker — see
+    :func:`~repro.detectors.matrix_profile.matrix_profile`).
     """
     values = np.asarray(values, dtype=float)
     stats = SlidingStats(values)
@@ -90,6 +94,7 @@ def merlin(
             stats=stats,
             normalized_floor=floor,
             max_memory_bytes=max_memory_bytes,
+            jobs=jobs,
         )
         if found is None:
             continue  # abandoned: cannot beat the best discord so far
@@ -114,7 +119,9 @@ class MerlinDetector(Detector):
 
     ``max_memory_bytes`` bounds every per-length kernel sweep; ``None``
     defers to the process-wide default (``repro run --max-memory`` /
-    ``REPRO_MAX_MEMORY``).
+    ``REPRO_MAX_MEMORY``).  ``jobs`` shards each sweep across worker
+    processes (``None`` defers to ``--kernel-jobs`` /
+    ``REPRO_KERNEL_JOBS``); scores are bit-identical either way.
     """
 
     def __init__(
@@ -123,11 +130,13 @@ class MerlinDetector(Detector):
         max_w: int = 200,
         num_lengths: int = 5,
         max_memory_bytes: int | None = None,
+        jobs: int | None = None,
     ) -> None:
         self.min_w = min_w
         self.max_w = max_w
         self.num_lengths = num_lengths
         self.max_memory_bytes = max_memory_bytes
+        self.jobs = jobs
 
     @property
     def name(self) -> str:
@@ -146,6 +155,7 @@ class MerlinDetector(Detector):
                 stats=stats,
                 with_indices=False,
                 max_memory_bytes=self.max_memory_bytes,
+                jobs=self.jobs,
             )
             points = subsequence_to_point_scores(
                 result.profile / np.sqrt(w), w, values.size

@@ -197,6 +197,25 @@ class RunReport:
         )
 
 
+def _pool_worker_init() -> None:
+    """Cap kernel parallelism inside engine pool workers.
+
+    ``--kernel-jobs`` travels to workers via ``REPRO_KERNEL_JOBS``
+    (like the memory budget), but an engine already running ``--jobs``
+    cells in parallel must not let each cell open its own kernel pool —
+    that would oversubscribe the machine ``jobs × kernel_jobs`` ways.
+    Workers therefore cap an inherited kernel-jobs default to 1: the
+    sweep keeps its (jobs-independent) shard plan in-process, so
+    results and canonical traces stay identical to a ``--jobs 1`` run
+    where the kernel pool is allowed.  With no kernel-jobs default set
+    this is a no-op and cells keep the historical unsharded sweep.
+    """
+    from ..detectors import default_kernel_jobs, set_default_kernel_jobs
+
+    if default_kernel_jobs() is not None:
+        set_default_kernel_jobs(1)
+
+
 def _locate_cell(task: tuple[DetectorSpec, LabeledSeries]) -> int:
     """Worker entry point: build the detector and run the UCR protocol."""
     spec, series = task
@@ -317,7 +336,9 @@ class EvalEngine:
             batch = [tasks[index] for index in pending]
             if self.jobs > 1 and len(batch) > 1:
                 chunksize = max(1, len(batch) // (self.jobs * 4))
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                with ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=_pool_worker_init
+                ) as pool:
                     found = list(
                         pool.map(worker, batch, chunksize=chunksize)
                     )

@@ -83,6 +83,8 @@ class TestRunBench:
             "streaming",
             "serve",
             "obs",
+            "anytime",
+            "parallel",
         }
 
     def test_output_name_derives_from_trajectory(self):
@@ -166,6 +168,66 @@ class TestRunBench:
         text = format_bench(report)
         assert "serve" in text
         assert "parity" in text
+
+    def test_parallel_section_schema_and_checks(self):
+        # tiny override cases: the section's value is its assertions
+        # (bit-identity, shard-plan match, budget split), not wall clock
+        report = run_bench(
+            quick=True,
+            repeats=1,
+            sections=("parallel",),
+            parallel_cases=((4_000, (2,)),),
+        )
+        section = report["sections"]["parallel"]
+        assert section["w"] > 0
+        assert section["cpu_count"] >= 1
+        (case,) = section["results"]
+        assert case["n"] == 4_000
+        assert case["shards"] >= 1
+        assert case["serial_seconds"] > 0
+        (run,) = case["runs"]
+        assert run["jobs"] == 2
+        assert run["identical"] is True
+        assert run["speedup_modeled"] > 1.0
+        checks = report["checks"]
+        assert checks["parallel_identical"] is True
+        assert checks["parallel_n"] == 4_000
+        assert checks["parallel_jobs"] == 2
+        assert checks["parallel_speedup_target"] == 1.5
+        text = format_bench(report)
+        assert "parallel" in text
+        assert "bit-identity" in text
+
+    def test_anytime_section_schema_and_checks(self):
+        # one mid fraction keeps the runtime down; the bound and
+        # monotonicity are asserted inside the section itself
+        report = run_bench(
+            quick=True,
+            repeats=1,
+            sections=("anytime",),
+            anytime_fractions=(0.5,),
+        )
+        section = report["sections"]["anytime"]
+        assert section["w"] > 0
+        assert section["fractions"] == [0.5]
+        names = {fixture["fixture"] for fixture in section["fixtures"]}
+        assert names == {"periodic", "walk"}
+        for fixture in section["fixtures"]:
+            assert fixture["exact_seconds"] > 0
+            (row,) = fixture["results"]
+            assert row["fraction"] == 0.5
+            assert 0.5 <= row["fraction_swept"] <= 0.6
+            assert row["pairs_swept"] < row["pairs_total"]
+            assert row["max_dev"] >= row["mean_dev"] >= 0.0
+        checks = report["checks"]
+        assert checks["anytime_bound_held"] is True
+        # 0.5 overshoots the <=10% pair-budget window, so the headline
+        # convergence checks have no qualifying row and stay absent
+        assert "anytime_converged" not in checks
+        assert "anytime_mean_dev" not in checks
+        text = format_bench(report)
+        assert "anytime" in text
+        assert "deviation" in text
 
     def test_obs_section_schema_and_checks(self):
         report = run_bench(quick=True, repeats=1, sections=("obs",))
