@@ -74,7 +74,7 @@ __all__ = [
 # the perf-trajectory counter: bump it when a PR records a new point.
 # Output names and report labels derive from it, so README/CLI help
 # never drift from the actual file written.
-TRAJECTORY = 8
+TRAJECTORY = 9
 BENCH_LABEL = f"BENCH_{TRAJECTORY}"
 DEFAULT_OUT = os.path.join("benchmarks", "perf", f"{BENCH_LABEL}.json")
 SECTIONS = (
@@ -89,6 +89,7 @@ SECTIONS = (
     "obs",
     "anytime",
     "parallel",
+    "drift",
 )
 
 _FULL_SIZES = (2_000, 5_000, 10_000, 20_000)
@@ -1026,6 +1027,35 @@ def _bench_obs(quick: bool, repeats: int, w: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# drift: the refit-policy trade-off under concept drift
+
+
+def _bench_drift(quick: bool, config=None) -> dict:
+    """Record the drift ablation as this trajectory's measured point.
+
+    Replays the drift scenarios (step/ramp/variance/period regime
+    changes plus stationary controls) through raw-distance kNN under
+    the default refit-policy line-up (never / fixed cadence /
+    drift-triggered / hybrid) and reports the delay-aware trade-off —
+    see :mod:`repro.drift.ablation`.  The headline check is that a
+    triggered policy beats the fixed cadence on delay-aware accuracy
+    while staying quiet on the stationary controls.
+    """
+    from .drift import DriftSimConfig, drift_ablation
+
+    if config is None:
+        config = (
+            DriftSimConfig(n=2400, per_kind=1, stationary=2)
+            if quick
+            else DriftSimConfig()
+        )
+    start = time.perf_counter()
+    result = drift_ablation(config=config)
+    result["seconds"] = time.perf_counter() - start
+    return result
+
+
+# ---------------------------------------------------------------------------
 # harness
 
 
@@ -1040,6 +1070,7 @@ def run_bench(
     scaling_pair_cap: int | None = None,
     anytime_fractions: tuple[float, ...] | None = None,
     parallel_cases: tuple[tuple[int, tuple[int, ...]], ...] | None = None,
+    drift_config=None,
 ) -> dict:
     """Run the selected sections and return the machine-readable report.
 
@@ -1050,6 +1081,8 @@ def run_bench(
     section's coverage grid (``repro bench --approx``);
     ``parallel_cases`` is ``((n, (jobs, ...)), ...)`` for the parallel
     section — tests shrink it, the full default ends at n = 10⁶.
+    ``drift_config`` is a :class:`repro.drift.DriftSimConfig` override
+    for the drift section, likewise a test-shrinking knob.
     """
     chosen = SECTIONS if sections is None else tuple(sections)
     unknown = set(chosen) - set(SECTIONS)
@@ -1202,6 +1235,35 @@ def run_bench(
             run["speedup_measured"] >= target
             if cores >= run["jobs"]
             else run["speedup_modeled"] >= target
+        )
+    if "drift" in chosen:
+        drift = _bench_drift(quick, config=drift_config)
+        report["sections"]["drift"] = drift
+        rows = drift["policies"]
+        fixed_acc = rows["fixed"]["delay_accuracy"]
+        triggered = {
+            key: rows[key] for key in ("drift", "hybrid") if key in rows
+        }
+        best_key = max(
+            triggered, key=lambda key: triggered[key]["delay_accuracy"]
+        )
+        report["checks"]["drift_fixed_delay_accuracy"] = fixed_acc
+        report["checks"]["drift_best_triggered"] = best_key
+        report["checks"]["drift_triggered_delay_accuracy"] = triggered[
+            best_key
+        ]["delay_accuracy"]
+        report["checks"]["drift_triggered_beats_fixed"] = bool(
+            triggered[best_key]["delay_accuracy"] > fixed_acc
+        )
+        # false-alarm axis, mirroring the property-test bound: the
+        # season-matched trigger detector must stay (near) silent on
+        # the stationary controls
+        stationary_triggers = int(
+            sum(row["stationary"]["triggers"] for row in triggered.values())
+        )
+        report["checks"]["drift_stationary_triggers"] = stationary_triggers
+        report["checks"]["drift_stationary_quiet"] = bool(
+            stationary_triggers <= 1
         )
     return report
 
@@ -1409,4 +1471,10 @@ def format_bench(report: dict) -> str:
                     f"{run['speedup_measured']:.2f}x measured, "
                     f"{run['speedup_modeled']:.2f}x critical-path model"
                 )
+    drift = report["sections"].get("drift")
+    if drift:
+        from .drift import format_drift_ablation
+
+        lines.append("")
+        lines.append(format_drift_ablation(drift))
     return "\n".join(lines)

@@ -135,6 +135,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _refit_policy(text: str) -> str:
+    from .drift.policies import parse_policy
+
+    try:
+        parse_policy(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
+
+
 def _nonnegative_int(text: str) -> int:
     value = int(text)
     if value < 0:
@@ -340,7 +350,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="POINTS",
         help="refit wrapped detectors on everything seen so far at this "
-        "cadence (default: fit once on the training prefix)",
+        "cadence (default: fit once on the training prefix); shorthand "
+        "for --refit-policy 'fixed(every=K)'",
+    )
+    stream.add_argument(
+        "--refit-policy",
+        type=_refit_policy,
+        default=None,
+        metavar="SPEC",
+        help="adaptive refit policy spec: 'fixed(every=500)', "
+        "'drift(on=page_hinkley,cooldown=250)', 'hybrid(on=zshift,"
+        "every=1000,cooldown=250)', or a bare drift detector name "
+        "(page_hinkley, adwin, zshift) as shorthand for drift(on=...); "
+        "mutually exclusive with --refit-every",
     )
     stream.add_argument(
         "--slop",
@@ -944,6 +966,14 @@ def _cmd_stream(args) -> int:
         return 2
     if not _apply_kernel_jobs(args.kernel_jobs):
         return 2
+    if args.refit_every is not None and args.refit_policy is not None:
+        print(
+            "error: --refit-every and --refit-policy are mutually "
+            "exclusive; --refit-every K is shorthand for --refit-policy "
+            "'fixed(every=K)'",
+            file=sys.stderr,
+        )
+        return 2
     archive = _load_scored_archive(args.directory)
     if archive is None:
         return 1
@@ -961,6 +991,7 @@ def _cmd_stream(args) -> int:
                 slop=args.slop,
                 window=args.window,
                 refit_every=args.refit_every,
+                refit_policy=args.refit_policy,
             )
         except ValueError as error:
             # e.g. a --window too small for a detector's kernel history

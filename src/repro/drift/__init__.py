@@ -1,0 +1,67 @@
+"""Concept drift: detection, adaptive refit policies, scenarios.
+
+The streaming stack's answer to non-stationarity.  Drift *detectors*
+(:mod:`~repro.drift.detectors`) watch a stream's input distribution and
+flag regime changes; refit *policies* (:mod:`~repro.drift.policies`)
+turn those flags — or a fixed cadence, or both — into the refit
+decisions :class:`~repro.stream.adapters.BatchStreamingAdapter`
+executes; drift *scenarios* (:mod:`~repro.drift.scenarios`) plant
+step/ramp/variance/period regime changes to measure it all against;
+and the *ablation* (:mod:`~repro.drift.ablation`) reports the
+adapts-fast vs false-alarms trade-off on the replay engine's
+delay-aware axis.
+"""
+
+from .ablation import (
+    DEFAULT_ABLATION_DETECTOR,
+    DEFAULT_ABLATION_POLICIES,
+    drift_ablation,
+    format_drift_ablation,
+)
+from .detectors import (
+    DRIFT_DETECTORS,
+    AdwinLite,
+    DriftDetector,
+    PageHinkley,
+    ZShift,
+    make_drift_detector,
+)
+from .policies import (
+    DriftTriggered,
+    FixedCadence,
+    Hybrid,
+    RefitPolicy,
+    parse_policy,
+    validate_stream_options,
+)
+from .scenarios import (
+    DRIFT_KINDS,
+    DriftSimConfig,
+    make_drift_archive,
+    make_drift_series,
+    make_stationary_series,
+)
+
+__all__ = [
+    "DriftDetector",
+    "PageHinkley",
+    "AdwinLite",
+    "ZShift",
+    "DRIFT_DETECTORS",
+    "make_drift_detector",
+    "RefitPolicy",
+    "FixedCadence",
+    "DriftTriggered",
+    "Hybrid",
+    "parse_policy",
+    "validate_stream_options",
+    "DRIFT_KINDS",
+    "DriftSimConfig",
+    "make_drift_series",
+    "make_stationary_series",
+    "make_drift_archive",
+    "drift_ablation",
+    "format_drift_ablation",
+    "DEFAULT_ABLATION_DETECTOR",
+    "DEFAULT_ABLATION_POLICIES",
+]

@@ -1,0 +1,204 @@
+"""The drift ablation: refit policies as a measured trade-off.
+
+"Adapts fast" and "false-alarms under drift" are marketing words until
+they are measured on the same axis.  This ablation replays the drift
+scenarios (:mod:`repro.drift.scenarios`) through one fit-dependent
+detector under a line-up of refit policies and reports, per policy:
+
+* **delay-aware accuracy** — the replay engine's ``delay_correct``
+  (running argmax committed near the onset, within the latency
+  budget), the number that penalizes adapting *late*;
+* **median commit delay** and the NAB-style windowed score — the
+  smooth versions of the same axis;
+* **refit counts** — what the policy *spent*;
+* **stationary triggers/refits** — what the policy does when nothing
+  is happening: the false-alarm axis, probed on drift-free control
+  series.
+
+The default detector is raw-distance kNN (``znorm=False``): its fitted
+reference windows go stale the moment the regime changes, so *when* to
+refit is exactly what separates the policies — a trailing one-liner
+would adapt on its own and measure nothing.  The bench ``drift``
+section records this table as BENCH_9's trajectory point, with the
+acceptance check that a triggered policy beats the fixed cadence on
+delay-aware accuracy while keeping stationary false alarms bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..detectors.registry import DetectorSpec
+from ..stream.replay import ReplayTrace, replay
+from ..stream.scoreboard import nab_windowed_score
+from .policies import parse_policy
+from .scenarios import DriftSimConfig, make_drift_archive, make_stationary_series
+
+__all__ = [
+    "DEFAULT_ABLATION_DETECTOR",
+    "DEFAULT_ABLATION_POLICIES",
+    "drift_ablation",
+    "format_drift_ablation",
+]
+
+#: raw-distance kNN: fitted state that genuinely goes stale under drift
+DEFAULT_ABLATION_DETECTOR = "knn(w=100,znorm=False,train_stride=4)"
+
+#: the trigger detector for the default line-up: a two-window z-test
+#: whose recent window spans exactly one scenario period, so the sine
+#: seasonality cancels out of both window means (a shorter window
+#: aliases the seasonal mean into a permanent false "drift")
+_TRIGGER = "zshift(recent=120,reference=360,threshold=4.0,var_ratio=2.0)"
+
+#: policy line-up: no adaptation, the legacy cadence, drift-triggered,
+#: and triggered-with-fallback.  ``None`` means never refit.  The
+#: triggered policies consolidate 250 points after a trigger (settle):
+#: the first refit lands mid-transition with only ~a dozen new-regime
+#: points in the history, and kNN scores only collapse once a fit has
+#: seen at least one full window (w=100) of the settled regime.
+DEFAULT_ABLATION_POLICIES: tuple[str | None, ...] = (
+    None,
+    "fixed(every=800)",
+    f"drift(on='{_TRIGGER}',cooldown=150,settle=250)",
+    f"hybrid(on='{_TRIGGER}',every=800,cooldown=150,settle=250)",
+)
+
+
+def _policy_key(policy: str | None) -> str:
+    if policy is None:
+        return "none"
+    return DetectorSpec.parse(policy).name
+
+
+def _policy_row(traces: "list[ReplayTrace]") -> dict:
+    delays = [
+        trace.delay
+        for trace in traces
+        if trace.correct and trace.delay is not None
+    ]
+    windowed = [
+        score
+        for score in (nab_windowed_score(trace) for trace in traces)
+        if score is not None
+    ]
+    return {
+        "cells": len(traces),
+        "correct": sum(trace.correct for trace in traces),
+        "delay_correct": sum(trace.delay_correct for trace in traces),
+        "delay_accuracy": float(
+            np.mean([trace.delay_correct for trace in traces])
+        ),
+        "median_delay": float(np.median(delays)) if delays else None,
+        "nab_windowed": float(np.mean(windowed)) if windowed else None,
+        "refits": int(sum(trace.refits for trace in traces)),
+        "triggers": int(sum(trace.triggers for trace in traces)),
+    }
+
+
+def drift_ablation(
+    detector: str = DEFAULT_ABLATION_DETECTOR,
+    policies: "tuple[str | None, ...]" = DEFAULT_ABLATION_POLICIES,
+    config: DriftSimConfig = DriftSimConfig(),
+    *,
+    batch_size: int = 8,
+    max_delay: int = 250,
+    window: int | None = None,
+    slop: int = 100,
+) -> dict:
+    """Replay the drift scenarios under every policy; see module docs.
+
+    Deterministic for fixed arguments (every random draw flows through
+    :func:`repro.rng.rng_for` and the replay engine is deterministic),
+    so the returned mapping serializes byte-identically across runs.
+    """
+    for policy in policies:
+        parse_policy(policy)  # fail fast before any replay work
+    archive = make_drift_archive(config)
+    controls = [
+        make_stationary_series(config, index=index)
+        for index in range(config.stationary)
+    ]
+    rows: dict[str, dict] = {}
+    for policy in policies:
+        key = _policy_key(policy)
+        if key in rows:
+            raise ValueError(f"duplicate policy kind {key!r} in line-up")
+        label = f"{detector}+{key}"
+        drift_traces = [
+            replay(
+                series,
+                detector,
+                batch_size=batch_size,
+                max_delay=max_delay,
+                slop=slop,
+                window=window,
+                refit_policy=policy,
+                label=label,
+            )
+            for series in archive.series
+        ]
+        control_traces = [
+            replay(
+                series,
+                detector,
+                batch_size=batch_size,
+                max_delay=max_delay,
+                slop=slop,
+                window=window,
+                refit_policy=policy,
+                label=label,
+            )
+            for series in controls
+        ]
+        row = _policy_row(drift_traces)
+        row["policy"] = policy
+        row["stationary"] = {
+            "series": len(control_traces),
+            "refits": int(sum(trace.refits for trace in control_traces)),
+            "triggers": int(sum(trace.triggers for trace in control_traces)),
+        }
+        rows[key] = row
+    return {
+        "detector": detector,
+        "batch_size": int(batch_size),
+        "max_delay": int(max_delay),
+        "window": None if window is None else int(window),
+        "slop": int(slop),
+        "scenarios": {
+            "n": int(config.n),
+            "per_kind": int(config.per_kind),
+            "stationary": int(config.stationary),
+            "seed": int(config.seed),
+        },
+        "policies": rows,
+    }
+
+
+def format_drift_ablation(result: dict) -> str:
+    """Human-readable trade-off table for one ablation result."""
+    lines = [
+        f"drift ablation: {result['detector']}, batch size "
+        f"{result['batch_size']}, max delay {result['max_delay']}",
+        "",
+        f"  {'policy':<8} {'delay-acc':>9} {'med delay':>10} "
+        f"{'nab-win':>8} {'refits':>7} {'stat refits':>12} "
+        f"{'stat triggers':>14}",
+    ]
+    for key, row in result["policies"].items():
+        med = (
+            "-"
+            if row["median_delay"] is None
+            else f"{row['median_delay']:.0f}"
+        )
+        nab = (
+            "-"
+            if row["nab_windowed"] is None
+            else f"{row['nab_windowed']:.1f}"
+        )
+        stationary = row["stationary"]
+        lines.append(
+            f"  {key:<8} {row['delay_accuracy']:>8.1%} {med:>10} {nab:>8} "
+            f"{row['refits']:>7} {stationary['refits']:>12} "
+            f"{stationary['triggers']:>14}"
+        )
+    return "\n".join(lines)

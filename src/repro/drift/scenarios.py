@@ -1,0 +1,152 @@
+"""Synthetic concept-drift scenarios for the streaming stack.
+
+The dataset simulators under :mod:`repro.datasets` plant *anomalies* —
+short excursions from an otherwise stationary process.  These scenarios
+plant *regime changes*: from the onset to the end of the series the
+process itself is different.  Four canonical kinds:
+
+* ``step`` — the mean jumps by ``magnitude`` and stays there;
+* ``ramp`` — the mean drifts linearly to ``magnitude`` over
+  ``ramp_len`` points, then holds (slow drift, the hard case for
+  cumulative tests);
+* ``variance`` — the noise scale multiplies by ``variance_factor``
+  (mean-based drift detectors are blind to this one);
+* ``period`` — the base oscillation's period changes
+  (phase-continuously), moving neither mean nor variance — invisible
+  to *every* input-space drift detector here, which is exactly why
+  hybrid policies keep a scheduled fallback.
+
+Each series is a noisy sine with an anomaly-free training prefix and a
+single labeled region ``[onset, onset + label_width)`` marking where
+the regime change begins, so the replay engine's delay-aware UCR
+protocol applies unchanged: a detector is right when its running
+argmax commits near the onset, and ``delay`` measures how long after
+the onset it took.  Determinism flows from :func:`repro.rng.rng_for`
+like every other simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rng import rng_for
+from ..types import Archive, LabeledSeries, Labels
+
+__all__ = [
+    "DRIFT_KINDS",
+    "DriftSimConfig",
+    "make_drift_series",
+    "make_stationary_series",
+    "make_drift_archive",
+]
+
+DRIFT_KINDS = ("step", "ramp", "variance", "period")
+
+
+@dataclass(frozen=True)
+class DriftSimConfig:
+    seed: int = 29
+    n: int = 3000
+    train_fraction: float = 0.3
+    per_kind: int = 2  # drift series per kind
+    stationary: int = 3  # drift-free control series
+    amp: float = 0.6  # base sine amplitude
+    noise: float = 0.25  # base gaussian noise scale
+    period: int = 120  # base sine period
+    magnitude: float = 3.0  # step / ramp mean shift
+    variance_factor: float = 5.0  # noise multiplier after onset
+    period_factor: float = 0.6  # period multiplier after onset
+    ramp_len: int = 320  # points to reach full ramp magnitude
+    label_width: int = 160  # labeled onset region length
+
+
+def _base(
+    rng: np.random.Generator, config: DriftSimConfig, periods: np.ndarray
+) -> np.ndarray:
+    """Phase-continuous noisy sine with a per-point period schedule."""
+    phase = 2.0 * np.pi * np.cumsum(1.0 / periods)
+    phase += rng.uniform(0.0, 2.0 * np.pi)
+    return config.amp * np.sin(phase)
+
+
+def make_drift_series(
+    kind: str, config: DriftSimConfig = DriftSimConfig(), *, index: int = 0
+) -> LabeledSeries:
+    """One drift scenario of the given kind, deterministic in (seed, index)."""
+    if kind not in DRIFT_KINDS:
+        raise ValueError(f"unknown drift kind {kind!r}; expected {DRIFT_KINDS}")
+    rng = rng_for(config.seed, "drift", kind, index)
+    n = int(config.n)
+    train_len = int(config.train_fraction * n)
+    margin = max(2 * config.period, config.ramp_len)
+    lo = train_len + margin
+    hi = n - config.label_width - margin
+    if lo >= hi:
+        raise ValueError(
+            f"n={n} too short for a drift onset between train and tail"
+        )
+    onset = int(rng.integers(lo, hi))
+
+    periods = np.full(n, float(config.period))
+    if kind == "period":
+        periods[onset:] = max(2.0, config.period * config.period_factor)
+    noise_scale = np.full(n, config.noise)
+    if kind == "variance":
+        noise_scale[onset:] = config.noise * config.variance_factor
+    values = _base(rng, config, periods) + rng.normal(0.0, 1.0, n) * noise_scale
+    if kind == "step":
+        values[onset:] += config.magnitude
+    elif kind == "ramp":
+        rise = np.minimum(
+            np.arange(n - onset) / float(config.ramp_len), 1.0
+        )
+        values[onset:] += config.magnitude * rise
+
+    return LabeledSeries(
+        name=f"drift_{kind}_{index:02d}",
+        values=values,
+        labels=Labels.single(n, onset, onset + config.label_width),
+        train_len=train_len,
+        meta={"dataset": "drift", "kind": kind, "onset": onset},
+    )
+
+
+def make_stationary_series(
+    config: DriftSimConfig = DriftSimConfig(), *, index: int = 0
+) -> LabeledSeries:
+    """A drift-free control series (no labels): the false-alarm probe."""
+    rng = rng_for(config.seed, "drift", "stationary", index)
+    n = int(config.n)
+    periods = np.full(n, float(config.period))
+    values = (
+        _base(rng, config, periods)
+        + rng.normal(0.0, 1.0, n) * config.noise
+    )
+    return LabeledSeries(
+        name=f"drift_stationary_{index:02d}",
+        values=values,
+        labels=Labels.empty(n),
+        train_len=int(config.train_fraction * n),
+        meta={"dataset": "drift", "kind": "stationary"},
+    )
+
+
+def make_drift_archive(config: DriftSimConfig = DriftSimConfig()) -> Archive:
+    """All drift kinds × ``per_kind`` indices, in deterministic order.
+
+    Stationary controls are *not* included (they have no labeled
+    anomaly, and the replay grid scores against labels); the ablation
+    replays them separately via :func:`make_stationary_series`.
+    """
+    series = [
+        make_drift_series(kind, config, index=index)
+        for kind in DRIFT_KINDS
+        for index in range(config.per_kind)
+    ]
+    return Archive(
+        "drift-scenarios",
+        series,
+        meta={"benchmark": "drift-scenarios", "seed": config.seed},
+    )

@@ -139,6 +139,7 @@ class _Handler(BaseHTTPRequestHandler):
                 body.get("train", []),
                 window=body.get("window"),
                 refit_every=body.get("refit_every"),
+                refit_policy=body.get("refit_policy"),
             )
             self._reply(201, result)
             return
@@ -312,6 +313,7 @@ class ServeClient:
         *,
         window: int | None = None,
         refit_every: int | None = None,
+        refit_policy: str | None = None,
     ) -> dict:
         return self.request(
             "POST",
@@ -323,6 +325,7 @@ class ServeClient:
                 "train": [float(v) for v in train],
                 "window": window,
                 "refit_every": refit_every,
+                "refit_policy": refit_policy,
             },
         )
 

@@ -44,6 +44,7 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from ..drift.policies import validate_stream_options
 from ..stream.adapters import StreamingDetector, as_streaming
 from .metrics import MetricsRegistry
 from .state import restore as restore_state
@@ -301,6 +302,7 @@ class ShardWorker:
             payload["detector"],
             window=payload.get("window"),
             refit_every=payload.get("refit_every"),
+            refit_policy=payload.get("refit_policy"),
         )
         train = np.asarray(payload.get("train", ()), dtype=float)
         detector.fit(train)
@@ -432,8 +434,15 @@ class StreamCluster:
         *,
         window: int | None = None,
         refit_every: int | None = None,
+        refit_policy: str | None = None,
     ) -> dict:
         key = self.stream_key(tenant, stream)
+        # Validate here, before the op crosses the queue: a bad cadence
+        # or policy spec should be the caller's 400, not a deferred
+        # shard-worker crash on first append.
+        validate_stream_options(
+            window=window, refit_every=refit_every, refit_policy=refit_policy
+        )
         return self.worker_for(tenant).call(
             "create",
             key,
@@ -444,6 +453,7 @@ class StreamCluster:
                 "train": np.asarray(train, dtype=float),
                 "window": window,
                 "refit_every": refit_every,
+                "refit_policy": refit_policy,
             },
             tenant=tenant,
         )

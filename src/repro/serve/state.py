@@ -283,17 +283,28 @@ def snapshot(obj) -> bytes:
                 "(as_streaming('name(...)')) so restore can rebuild the "
                 "wrapped detector"
             )
-        return _pack(
-            "batch_adapter",
-            {
-                "spec": obj.spec.label,
-                "window": obj.window,
-                "refit_every": obj.refit_every,
-                "since_fit": obj._since_fit,
-                "fitted_len": obj._fitted_len,
-            },
-            {"history": np.asarray(obj._history, dtype=float)},
-        )
+        scalars = {
+            "spec": obj.spec.label,
+            "window": obj.window,
+            "refit_every": obj.refit_every,
+            "since_fit": obj._since_fit,
+            "fitted_len": obj._fitted_len,
+            # None for the refit_every sugar (and for no policy at all),
+            # so legacy streams keep their exact construction path
+            "policy": obj.refit_policy,
+            "num_refits": obj.num_refits,
+        }
+        arrays = {"history": np.asarray(obj._history, dtype=float)}
+        if obj.policy is not None:
+            policy_scalars, policy_arrays = obj.policy.state()
+            scalars["policy_state"] = policy_scalars
+            arrays.update(
+                {
+                    f"policy_{name}": value
+                    for name, value in policy_arrays.items()
+                }
+            )
+        return _pack("batch_adapter", scalars, arrays)
     raise TypeError(
         f"cannot snapshot {type(obj).__name__}; supported: "
         f"StreamingMatrixProfile, StreamingMatrixProfileDetector, "
@@ -358,6 +369,7 @@ def restore(blob: bytes):
                 if scalars["refit_every"] is None
                 else int(scalars["refit_every"])
             ),
+            refit_policy=scalars.get("policy"),
             spec=spec,
         )
         history = np.array(arrays["history"], dtype=float)
@@ -368,5 +380,21 @@ def restore(blob: bytes):
         adapter._history = history
         adapter._since_fit = int(scalars["since_fit"])
         adapter._fitted_len = fitted_len
+        adapter.num_refits = int(scalars.get("num_refits", 0))
+        if adapter.policy is not None:
+            if "policy_state" in scalars:
+                prefix = "policy_"
+                adapter.policy.load_state(
+                    scalars["policy_state"],
+                    {
+                        name[len(prefix) :]: value
+                        for name, value in arrays.items()
+                        if name.startswith(prefix)
+                    },
+                )
+            else:
+                # pre-policy blob with refit_every set: the sugar cadence
+                # counter tracked _since_fit exactly, so resume it there
+                adapter.policy._since = int(scalars["since_fit"])
         return adapter
     raise ValueError(f"unknown snapshot kind {kind!r}")

@@ -14,8 +14,11 @@ Three ways to get one:
   Detector` (or spec, or name): the wrapper maintains the seen prefix
   and re-scores it on every update, returning only the scores of the
   newly arrived points.  ``window=`` bounds the re-scored suffix (and
-  the cost) to the last so-many points; ``refit_every=`` refits the
-  detector on everything seen so far at that cadence.
+  the cost) to the last so-many points; ``refit_policy=`` decides when
+  the detector is refitted on everything seen so far (a
+  :class:`~repro.drift.policies.RefitPolicy` or its spec string —
+  fixed cadence, drift-triggered, or hybrid), with ``refit_every=k``
+  kept as sugar for the fixed cadence ``fixed(every=k)``.
 * :class:`StreamingMatrixProfileDetector` runs the incremental kernel
   (:class:`~repro.stream.profile.StreamingMatrixProfile`) natively —
   amortized O(n) per append instead of the wrapper's full re-score.
@@ -34,6 +37,7 @@ import numpy as np
 from ..detectors.base import Detector
 from ..detectors.matrix_profile import MatrixProfileDetector
 from ..detectors.registry import DetectorSpec, make_detector
+from ..obs import get_registry, get_tracer
 from .profile import StreamingMatrixProfile
 from .windows import TrailingExtremum, TrailingStats
 
@@ -108,10 +112,13 @@ class BatchStreamingAdapter(StreamingDetector):
     ``window`` bounds the re-scored suffix to the last so-many points
     (cost per update drops from O(prefix) to O(window); detectors whose
     score at ``t`` only reads a bounded neighbourhood are unaffected
-    once ``window`` covers it).  ``refit_every`` refits the wrapped
-    detector on everything seen so far every so-many arrived points —
-    the online-learning cadence TimeSeriesBench argues evaluation
-    should control explicitly.
+    once ``window`` covers it).  Refits — the online-learning cadence
+    TimeSeriesBench argues evaluation should control explicitly — are
+    decided by a :class:`~repro.drift.policies.RefitPolicy` consulted
+    once per update, before scoring: ``refit_every=k`` builds the
+    fixed-cadence policy (byte-identical to the PR 5 counter it
+    replaced), ``refit_policy=`` accepts any policy spec string
+    (``"drift(on='adwin')"``, ``"hybrid(...)"``) or instance.
     """
 
     def __init__(
@@ -120,15 +127,29 @@ class BatchStreamingAdapter(StreamingDetector):
         *,
         window: int | None = None,
         refit_every: int | None = None,
+        refit_policy=None,
         spec: DetectorSpec | None = None,
     ) -> None:
-        if window is not None and window < 2:
-            raise ValueError(f"window must be >= 2, got {window}")
-        if refit_every is not None and refit_every < 1:
-            raise ValueError(f"refit_every must be >= 1, got {refit_every}")
+        # deferred: repro.drift imports repro.stream.windows, so a
+        # module-level import here would cycle through the package inits
+        from ..drift.policies import parse_policy, validate_stream_options
+
+        validate_stream_options(
+            window=window, refit_every=refit_every, refit_policy=refit_policy
+        )
         self.detector = detector
-        self.window = window
-        self.refit_every = refit_every
+        self.window = None if window is None else int(window)
+        self.refit_every = None if refit_every is None else int(refit_every)
+        policy = parse_policy(refit_policy)
+        if policy is None and self.refit_every is not None:
+            from ..drift.policies import FixedCadence
+
+            policy = FixedCadence(self.refit_every)
+        self.policy = policy
+        # the canonical policy spec, only when one was *asked for* —
+        # refit_every sugar keeps this None so legacy traces, names and
+        # snapshots are unchanged
+        self.refit_policy = None if refit_policy is None else policy.spec
         # the registry spec the wrapped detector was built from, when
         # known — snapshot/restore (repro.serve.state) rebuilds the
         # batch detector from it, so only spec-built adapters can
@@ -137,6 +158,7 @@ class BatchStreamingAdapter(StreamingDetector):
         self._history = np.empty(0)
         self._since_fit = 0
         self._fitted_len = 0  # leading history points of the last fit
+        self.num_refits = 0  # refits since fit() (policy-driven)
 
     @property
     def name(self) -> str:
@@ -146,6 +168,9 @@ class BatchStreamingAdapter(StreamingDetector):
         self._history = np.empty(0)
         self._since_fit = 0
         self._fitted_len = 0
+        self.num_refits = 0
+        if self.policy is not None:
+            self.policy.reset()
         return self
 
     def fit(self, train: np.ndarray) -> "BatchStreamingAdapter":
@@ -162,10 +187,20 @@ class BatchStreamingAdapter(StreamingDetector):
             return values.copy()
         self._history = np.concatenate([self._history, values])
         self._since_fit += values.size
-        if self.refit_every is not None and self._since_fit >= self.refit_every:
-            self.detector.fit(self._history)
+        if self.policy is not None and self.policy.observe(values):
+            with get_tracer().span(
+                "stream.refit",
+                detector=self.detector.name,
+                policy=self.policy.spec,
+                at=int(self._history.size),
+            ):
+                self.detector.fit(self._history)
+            get_registry().counter(
+                "stream_refits", detector=self.detector.name
+            ).inc()
             self._since_fit = 0
             self._fitted_len = int(self._history.size)
+            self.num_refits += 1
         scored = self._history
         if self.window is not None and scored.size > self.window:
             scored = scored[-self.window :]
@@ -349,6 +384,7 @@ def as_streaming(
     *,
     window: int | None = None,
     refit_every: int | None = None,
+    refit_policy=None,
 ) -> StreamingDetector:
     """Turn a detector, spec or registry name into a streaming detector.
 
@@ -358,13 +394,18 @@ def as_streaming(
     kernel's bounded ``max_history``; the :data:`NATIVE_STREAMING` names
     (``streaming_zscore(k=40)`` and friends) construct the streaming-
     native detectors directly; everything else gets the generic
-    re-scoring :class:`BatchStreamingAdapter`.
+    re-scoring :class:`BatchStreamingAdapter`.  ``refit_every=k`` and
+    ``refit_policy=`` (a policy spec string or
+    :class:`~repro.drift.policies.RefitPolicy`) are mutually exclusive
+    ways to schedule refits on the generic adapter.
     """
     if isinstance(detector, StreamingDetector):
-        if window is not None or refit_every is not None:
+        if window is not None or refit_every is not None or (
+            refit_policy is not None
+        ):
             raise ValueError(
-                "window/refit_every have no effect on an already-"
-                "streaming detector"
+                "window/refit_every/refit_policy have no effect on an "
+                "already-streaming detector"
             )
         return detector
     spec = None
@@ -373,10 +414,13 @@ def as_streaming(
         detector = DetectorSpec.parse(detector)
     if isinstance(detector, DetectorSpec):
         if detector.name in NATIVE_STREAMING:
-            if window is not None or refit_every is not None:
+            if window is not None or refit_every is not None or (
+                refit_policy is not None
+            ):
                 raise ValueError(
                     f"{detector.name} is streaming-native; parameterize "
-                    f"it through spec params, not window/refit_every"
+                    f"it through spec params, not window/refit_every/"
+                    f"refit_policy"
                 )
             return NATIVE_STREAMING[detector.name](**dict(detector.params))
         spec = detector
@@ -386,7 +430,11 @@ def as_streaming(
             f"cannot stream {detector!r}; expected a Detector, spec or "
             f"registry name"
         )
-    if isinstance(detector, MatrixProfileDetector) and refit_every is None:
+    if (
+        isinstance(detector, MatrixProfileDetector)
+        and refit_every is None
+        and refit_policy is None
+    ):
         try:
             return StreamingMatrixProfileDetector(
                 w=detector.w, exclusion=detector.exclusion, max_history=window
@@ -398,5 +446,9 @@ def as_streaming(
                 str(error).replace("max_history", "window")
             ) from None
     return BatchStreamingAdapter(
-        detector, window=window, refit_every=refit_every, spec=spec
+        detector,
+        window=window,
+        refit_every=refit_every,
+        refit_policy=refit_policy,
+        spec=spec,
     )

@@ -78,6 +78,11 @@ class ReplayTrace:
     num_updates: int
     seconds: float
     points_per_second: float
+    # adaptive-refit fields (PR 9); defaults keep older positional
+    # construction and serve-side trace building working unchanged
+    refit_policy: str | None = None
+    refits: int = 0
+    triggers: int = 0
 
     @property
     def delay_correct(self) -> bool:
@@ -114,6 +119,9 @@ class ReplayTrace:
             "max_delay": self.max_delay,
             "window": self.window,
             "refit_every": self.refit_every,
+            "refit_policy": self.refit_policy,
+            "refits": self.refits,
+            "triggers": self.triggers,
             "location": self.location,
             "correct": self.correct,
             "delay_correct": self.delay_correct,
@@ -177,6 +185,9 @@ def trace_from_scores(
     slop: int = 100,
     window: int | None = None,
     refit_every: int | None = None,
+    refit_policy: str | None = None,
+    refits: int = 0,
+    triggers: int = 0,
     num_updates: int | None = None,
     seconds: float = 0.0,
 ) -> ReplayTrace:
@@ -266,6 +277,9 @@ def trace_from_scores(
         num_updates=len(running) if num_updates is None else int(num_updates),
         seconds=float(seconds),
         points_per_second=float(streamed / seconds) if seconds > 0 else 0.0,
+        refit_policy=refit_policy,
+        refits=int(refits),
+        triggers=int(triggers),
     )
 
 
@@ -278,6 +292,7 @@ def replay(
     slop: int = 100,
     window: int | None = None,
     refit_every: int | None = None,
+    refit_policy=None,
     label: str | None = None,
 ) -> ReplayTrace:
     """Stream one labeled series through a detector and trace it.
@@ -285,17 +300,24 @@ def replay(
     ``detector`` may be a :class:`StreamingDetector`, a batch
     :class:`Detector`, a :class:`DetectorSpec` or a registry name
     (batch forms are adapted via :func:`~repro.stream.adapters.
-    as_streaming` with ``window``/``refit_every``).  ``batch_size``
-    sets the micro-batch granularity: scores inside a batch may see up
-    to ``batch_size − 1`` points of "future" within it, the usual
-    ingestion-buffer trade-off, and arrival times are batch-end times.
+    as_streaming` with ``window``/``refit_every``/``refit_policy`` —
+    the latter a refit-policy spec string such as
+    ``"drift(on='adwin')"``).  ``batch_size`` sets the micro-batch
+    granularity: scores inside a batch may see up to ``batch_size − 1``
+    points of "future" within it, the usual ingestion-buffer
+    trade-off, and arrival times are batch-end times.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if max_delay is not None and max_delay < 0:
         raise ValueError(f"max_delay must be >= 0, got {max_delay}")
     resolved_label = label if label is not None else _detector_label(detector)
-    streaming = as_streaming(detector, window=window, refit_every=refit_every)
+    streaming = as_streaming(
+        detector,
+        window=window,
+        refit_every=refit_every,
+        refit_policy=refit_policy,
+    )
 
     values = series.values
     n = int(values.size)
@@ -343,6 +365,13 @@ def replay(
     points_counter.inc(n - train_len)
     registry.counter("replay_updates").inc(num_updates)
 
+    refits = triggers = 0
+    policy_label = None
+    policy = getattr(streaming, "policy", None)
+    if policy is not None:
+        refits = int(policy.refits)
+        triggers = int(policy.triggers)
+        policy_label = streaming.refit_policy
     return trace_from_scores(
         series,
         scores,
@@ -352,6 +381,9 @@ def replay(
         slop=slop,
         window=window,
         refit_every=refit_every,
+        refit_policy=policy_label,
+        refits=refits,
+        triggers=triggers,
         num_updates=num_updates,
         seconds=seconds,
     )
@@ -366,14 +398,23 @@ def replay_grid(
     slop: int = 100,
     window: int | None = None,
     refit_every: int | None = None,
+    refit_policy: str | None = None,
 ) -> list[ReplayTrace]:
     """Replay every spec × series cell, in deterministic grid order.
 
     A fresh streaming detector is built per cell (mirroring the batch
     engine's task isolation), so traces are independent and the grid
     order — specs in line-up order, series in archive order — is the
-    only ordering in the output.
+    only ordering in the output.  ``refit_policy`` must be a spec
+    *string* here so each cell builds a fresh, stateless-at-start
+    policy of its own.
     """
+    if refit_policy is not None and not isinstance(refit_policy, str):
+        raise ValueError(
+            f"replay_grid takes a refit policy spec string (a shared "
+            f"policy instance would leak state across cells), got "
+            f"{refit_policy!r}"
+        )
     parsed = [
         spec if isinstance(spec, DetectorSpec) else DetectorSpec.parse(spec)
         for spec in specs
@@ -381,6 +422,13 @@ def replay_grid(
     parsed = list(dict.fromkeys(parsed))
     if not parsed:
         raise ValueError("replay_grid needs at least one detector spec")
+    if refit_policy is not None:
+        # deferred import: repro.drift imports repro.stream.windows
+        from ..drift.policies import validate_stream_options
+
+        validate_stream_options(
+            refit_every=refit_every, refit_policy=refit_policy
+        )
     for spec in parsed:
         spec.build()  # fail fast on unknown names or bad params
     traces = []
@@ -395,6 +443,7 @@ def replay_grid(
                     slop=slop,
                     window=window,
                     refit_every=refit_every,
+                    refit_policy=refit_policy,
                     label=spec.label,
                 )
             )

@@ -85,7 +85,27 @@ class TestRunBench:
             "obs",
             "anytime",
             "parallel",
+            "drift",
         }
+
+    def test_drift_section_schema_and_checks(self):
+        from repro.drift import DriftSimConfig
+
+        report = run_bench(
+            quick=True,
+            repeats=1,
+            sections=("drift",),
+            drift_config=DriftSimConfig(n=1200, per_kind=1, stationary=1),
+        )
+        section = report["sections"]["drift"]
+        assert section["seconds"] > 0
+        assert set(section["policies"]) == {"none", "fixed", "drift", "hybrid"}
+        checks = report["checks"]
+        assert checks["drift_best_triggered"] in ("drift", "hybrid")
+        assert isinstance(checks["drift_triggered_beats_fixed"], bool)
+        assert checks["drift_stationary_triggers"] >= 0
+        text = format_bench(report)
+        assert "drift ablation" in text
 
     def test_output_name_derives_from_trajectory(self):
         from repro.bench import BENCH_LABEL, TRAJECTORY

@@ -1,0 +1,107 @@
+"""Drift scenarios and the ablation: determinism, structure, wiring."""
+
+import numpy as np
+import pytest
+
+from repro.drift import (
+    DRIFT_KINDS,
+    DriftSimConfig,
+    drift_ablation,
+    format_drift_ablation,
+    make_drift_archive,
+    make_drift_series,
+    make_stationary_series,
+)
+
+CONFIG = DriftSimConfig(n=1200, per_kind=1, stationary=1)
+
+
+class TestDriftSeries:
+    @pytest.mark.parametrize("kind", DRIFT_KINDS)
+    def test_deterministic(self, kind):
+        a = make_drift_series(kind, CONFIG)
+        b = make_drift_series(kind, CONFIG)
+        assert a.values.tobytes() == b.values.tobytes()
+        assert a.meta == b.meta
+
+    @pytest.mark.parametrize("kind", DRIFT_KINDS)
+    def test_indices_differ(self, kind):
+        config = DriftSimConfig(n=1200, per_kind=2, stationary=1)
+        a = make_drift_series(kind, config, index=0)
+        b = make_drift_series(kind, config, index=1)
+        assert a.values.tobytes() != b.values.tobytes()
+
+    @pytest.mark.parametrize("kind", DRIFT_KINDS)
+    def test_onset_between_train_and_tail(self, kind):
+        series = make_drift_series(kind, CONFIG)
+        onset = series.meta["onset"]
+        margin = max(2 * CONFIG.period, CONFIG.ramp_len)
+        assert series.train_len + margin <= onset
+        assert onset + CONFIG.label_width + margin <= CONFIG.n
+        regions = series.labels.regions
+        assert len(regions) == 1
+        assert regions[0].start == onset
+        assert regions[0].end == onset + CONFIG.label_width
+
+    def test_step_actually_shifts_the_mean(self):
+        series = make_drift_series("step", CONFIG)
+        onset = series.meta["onset"]
+        before = float(np.mean(series.values[series.train_len : onset]))
+        after = float(np.mean(series.values[onset:]))
+        assert after - before > 0.8 * CONFIG.magnitude
+
+    def test_variance_actually_scales_the_noise(self):
+        series = make_drift_series("variance", CONFIG)
+        onset = series.meta["onset"]
+        before = float(np.std(series.values[series.train_len : onset]))
+        after = float(np.std(series.values[onset:]))
+        assert after > 2.0 * before
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown drift kind"):
+            make_drift_series("glacial", CONFIG)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            make_drift_series("step", DriftSimConfig(n=500))
+
+
+class TestStationarySeries:
+    def test_deterministic_and_unlabeled(self):
+        a = make_stationary_series(CONFIG)
+        b = make_stationary_series(CONFIG)
+        assert a.values.tobytes() == b.values.tobytes()
+        assert len(a.labels.regions) == 0
+        assert a.train_len == int(CONFIG.train_fraction * CONFIG.n)
+
+
+class TestDriftArchive:
+    def test_contents_and_order(self):
+        archive = make_drift_archive(CONFIG)
+        names = [series.name for series in archive.series]
+        assert names == [f"drift_{kind}_00" for kind in DRIFT_KINDS]
+        assert archive.meta["benchmark"] == "drift-scenarios"
+
+
+class TestDriftAblation:
+    def test_tiny_ablation_structure(self):
+        result = drift_ablation(
+            detector="knn(w=40,znorm=False,train_stride=4)",
+            policies=(None, "fixed(every=400)"),
+            config=CONFIG,
+        )
+        assert set(result["policies"]) == {"none", "fixed"}
+        for row in result["policies"].values():
+            assert row["cells"] == len(DRIFT_KINDS) * CONFIG.per_kind
+            assert row["stationary"]["series"] == CONFIG.stationary
+        assert result["policies"]["none"]["refits"] == 0
+        assert result["policies"]["fixed"]["refits"] > 0
+        table = format_drift_ablation(result)
+        assert "fixed" in table and "delay-acc" in table
+
+    def test_duplicate_policy_kind_rejected(self):
+        with pytest.raises(ValueError, match="duplicate policy kind"):
+            drift_ablation(
+                policies=("fixed(every=100)", "fixed(every=200)"),
+                config=CONFIG,
+            )
