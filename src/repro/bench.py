@@ -74,7 +74,7 @@ __all__ = [
 # the perf-trajectory counter: bump it when a PR records a new point.
 # Output names and report labels derive from it, so README/CLI help
 # never drift from the actual file written.
-TRAJECTORY = 9
+TRAJECTORY = 10
 BENCH_LABEL = f"BENCH_{TRAJECTORY}"
 DEFAULT_OUT = os.path.join("benchmarks", "perf", f"{BENCH_LABEL}.json")
 SECTIONS = (
@@ -87,6 +87,7 @@ SECTIONS = (
     "streaming",
     "serve",
     "obs",
+    "watch",
     "anytime",
     "parallel",
     "drift",
@@ -133,13 +134,56 @@ _PARALLEL_QUICK_CASES = ((50_000, (2,)),)
 _PARALLEL_W = 100
 
 
-def _timed(fn, repeats: int) -> float:
+# Every multi-repeat timing feeds its raw runs here; run_bench distils
+# them into the host block's timing_noise_pct — the per-host allowance
+# `repro bench compare` uses, calibrated from this report's own spread
+# instead of a guessed constant.
+_NOISE_LOG: "list[list[float]]" = []
+
+
+def _timed_runs(fn, repeats: int) -> "tuple[float, list[float]]":
     runs = []
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
         fn()
         runs.append(time.perf_counter() - start)
-    return float(median(runs))
+    if len(runs) > 1:
+        _NOISE_LOG.append(list(runs))
+    return float(median(runs)), runs
+
+
+def _timed(fn, repeats: int) -> float:
+    return _timed_runs(fn, repeats)[0]
+
+
+def _timing_noise_pct() -> float | None:
+    """p90 of |run/median − 1| across every multi-repeat timing (%)."""
+    deviations: "list[float]" = []
+    for runs in _NOISE_LOG:
+        mid = median(runs)
+        if mid <= 0:
+            continue
+        deviations.extend(abs(run / mid - 1.0) * 100.0 for run in runs)
+    if not deviations:
+        return None
+    deviations.sort()
+    return float(deviations[int(0.9 * (len(deviations) - 1))])
+
+
+def _host_block() -> dict:
+    """The uniform per-report host identity ``bench compare`` keys on."""
+    overrides = {
+        key: os.environ[key]
+        for key in sorted(os.environ)
+        if key.startswith("REPRO_")
+    }
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "env_overrides": overrides,
+        "timing_noise_pct": None,  # filled after the sections ran
+    }
 
 
 def _walk(n: int, seed: int = _SEED) -> np.ndarray:
@@ -163,7 +207,9 @@ def _bench_kernel(sizes, w: int, repeats: int, naive_rows: int) -> dict:
     for n in sizes:
         values = _walk(n)
         num_subs = n - w + 1
-        mpx = _timed(lambda: matrix_profile(values, w, with_indices=False), repeats)
+        mpx, mpx_runs = _timed_runs(
+            lambda: matrix_profile(values, w, with_indices=False), repeats
+        )
         mpx_indexed = _timed(lambda: matrix_profile(values, w), repeats)
         stomp_repeats = repeats if n <= 5_000 else 1
         stomp = _timed(lambda: stomp_profile(values, w), stomp_repeats)
@@ -176,6 +222,9 @@ def _bench_kernel(sizes, w: int, repeats: int, naive_rows: int) -> dict:
                 "w": w,
                 "num_subsequences": num_subs,
                 "mpx_seconds": mpx,
+                # raw repeats: `bench compare` bootstraps these so a
+                # regression verdict carries a CI, not a point estimate
+                "mpx_seconds_runs": [round(run, 6) for run in mpx_runs],
                 "mpx_indexed_seconds": mpx_indexed,
                 "stomp_seconds": stomp,
                 "naive_seconds": naive,
@@ -1027,6 +1076,147 @@ def _bench_obs(quick: bool, repeats: int, w: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# watch: what self-monitoring costs, and that it actually alarms
+
+
+def _bench_watch(quick: bool, repeats: int, w: int) -> dict:
+    """Price the watch layer and prove its alerting contract.
+
+    Three measurements: (1) the cost of one watch tick — sample every
+    series of a serve-shaped registry and evaluate the stock rules —
+    on a deterministic schedule; (2) the idle overhead a background
+    watcher imposes on the kernel hot path, measured round-robin like
+    the obs section so host drift cannot masquerade as overhead; and
+    (3) a scripted queue-saturation scenario asserting the default
+    rule fires after its debounce and never before — the determinism
+    claim, re-proven on every trajectory point.
+    """
+    import threading
+
+    from .detectors import matrix_profile
+    from .obs import AlertManager, MetricsRegistry, SeriesSampler
+    from .serve.shard import default_watch_rules
+
+    def serve_shaped_registry() -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for index in range(8):
+            tenant = f"t{index:03d}"
+            registry.counter("serve_points_ingested", tenant=tenant).inc(100)
+            registry.counter("serve_append_batches", tenant=tenant).inc(10)
+            registry.counter("serve_rejected", tenant=tenant).inc(0)
+            histogram = registry.histogram(
+                "serve_append_seconds", tenant=tenant
+            )
+            for step in range(32):
+                histogram.observe(0.0005 * (step + 1))
+        for shard in range(4):
+            registry.gauge("serve_queue_depth", shard=f"shard-{shard}").set(3)
+        return registry
+
+    # -- 1) tick cost on a deterministic schedule ---------------------
+    iters = 200 if quick else 1_000
+    reps = max(repeats, 3)
+
+    def run_ticks() -> None:
+        run_registry = serve_shaped_registry()
+        sampler = SeriesSampler(run_registry, capacity=256)
+        manager = AlertManager(sampler, default_watch_rules(1024))
+        for tick in range(iters):
+            manager.tick(now=float(tick))
+
+    tick_seconds, tick_runs = _timed_runs(run_ticks, reps)
+    tick_us = 1e6 * tick_seconds / iters
+    probe = SeriesSampler(serve_shaped_registry(), capacity=2)
+    probe.sample(now=0.0)
+    series_sampled = len(probe.keys())
+
+    # -- 2) idle overhead on the kernel hot path ----------------------
+    n = 8_192 if quick else 20_000
+    values = _walk(n)
+    # 20 ticks/s is already ~100x denser than a real scrape interval;
+    # it stresses the hot path without manufacturing GIL contention a
+    # deployment would never see
+    watch_interval = 0.05
+
+    def kernel():
+        return matrix_profile(values, w, with_indices=False)
+
+    watched_registry = serve_shaped_registry()
+    watched_sampler = SeriesSampler(watched_registry, capacity=256)
+    watched_manager = AlertManager(
+        watched_sampler, default_watch_rules(1024)
+    )
+    kernel()  # warm caches before either variant is billed
+    runs: "dict[str, list[float]]" = {"off": [], "watched": []}
+    for _ in range(reps):
+        start = time.perf_counter()
+        kernel()
+        runs["off"].append(time.perf_counter() - start)
+        stop = threading.Event()
+
+        def watcher() -> None:
+            while not stop.wait(watch_interval):
+                watched_manager.tick()
+
+        thread = threading.Thread(target=watcher, daemon=True)
+        thread.start()
+        try:
+            start = time.perf_counter()
+            kernel()
+            runs["watched"].append(time.perf_counter() - start)
+        finally:
+            stop.set()
+            thread.join()
+    off_seconds = float(median(runs["off"]))
+    watched_seconds = float(median(runs["watched"]))
+    _NOISE_LOG.append(list(runs["off"]))
+    _NOISE_LOG.append(list(runs["watched"]))
+
+    # -- 3) scripted saturation scenario ------------------------------
+    scenario_registry = MetricsRegistry()
+    depth = scenario_registry.gauge("serve_queue_depth", shard="shard-0")
+    scenario = AlertManager(
+        SeriesSampler(scenario_registry, capacity=64),
+        default_watch_rules(100),
+    )
+    false_firings = 0
+    fired_at = None
+    timeline = [10.0] * 5 + [95.0] * 3  # steady state, then saturation
+    injection_tick = 5
+    for tick, value in enumerate(timeline):
+        depth.set(value)
+        for transition in scenario.tick(now=float(tick)):
+            if transition["to"] != "firing":
+                continue
+            if tick < injection_tick:
+                false_firings += 1
+            elif fired_at is None:
+                fired_at = tick
+    return {
+        "n": n,
+        "w": w,
+        "tick_iters": iters,
+        "tick_us": tick_us,
+        "tick_us_runs": [
+            round(1e6 * run / iters, 3) for run in tick_runs
+        ],
+        "series_sampled": series_sampled,
+        "rules": [rule.name for rule in scenario.rules],
+        "watch_interval_seconds": watch_interval,
+        "kernel_off_seconds": off_seconds,
+        "kernel_watched_seconds": watched_seconds,
+        "idle_overhead_pct": 100.0
+        * (_ratio(watched_seconds, off_seconds) - 1.0),
+        "saturation": {
+            "timeline": timeline,
+            "injection_tick": injection_tick,
+            "fired_at_tick": fired_at,
+            "false_firings": false_firings,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # drift: the refit-policy trade-off under concept drift
 
 
@@ -1096,6 +1286,7 @@ def run_bench(
     if sizes is None:
         sizes = _QUICK_SIZES if quick else _FULL_SIZES
     w = _QUICK_W if quick else _FULL_W
+    _NOISE_LOG.clear()  # host noise floor is per-report
 
     report: dict = {
         "schema": "repro-bench/1",
@@ -1181,6 +1372,25 @@ def run_bench(
         report["checks"]["obs_disabled_overhead_ok"] = bool(
             obs["disabled_overhead_pct"] < 5.0
         )
+    if "watch" in chosen:
+        watch = _bench_watch(quick, repeats, w)
+        report["sections"]["watch"] = watch
+        report["checks"]["watch_tick_us"] = watch["tick_us"]
+        # advisory, mirroring the obs gate: a sleeping watcher thread
+        # must not tax the kernel hot path beyond timing noise
+        report["checks"]["watch_idle_overhead_pct"] = watch[
+            "idle_overhead_pct"
+        ]
+        report["checks"]["watch_idle_overhead_ok"] = bool(
+            watch["idle_overhead_pct"] < 5.0
+        )
+        saturation = watch["saturation"]
+        report["checks"]["watch_saturation_fires"] = bool(
+            saturation["fired_at_tick"] is not None
+        )
+        report["checks"]["watch_false_firings"] = saturation[
+            "false_firings"
+        ]
     if "anytime" in chosen:
         anytime = _bench_anytime(quick, fractions=anytime_fractions)
         report["sections"]["anytime"] = anytime
@@ -1265,6 +1475,12 @@ def run_bench(
         report["checks"]["drift_stationary_quiet"] = bool(
             stationary_triggers <= 1
         )
+    # uniform host block: lets ``repro bench compare`` refuse cross-host
+    # comparisons and scale its noise allowance to this machine's actual
+    # run-to-run jitter instead of a guessed constant
+    host = _host_block()
+    host["timing_noise_pct"] = _timing_noise_pct()
+    report["host"] = host
     return report
 
 
@@ -1432,6 +1648,26 @@ def format_bench(report: dict) -> str:
             f"  span disabled {obs['span_disabled_ns']:.0f}ns, enabled "
             f"{obs['span_enabled_ns']:.0f}ns, counter inc "
             f"{obs['counter_inc_ns']:.0f}ns"
+        )
+    watch = report["sections"].get("watch")
+    if watch:
+        lines.append("")
+        saturation = watch["saturation"]
+        fired = (
+            "never fired"
+            if saturation["fired_at_tick"] is None
+            else f"fired at tick {saturation['fired_at_tick']}"
+        )
+        lines.append(
+            f"watch ({watch['series_sampled']} series, "
+            f"{len(watch['rules'])} rules): tick {watch['tick_us']:.0f}us, "
+            f"kernel idle overhead {watch['idle_overhead_pct']:+.1f}% "
+            f"(n={watch['n']})"
+        )
+        lines.append(
+            f"  saturation scenario: {fired} (injected at tick "
+            f"{saturation['injection_tick']}), "
+            f"{saturation['false_firings']} false firings"
         )
     anytime = report["sections"].get("anytime")
     if anytime:

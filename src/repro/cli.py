@@ -35,12 +35,21 @@ Commands mirror the paper's workflow:
 * ``obs <dump|rollup> TRACE.jsonl`` — inspect a trace file written by
   ``--trace``: the span tree, or the per-span-name profile rollup
   (calls, total/self/mean time, counters).
+* ``obs watch URL`` — tail a running ``repro serve`` endpoint's
+  ``/alerts``: one line per poll with the ok/pending/firing summary
+  and every non-ok rule's state and observed value.
 * ``bench`` — time the numeric core (mpx kernel vs the retained naive
   and STOMP references, MERLIN before/after, kNN, one-liners, engine
   grid, bounded-memory scaling, streaming appends/replay, anytime
-  convergence, parallel-sweep bit-identity) and write a
-  machine-readable report whose name derives from the perf trajectory
-  (``benchmarks/perf/BENCH_<n>.json``).
+  convergence, parallel-sweep bit-identity, watch-layer overhead) and
+  write a machine-readable report whose name derives from the perf
+  trajectory (``benchmarks/perf/BENCH_<n>.json``).
+* ``bench compare`` — the statistical perf-regression sentinel: run a
+  fresh bench (or take ``--fresh REPORT.json``), align its metrics
+  with the newest committed trajectory point, and judge each one
+  improved / within-noise / regressed under a per-host noise
+  allowance, with bootstrap CIs wherever repeat samples exist
+  (``--strict`` turns a regressed verdict into exit 1).
 
 ``score`` and ``run`` both execute through :mod:`repro.runner`, so
 ``--jobs`` parallelizes and ``--cache-dir`` makes re-runs skip every
@@ -438,6 +447,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded per-shard op queue; a full queue answers 429 with "
         "Retry-After (default: 4096)",
     )
+    serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="background self-monitoring cadence: sample the metrics "
+        "registry and evaluate the stock alert rules this often, "
+        "feeding /alerts and /healthz; 0 disables the watcher "
+        "(default: 1.0)",
+    )
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -539,21 +558,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = sub.add_parser(
         "obs",
-        help="inspect a --trace JSONL file: span tree or per-span-name "
-        "self-time profile",
+        help="inspect a --trace JSONL file (span tree or self-time "
+        "profile), or tail a live serve endpoint's alerts",
     )
     obs.add_argument(
         "mode",
-        choices=["dump", "rollup"],
+        choices=["dump", "rollup", "watch"],
         help="dump: the indented span tree; rollup: per-span-name "
-        "calls, total/self/mean time, plus the trace's counters",
+        "calls, total/self/mean time, plus the trace's counters; "
+        "watch: poll a running `repro serve` base URL and print its "
+        "alert states",
     )
-    obs.add_argument("trace", help="trace file a --trace run wrote")
+    obs.add_argument(
+        "trace",
+        metavar="TRACE_OR_URL",
+        help="trace file a --trace run wrote (dump/rollup), or the "
+        "serve base URL, e.g. http://127.0.0.1:8765 (watch)",
+    )
     obs.add_argument(
         "--max-spans",
-        type=_positive_int,
+        type=_nonnegative_int,
         default=200,
-        help="dump: elide the tree after this many lines (default: 200)",
+        help="dump: elide the tree after this many lines; 0 keeps only "
+        "the elision summary (default: 200)",
+    )
+    obs.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="watch: seconds between polls (default: 2.0)",
+    )
+    obs.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="watch: stop after N polls (default: run until Ctrl-C)",
     )
     obs.add_argument(
         "--format",
@@ -617,6 +658,77 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["text", "json"],
         default="text",
         help="stdout format (default: text)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=False)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate a fresh bench run against the committed perf "
+        "trajectory: per-metric improved / within-noise / regressed "
+        "verdicts with bootstrap CIs where repeat samples exist",
+    )
+    bench_compare.add_argument(
+        "--fresh",
+        default=None,
+        metavar="REPORT.json",
+        help="compare this existing report instead of running a fresh "
+        "bench (default: run one now)",
+    )
+    bench_compare.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the fresh bench at quick sizes (CI smoke budget); "
+        "ignored with --fresh",
+    )
+    bench_compare.add_argument(
+        "--sections",
+        default=None,
+        help="comma-separated sections for the fresh run (default: the "
+        "sections the baseline report has); ignored with --fresh",
+    )
+    bench_compare.add_argument(
+        "--trajectory",
+        default="benchmarks/perf",
+        metavar="DIR",
+        help="committed trajectory directory; the newest BENCH_<n>.json "
+        "is the baseline (default: benchmarks/perf)",
+    )
+    bench_compare.add_argument(
+        "--noise-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="relative-change allowance floor in percent (default: 10; "
+        "the fresh report's calibrated host noise can only widen it)",
+    )
+    bench_compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on a regressed verdict and 2 when the hosts do "
+        "not match (default: always exit 0 — advisory)",
+    )
+    bench_compare.add_argument(
+        "--out",
+        default=None,
+        metavar="VERDICT.json",
+        help="also write the machine-readable verdict artifact here",
+    )
+    bench_compare.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout format (default: text)",
+    )
+    bench_compare.add_argument(
+        "--resamples",
+        type=_positive_int,
+        default=2000,
+        help="bootstrap resamples for runs-backed metrics (default: 2000)",
+    )
+    bench_compare.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="seed for the bootstrap resampling stream (default: 7)",
     )
     return parser
 
@@ -1033,14 +1145,26 @@ def _cmd_stream(args) -> int:
 def _cmd_serve(args) -> int:
     from .serve import ServeServer, StreamCluster
 
+    if args.watch_interval < 0:
+        print("error: --watch-interval must be >= 0", file=sys.stderr)
+        return 2
     server = ServeServer(
-        StreamCluster(num_shards=args.shards, queue_size=args.queue_size),
+        StreamCluster(
+            num_shards=args.shards,
+            queue_size=args.queue_size,
+            watch_interval=args.watch_interval or None,
+        ),
         host=args.host,
         port=args.port,
     )
+    watching = (
+        f"watch every {args.watch_interval:g}s"
+        if args.watch_interval
+        else "watch off"
+    )
     print(
         f"repro serve listening on {server.address} "
-        f"({args.shards} shards, queue {args.queue_size})",
+        f"({args.shards} shards, queue {args.queue_size}, {watching})",
         file=sys.stderr,
     )
     try:
@@ -1127,6 +1251,8 @@ def _cmd_bench(args) -> int:
 
     from .bench import format_bench, run_bench, write_bench
 
+    if getattr(args, "bench_command", None) == "compare":
+        return _cmd_bench_compare(args)
     sections = tuple(
         part.strip() for part in args.sections.split(",") if part.strip()
     )
@@ -1193,6 +1319,102 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_bench_compare(args) -> int:
+    import json
+    import os
+
+    from .obs import compare_reports, format_compare, latest_baseline
+
+    try:
+        baseline = latest_baseline(args.trajectory)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.fresh is not None:
+        try:
+            with open(args.fresh) as handle:
+                fresh = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {args.fresh}: {error}", file=sys.stderr)
+            return 2
+        if fresh.get("schema") != "repro-bench/1":
+            print(
+                f"error: {args.fresh} is not a repro-bench/1 report",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from .bench import SECTIONS, run_bench
+
+        if args.sections is not None:
+            sections = tuple(
+                part.strip()
+                for part in args.sections.split(",")
+                if part.strip()
+            )
+        else:
+            # measure what the baseline measured: fresh sections the
+            # baseline lacks cannot be gated, and baseline sections the
+            # fresh run skips silently shrink the gate's coverage
+            sections = tuple(
+                name
+                for name in SECTIONS
+                if name in baseline["report"].get("sections", {})
+            )
+        try:
+            fresh = run_bench(quick=args.quick, sections=sections)
+        except (ValueError, AssertionError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    verdict = compare_reports(
+        fresh,
+        baseline["report"],
+        noise_pct=args.noise_pct,
+        resamples=args.resamples,
+        seed=args.seed,
+        baseline_path=baseline["path"],
+    )
+    if args.out:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(verdict, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+    else:
+        print(format_compare(verdict))
+    quick_mismatch = bool(verdict["fresh"]["quick"]) != bool(
+        verdict["baseline"]["quick"]
+    )
+    if quick_mismatch:
+        print(
+            "note: quick run vs full baseline — size-dependent timings "
+            "differ by construction; verdicts are advisory",
+            file=sys.stderr,
+        )
+    if args.strict:
+        if not verdict["host_match"]:
+            print(
+                "error: fresh and baseline reports come from different "
+                "hosts; --strict refuses to gate cross-host timings",
+                file=sys.stderr,
+            )
+            return 2
+        if quick_mismatch:
+            print(
+                "error: --strict refuses to gate a quick run against a "
+                "full baseline (different problem sizes)",
+                file=sys.stderr,
+            )
+            return 2
+        if verdict["verdict"] == "regressed":
+            return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .runner import ResultCache
 
@@ -1205,11 +1427,66 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_obs_watch(args) -> int:
+    import json
+    import time
+    import urllib.error
+
+    from .serve import ServeClient, ServeError
+
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    client = ServeClient(args.trace)
+    polls = 0
+    try:
+        while True:
+            try:
+                payload = client.alerts()
+            except ServeError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            except (urllib.error.URLError, OSError) as error:
+                print(
+                    f"error: cannot reach {args.trace}: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            polls += 1
+            if args.format == "json":
+                print(json.dumps(payload, sort_keys=True), flush=True)
+            else:
+                summary = payload.get("summary", {})
+                line = (
+                    f"{time.strftime('%H:%M:%S')}  "
+                    f"ok={summary.get('ok', 0)} "
+                    f"pending={summary.get('pending', 0)} "
+                    f"firing={summary.get('firing', 0)}"
+                )
+                for alert in payload.get("alerts", []):
+                    if alert.get("state") != "ok":
+                        value = alert.get("value")
+                        shown = "-" if value is None else f"{value:.4g}"
+                        line += (
+                            f"\n  {alert['state'].upper():<8}"
+                            f" {alert['rule']}  value {shown}"
+                        )
+                print(line, flush=True)
+            if args.iterations is not None and polls >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+        return 0
+
+
 def _cmd_obs(args) -> int:
     import json
 
     from .obs import format_rollup, format_tree, load_trace, rollup
 
+    if args.mode == "watch":
+        return _cmd_obs_watch(args)
     try:
         trace = load_trace(args.trace)
     except (OSError, ValueError) as error:

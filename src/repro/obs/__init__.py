@@ -11,6 +11,16 @@ keeps instrumented hot paths within noise of un-instrumented code
 (asserted by the ``obs`` bench section).
 """
 
+from .alerts import (
+    AlertManager,
+    AlertRule,
+    AlertStatus,
+    BurnRateRule,
+    DetectorRule,
+    Selector,
+    ThresholdRule,
+    parse_rule,
+)
 from .registry import (
     Counter,
     Gauge,
@@ -21,7 +31,14 @@ from .registry import (
     push_registry,
     quantile,
 )
+from .regression import (
+    compare_reports,
+    format_compare,
+    latest_baseline,
+    load_trajectory,
+)
 from .rollup import format_rollup, format_tree, load_trace, rollup
+from .series import SamplePoint, SeriesSampler
 from .trace import (
     Span,
     TRACE_SCHEMA,
@@ -52,4 +69,18 @@ __all__ = [
     "rollup",
     "format_rollup",
     "format_tree",
+    "SeriesSampler",
+    "SamplePoint",
+    "AlertManager",
+    "AlertRule",
+    "AlertStatus",
+    "ThresholdRule",
+    "BurnRateRule",
+    "DetectorRule",
+    "Selector",
+    "parse_rule",
+    "compare_reports",
+    "format_compare",
+    "load_trajectory",
+    "latest_baseline",
 ]

@@ -118,10 +118,13 @@ class Histogram:
 
     ``count`` is the lifetime observation count; the reservoir holds
     only the newest ``reservoir`` samples, from which p50/p95/p99 are
-    computed at read time.
+    computed at read time.  ``min``/``max`` are exact **lifetime**
+    extremes — tracked on the write path, not recovered from the
+    reservoir, so an early outlier stays visible after it ages out of
+    the sample window.
     """
 
-    __slots__ = ("_lock", "_count", "_samples")
+    __slots__ = ("_lock", "_count", "_samples", "_min", "_max")
 
     QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
 
@@ -131,16 +134,35 @@ class Histogram:
         self._lock = threading.Lock()
         self._count = 0
         self._samples: deque[float] = deque(maxlen=reservoir)
+        self._min: float | None = None
+        self._max: float | None = None
 
     def observe(self, value: float) -> None:
+        value = float(value)
         with self._lock:
             self._count += 1
-            self._samples.append(float(value))
+            self._samples.append(value)
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
 
     @property
     def count(self) -> int:
         with self._lock:
             return self._count
+
+    @property
+    def minimum(self) -> float | None:
+        """Exact lifetime minimum (``None`` before any observation)."""
+        with self._lock:
+            return self._min
+
+    @property
+    def maximum(self) -> float | None:
+        """Exact lifetime maximum (``None`` before any observation)."""
+        with self._lock:
+            return self._max
 
     def samples(self) -> "list[float]":
         """The retained samples, oldest first."""
@@ -150,26 +172,60 @@ class Histogram:
     def quantile(self, q: float) -> float | None:
         return quantile(self.samples(), q)
 
-    def merge(self, samples, count: int | None = None) -> None:
-        """Fold another histogram's ``(samples, lifetime count)`` in."""
+    def merge(
+        self,
+        samples,
+        count: int | None = None,
+        *,
+        minimum: float | None = None,
+        maximum: float | None = None,
+    ) -> None:
+        """Fold another histogram's ``(samples, lifetime count)`` in.
+
+        ``minimum``/``maximum`` carry the source's exact lifetime
+        extremes; when absent (older export payloads) they fall back to
+        the extremes of the shipped samples — the best information the
+        payload contains.
+        """
         samples = [float(v) for v in samples]
         extra = int(count) if count is not None else len(samples)
         if extra < len(samples):
             raise ValueError(
                 f"lifetime count {extra} below sample count {len(samples)}"
             )
+        if minimum is None and samples:
+            minimum = min(samples)
+        if maximum is None and samples:
+            maximum = max(samples)
         with self._lock:
             self._count += extra
             self._samples.extend(samples)
+            if minimum is not None and (
+                self._min is None or minimum < self._min
+            ):
+                self._min = float(minimum)
+            if maximum is not None and (
+                self._max is None or maximum > self._max
+            ):
+                self._max = float(maximum)
 
     def digest(self) -> dict:
-        """``{"count", "p50", "p95", "p99"}`` — quantiles ``None`` when empty."""
+        """``{"count", "p50", "p95", "p99", "min", "max"}``.
+
+        Quantiles and extremes are ``None`` when no observation has
+        been recorded; quantiles cover the reservoir window while
+        ``min``/``max`` are exact over the lifetime.
+        """
         with self._lock:
             count = self._count
             samples = list(self._samples)
+            minimum = self._min
+            maximum = self._max
         out: dict = {"count": count}
         for q, key in self.QUANTILES:
             out[key] = quantile(samples, q)
+        out["min"] = minimum
+        out["max"] = maximum
         return out
 
 
@@ -197,6 +253,31 @@ class MetricsRegistry:
         self._reservoir = reservoir
         self._lock = threading.Lock()
         self._series: dict[tuple, object] = {}
+        self._help: dict[str, str] = {}
+
+    def describe(self, name: str, text: str) -> None:
+        """Register the human description emitted as ``# HELP``.
+
+        Descriptions attach to the metric *name* (all labeled series of
+        it share one), matching the Prometheus model.  Re-describing
+        with different text raises — two subsystems disagreeing about
+        what a metric means is a bug worth surfacing.
+        """
+        name = _validate_name(name)
+        text = str(text).strip()
+        if not text:
+            raise ValueError(f"empty help text for metric {name!r}")
+        with self._lock:
+            existing = self._help.get(name)
+            if existing is not None and existing != text:
+                raise ValueError(
+                    f"metric {name!r} already described as {existing!r}"
+                )
+            self._help[name] = text
+
+    def description(self, name: str) -> str | None:
+        with self._lock:
+            return self._help.get(name)
 
     def _get(self, cls, name: str, labels: dict, **kwargs):
         key = _series_key(_validate_name(name), labels)
@@ -289,7 +370,15 @@ class MetricsRegistry:
                 state.append([name, pairs, "gauge", series.value])
             elif isinstance(series, Histogram):
                 state.append(
-                    [name, pairs, "histogram", series.samples(), series.count]
+                    [
+                        name,
+                        pairs,
+                        "histogram",
+                        series.samples(),
+                        series.count,
+                        series.minimum,
+                        series.maximum,
+                    ]
                 )
         return state
 
@@ -306,7 +395,14 @@ class MetricsRegistry:
             elif kind == "gauge":
                 self.gauge(name, **pairs).set(entry[3])
             elif kind == "histogram":
-                self.histogram(name, **pairs).merge(entry[3], entry[4])
+                # pre-min/max payloads are 5 entries long; merge() then
+                # falls back to the extremes of the shipped samples
+                self.histogram(name, **pairs).merge(
+                    entry[3],
+                    entry[4],
+                    minimum=entry[5] if len(entry) > 5 else None,
+                    maximum=entry[6] if len(entry) > 6 else None,
+                )
             else:
                 raise ValueError(f"unknown series kind {kind!r}")
 
@@ -314,15 +410,23 @@ class MetricsRegistry:
         """The text exposition format (version 0.0.4).
 
         Counters render as ``name value``, gauges likewise, histograms
-        as quantile series plus ``name_count`` — all from the same live
+        as quantile series plus ``name_count`` and the exact lifetime
+        ``name_min``/``name_max`` gauges — all from the same live
         objects :meth:`to_json` reads, so the two views cannot diverge.
+        Metrics registered through :meth:`describe` get a ``# HELP``
+        line right above their ``# TYPE``.
         """
         lines: list[str] = []
         types_emitted: set[str] = set()
+        with self._lock:
+            help_texts = dict(self._help)
 
         def type_line(name: str, kind: str) -> None:
             if name not in types_emitted:
                 types_emitted.add(name)
+                text = help_texts.get(name)
+                if text is not None:
+                    lines.append(f"# HELP {name} {_prom_escape_help(text)}")
                 lines.append(f"# TYPE {name} {kind}")
 
         for (name, labels), series in self._sorted_series():
@@ -347,6 +451,16 @@ class MetricsRegistry:
                         f"{name}{quantile_labels} {_prom_float(value)}"
                     )
                 lines.append(f"{name}_count{rendered} {digest['count']}")
+                for suffix, value in (
+                    ("min", digest["min"]),
+                    ("max", digest["max"]),
+                ):
+                    if value is None:
+                        continue
+                    type_line(f"{name}_{suffix}", "gauge")
+                    lines.append(
+                        f"{name}_{suffix}{rendered} {_prom_float(value)}"
+                    )
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -356,6 +470,12 @@ def _prom_float(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def _prom_escape_help(text: str) -> str:
+    # HELP lines escape only backslash and newline (label values also
+    # escape double quotes; help text does not, per exposition 0.0.4)
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_escape(value) -> str:

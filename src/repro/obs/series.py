@@ -1,0 +1,205 @@
+"""Periodic sampling of registry series into bounded time series.
+
+The registry (:mod:`repro.obs.registry`) holds the *current* value of
+every metric; alerting needs the recent *history* — a rate is a pair of
+counter readings, a burn-rate is a window of them, a drift detector
+wants the sampled sequence itself.  :class:`SeriesSampler` closes that
+gap: each :meth:`~SeriesSampler.sample` call snapshots every series in
+the registry into per-series ring buffers (``deque(maxlen=capacity)``),
+so memory is bounded no matter how long the process runs.
+
+Design contract, mirroring the registry's:
+
+* **deterministic given a sample schedule.**  The caller passes the
+  sample timestamp explicitly (``sampler.sample(now=t)``); wall clock
+  is only consulted when the caller omits it.  Tests and the alert
+  suite drive a synthetic clock and get bit-identical series.
+* **keys match** :meth:`MetricsRegistry.snapshot` — ``name`` or
+  ``name{k=v,...}`` — so a selector that works against ``/metrics``
+  JSON works against the sampler.
+* **counters stay cumulative** in the buffer; :meth:`rate` derives
+  per-second rates at read time from the two endpoints of the window
+  it is asked about.  Storing cumulative values means a late reader
+  can still compute any window's rate, and a missed sample never
+  fabricates a burst.
+* **histograms store digests** (count/p50/p95/p99 plus exact lifetime
+  min/max), so a selector can alert on ``latency.p99`` without keeping
+  raw reservoirs per tick.
+
+:meth:`export_jsonl` writes the buffers as JSON Lines — one record per
+(series, tick) in deterministic order — the same spirit as the trace
+exporter's canonical records.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+from .registry import MetricsRegistry
+
+__all__ = ["SeriesSampler", "SamplePoint"]
+
+SERIES_SCHEMA = "repro-series/1"
+
+
+class SamplePoint:
+    """One observation of one series: ``(at, value)``.
+
+    ``value`` is a float for counters/gauges and a digest dict for
+    histograms.
+    """
+
+    __slots__ = ("at", "value")
+
+    def __init__(self, at: float, value) -> None:
+        self.at = float(at)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SamplePoint(at={self.at!r}, value={self.value!r})"
+
+
+class SeriesSampler:
+    """Bounded ring-buffer history over every series of one registry."""
+
+    def __init__(
+        self, registry: MetricsRegistry, *, capacity: int = 512
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(
+                f"capacity must be >= 2 (rates need two points), got {capacity}"
+            )
+        self.registry = registry
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._kinds: dict[str, str] = {}
+        self._buffers: "dict[str, deque[SamplePoint]]" = {}
+        self._ticks = 0
+
+    # -- write path ---------------------------------------------------
+
+    def sample(self, *, now: float | None = None) -> float:
+        """Record one tick: every registry series gains one point.
+
+        Returns the timestamp used, so callers chaining into alert
+        evaluation reuse the exact same instant.  ``now`` must be
+        non-decreasing across calls; a caller-supplied clock that runs
+        backwards raises rather than corrupting rate math.
+        """
+        at = time.time() if now is None else float(now)
+        snapshot = self.registry.snapshot(histogram_values=True)
+        with self._lock:
+            if self._ticks and self._buffers:
+                last = max(
+                    buffer[-1].at for buffer in self._buffers.values()
+                )
+                if at < last:
+                    raise ValueError(
+                        f"sample clock went backwards: {at} < {last}"
+                    )
+            for kind in ("counters", "gauges", "histograms"):
+                for key, value in snapshot[kind].items():
+                    self._kinds[key] = kind[:-1]
+                    buffer = self._buffers.get(key)
+                    if buffer is None:
+                        buffer = deque(maxlen=self.capacity)
+                        self._buffers[key] = buffer
+                    buffer.append(SamplePoint(at, value))
+            self._ticks += 1
+        return at
+
+    # -- read path ----------------------------------------------------
+
+    @property
+    def ticks(self) -> int:
+        with self._lock:
+            return self._ticks
+
+    def keys(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._buffers)
+
+    def kind(self, key: str) -> str | None:
+        """``"counter"``/``"gauge"``/``"histogram"`` or ``None``."""
+        with self._lock:
+            return self._kinds.get(key)
+
+    def window(self, key: str, *, points: int | None = None) -> "list[SamplePoint]":
+        """The newest ``points`` samples of ``key`` (all when ``None``)."""
+        if points is not None and points < 1:
+            raise ValueError(f"points must be >= 1, got {points}")
+        with self._lock:
+            buffer = self._buffers.get(key)
+            if buffer is None:
+                return []
+            series = list(buffer)
+        return series if points is None else series[-points:]
+
+    def latest(self, key: str) -> SamplePoint | None:
+        with self._lock:
+            buffer = self._buffers.get(key)
+            return buffer[-1] if buffer else None
+
+    def rate(self, key: str, *, points: int = 2) -> float | None:
+        """Per-second rate of a counter over its newest ``points`` samples.
+
+        Computed from the window's endpoints (cumulative values), so a
+        two-point window is the instantaneous rate and a longer window
+        is the average over it.  ``None`` when the series has fewer
+        than two samples or zero elapsed time — absence of data is not
+        a zero rate.
+        """
+        if points < 2:
+            raise ValueError(f"rate needs points >= 2, got {points}")
+        window = self.window(key, points=points)
+        if len(window) < 2:
+            return None
+        first, last = window[0], window[-1]
+        elapsed = last.at - first.at
+        if elapsed <= 0:
+            return None
+        return (float(last.value) - float(first.value)) / elapsed
+
+    def values(self, key: str, *, points: int | None = None) -> "list[float]":
+        """The window's scalar values (counters/gauges only)."""
+        return [float(point.value) for point in self.window(key, points=points)]
+
+    # -- export -------------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Write every buffered point as JSON Lines; returns the count.
+
+        One header record (schema, capacity, tick count), then one
+        record per (series, point) in deterministic order: series keys
+        sorted, points oldest-first.  Timestamps ride along as data —
+        they were chosen by whoever drove the sample schedule, so a
+        synthetic-clock run exports byte-identically.
+        """
+        with self._lock:
+            keys = sorted(self._buffers)
+            buffers = {key: list(self._buffers[key]) for key in keys}
+            kinds = dict(self._kinds)
+            ticks = self._ticks
+        written = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {
+                "schema": SERIES_SCHEMA,
+                "capacity": self.capacity,
+                "ticks": ticks,
+                "series": len(keys),
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for key in keys:
+                for point in buffers[key]:
+                    record = {
+                        "series": key,
+                        "kind": kinds[key],
+                        "at": point.at,
+                        "value": point.value,
+                    }
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    written += 1
+        return written

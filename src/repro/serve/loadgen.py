@@ -97,6 +97,8 @@ class LoadResult:
     points_per_second: float
     append_p50_ms: float | None
     append_p99_ms: float | None
+    append_min_ms: float | None
+    append_max_ms: float | None
     queue_wait_p50_ms: float | None
     queue_wait_p99_ms: float | None
     score_p50_ms: float | None
@@ -126,6 +128,8 @@ class LoadResult:
             "points_per_second": round(self.points_per_second, 1),
             "append_p50_ms": self.append_p50_ms,
             "append_p99_ms": self.append_p99_ms,
+            "append_min_ms": self.append_min_ms,
+            "append_max_ms": self.append_max_ms,
             "queue_wait_p50_ms": self.queue_wait_p50_ms,
             "queue_wait_p99_ms": self.queue_wait_p99_ms,
             "score_p50_ms": self.score_p50_ms,
@@ -276,6 +280,7 @@ def run_load(config: LoadConfig, *, archive=None) -> LoadResult:
         seconds = time.perf_counter() - started
 
         samples = cluster.metrics.latency_samples()
+        latency_min, latency_max = cluster.metrics.latency_extremes()
         queue_waits = cluster.metrics.queue_wait_samples()
         score_times = cluster.metrics.score_samples()
         rejections = cluster.metrics_json()["totals"]["rejected"]
@@ -303,6 +308,12 @@ def run_load(config: LoadConfig, *, archive=None) -> LoadResult:
         points_per_second=points / seconds if seconds > 0 else 0.0,
         append_p50_ms=_q_ms(samples, 0.50),
         append_p99_ms=_q_ms(samples, 0.99),
+        append_min_ms=(
+            None if latency_min is None else round(latency_min * 1e3, 4)
+        ),
+        append_max_ms=(
+            None if latency_max is None else round(latency_max * 1e3, 4)
+        ),
         queue_wait_p50_ms=_q_ms(queue_waits, 0.50),
         queue_wait_p99_ms=_q_ms(queue_waits, 0.99),
         score_p50_ms=_q_ms(score_times, 0.50),
@@ -352,7 +363,8 @@ def format_load(result: LoadResult) -> str:
         f"{payload['seconds']:.2f}s = "
         f"{payload['points_per_second']:.0f} points/s",
         f"  arrival-to-score latency p50 {fmt('append_p50_ms')}, "
-        f"p99 {fmt('append_p99_ms')}",
+        f"p99 {fmt('append_p99_ms')} "
+        f"(lifetime min {fmt('append_min_ms')}, max {fmt('append_max_ms')})",
         f"  … queue wait p50 {fmt('queue_wait_p50_ms')}, "
         f"p99 {fmt('queue_wait_p99_ms')}; "
         f"score time p50 {fmt('score_p50_ms')}, p99 {fmt('score_p99_ms')}",

@@ -32,6 +32,27 @@ from ..obs import quantile
 
 __all__ = ["TenantMetrics", "MetricsRegistry", "quantile"]
 
+# ``# HELP`` text for every serve series, registered on the shared obs
+# registry at creation so the Prometheus exposition is self-describing
+_DESCRIPTIONS = {
+    "serve_points_ingested": "Points accepted for scoring, per tenant.",
+    "serve_scores_emitted": "Scores produced by detectors, per tenant.",
+    "serve_append_batches": "Scored append groups, per tenant.",
+    "serve_rejected": "Appends rejected by backpressure, per tenant.",
+    "serve_snapshots": "Stream snapshots captured, per tenant.",
+    "serve_restores": "Streams restored from snapshots, per tenant.",
+    "serve_append_seconds": (
+        "Arrival-to-score latency of append groups (seconds)."
+    ),
+    "serve_queue_wait_seconds": (
+        "Time append groups spent queued before worker pickup (seconds)."
+    ),
+    "serve_score_seconds": "Time spent inside the detector call (seconds).",
+    "serve_backpressure_total": "Appends rejected at a full shard queue.",
+    "serve_queue_depth": "Resident operations in each shard queue.",
+    "serve_uptime_seconds": "Seconds since the cluster started.",
+}
+
 
 def _ms(seconds: float | None) -> float | None:
     return None if seconds is None else round(seconds * 1e3, 4)
@@ -129,6 +150,10 @@ class TenantMetrics:
             "restores": self._restores.value,
             "append_p50_ms": _ms(quantile(samples, 0.50)),
             "append_p99_ms": _ms(quantile(samples, 0.99)),
+            # lifetime-exact extremes, not reservoir-windowed: an early
+            # latency spike stays visible after it ages out
+            "append_min_ms": _ms(self._latency.minimum),
+            "append_max_ms": _ms(self._latency.maximum),
             "queue_wait_p99_ms": _ms(self._queue_wait.quantile(0.99)),
             "score_p99_ms": _ms(self._score_time.quantile(0.99)),
         }
@@ -150,6 +175,8 @@ class MetricsRegistry:
         self.obs = obs if obs is not None else ObsRegistry()
         self._lock = threading.Lock()
         self._tenants: dict[str, TenantMetrics] = {}
+        for name, text in _DESCRIPTIONS.items():
+            self.obs.describe(name, text)
 
     def tenant(self, name: str) -> TenantMetrics:
         with self._lock:
@@ -176,6 +203,28 @@ class MetricsRegistry:
         for tenant in self._tenant_list():
             samples.extend(tenant.latency_samples())
         return samples
+
+    def latency_extremes(self) -> "tuple[float | None, float | None]":
+        """Cluster-wide exact lifetime (min, max) append latency.
+
+        Pooled across tenants from the histograms' lifetime extremes,
+        so the answer covers every append ever scored, not just the
+        reservoir window the quantiles see.
+        """
+        minima = [
+            m
+            for tenant in self._tenant_list()
+            if (m := tenant._latency.minimum) is not None
+        ]
+        maxima = [
+            m
+            for tenant in self._tenant_list()
+            if (m := tenant._latency.maximum) is not None
+        ]
+        return (
+            min(minima) if minima else None,
+            max(maxima) if maxima else None,
+        )
 
     def queue_wait_samples(self) -> "list[float]":
         samples: list[float] = []

@@ -16,7 +16,8 @@ Routes (all JSON bodies/responses)::
     POST /v1/streams/{tenant}/{stream}/snapshot    capture portable state
     POST /v1/restore                               register from snapshot
     GET  /metrics                                  per-tenant counters
-    GET  /healthz                                  liveness
+    GET  /alerts                                   watch rule states
+    GET  /healthz                                  liveness + alert summary
 
 Backpressure maps to ``429`` with a ``Retry-After`` header (fractional
 seconds) — the one HTTP status whose retry semantics every off-the-
@@ -122,6 +123,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_text(200, self.cluster.metrics_prometheus())
             else:
                 self._reply(200, self.cluster.metrics_json())
+            return
+        if method == "GET" and parts == ["alerts"]:
+            if query.get("format") == "prometheus":
+                self._reply_text(200, self.cluster.alerts_prometheus())
+            else:
+                self._reply(200, self.cluster.alerts_json())
             return
         if method == "POST" and parts == ["v1", "streams"]:
             body = self._body()
@@ -363,8 +370,16 @@ class ServeClient:
 
     def metrics_text(self) -> str:
         """The Prometheus text exposition of ``/metrics``."""
-        req = urllib.request.Request(
-            self.base_url + "/metrics?format=prometheus", method="GET"
-        )
+        return self._text("/metrics?format=prometheus")
+
+    def alerts(self) -> dict:
+        return self.request("GET", "/alerts")
+
+    def alerts_text(self) -> str:
+        """The Prometheus ``ALERTS`` exposition of ``/alerts``."""
+        return self._text("/alerts?format=prometheus")
+
+    def _text(self, path: str) -> str:
+        req = urllib.request.Request(self.base_url + path, method="GET")
         with urllib.request.urlopen(req, timeout=self.timeout) as resp:
             return resp.read().decode("utf-8")

@@ -45,12 +45,62 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..drift.policies import validate_stream_options
+from ..obs.alerts import AlertManager, AlertRule, BurnRateRule, ThresholdRule
+from ..obs.series import SeriesSampler
 from ..stream.adapters import StreamingDetector, as_streaming
 from .metrics import MetricsRegistry
 from .state import restore as restore_state
 from .state import snapshot as snapshot_state
 
-__all__ = ["Backpressure", "HashRing", "ShardWorker", "StreamCluster"]
+__all__ = [
+    "Backpressure",
+    "HashRing",
+    "ShardWorker",
+    "StreamCluster",
+    "default_watch_rules",
+]
+
+
+def default_watch_rules(
+    queue_size: int, *, p99_latency_seconds: float = 1.0
+) -> "list[AlertRule]":
+    """The cluster's stock self-monitoring rules.
+
+    * **queue saturation** — any shard's resident queue depth above 80%
+      of capacity for two consecutive watch ticks: the cluster is one
+      burst away from rejecting work.
+    * **append latency** — the worst tenant's p99 arrival-to-score
+      latency above ``p99_latency_seconds`` for two ticks.
+    * **backpressure burn** — the SLO burn-rate pattern on the
+      rejected/attempted counter pair: sustained rejection above twice
+      the 5% error budget over both the short and long window.
+    """
+    return [
+        ThresholdRule(
+            "queue-saturation",
+            "max(serve_queue_depth)",
+            ">",
+            0.8 * queue_size,
+            for_ticks=2,
+        ),
+        ThresholdRule(
+            "append-latency-p99",
+            "max(serve_append_seconds.p99)",
+            ">",
+            p99_latency_seconds,
+            for_ticks=2,
+        ),
+        BurnRateRule(
+            "backpressure-burn",
+            errors="serve_rejected",
+            total="serve_append_batches",
+            budget=0.05,
+            factor=2.0,
+            short_points=3,
+            long_points=12,
+            for_ticks=1,
+        ),
+    ]
 
 
 class Backpressure(RuntimeError):
@@ -392,9 +442,16 @@ class StreamCluster:
         queue_size: int = 1024,
         retry_after: float = 0.05,
         replicas: int = 64,
+        watch_interval: float | None = None,
+        watch_rules: "list[AlertRule] | None" = None,
+        watch_capacity: int = 512,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if watch_interval is not None and watch_interval <= 0:
+            raise ValueError(
+                f"watch_interval must be > 0, got {watch_interval}"
+            )
         names = [f"shard-{index}" for index in range(num_shards)]
         self.metrics = MetricsRegistry()
         self.ring = HashRing(names, replicas=replicas)
@@ -409,6 +466,28 @@ class StreamCluster:
         }
         self.started = time.monotonic()
         self._closed = False
+        # the watch layer: ring-buffer sampling + alert rules over the
+        # same obs registry /metrics serves.  Always constructed (the
+        # idle cost is two small objects); the background heartbeat
+        # thread only exists when a watch_interval was requested —
+        # tests and CI drive watch_tick() on a deterministic schedule.
+        self.watch_sampler = SeriesSampler(
+            self.metrics.obs, capacity=watch_capacity
+        )
+        self.watch = AlertManager(
+            self.watch_sampler,
+            default_watch_rules(queue_size)
+            if watch_rules is None
+            else watch_rules,
+        )
+        self.watch_interval = watch_interval
+        self._watch_stop = threading.Event()
+        self._watch_thread: threading.Thread | None = None
+        if watch_interval is not None:
+            self._watch_thread = threading.Thread(
+                target=self._watch_loop, name="serve-watch", daemon=True
+            )
+            self._watch_thread.start()
 
     # -- routing ------------------------------------------------------
 
@@ -496,6 +575,35 @@ class StreamCluster:
         key = self.stream_key(tenant, stream)
         return self.worker_for(tenant).call("stats", key, None, tenant=tenant)
 
+    # -- self-monitoring ----------------------------------------------
+
+    def _refresh_gauges(self) -> None:
+        """Push the point-in-time readings onto the obs registry."""
+        obs = self.metrics.obs
+        for name, depth in self.queue_depths().items():
+            obs.gauge("serve_queue_depth", shard=name).set(depth)
+        obs.gauge("serve_uptime_seconds").set(self.uptime_seconds())
+
+    def watch_tick(self, *, now: float | None = None) -> "list[dict]":
+        """One watch heartbeat: refresh gauges, sample, evaluate rules.
+
+        Returns the alert transitions the tick caused.  The background
+        thread calls this on its wall-clock schedule; tests call it
+        with an explicit ``now`` for a deterministic alert timeline.
+        """
+        self._refresh_gauges()
+        return self.watch.tick(now=now)
+
+    def _watch_loop(self) -> None:
+        while not self._watch_stop.wait(self.watch_interval):
+            self.watch_tick()
+
+    def alerts_json(self) -> dict:
+        return self.watch.to_json()
+
+    def alerts_prometheus(self) -> str:
+        return self.watch.render_prometheus()
+
     # -- cluster view -------------------------------------------------
 
     def queue_depths(self) -> "dict[str, int]":
@@ -517,25 +625,35 @@ class StreamCluster:
         as gauges on the shared obs registry right before rendering, so
         a scrape sees them next to the tenant counters.
         """
-        obs = self.metrics.obs
-        for name, depth in self.queue_depths().items():
-            obs.gauge("serve_queue_depth", shard=name).set(depth)
-        obs.gauge("serve_uptime_seconds").set(self.uptime_seconds())
+        self._refresh_gauges()
         return self.metrics.render_prometheus()
 
     def healthz_json(self) -> dict:
         """Liveness plus the overload signals CI asserts on."""
+        alerts = self.alerts_json()
         return {
             "ok": True,
             "uptime_seconds": round(self.uptime_seconds(), 3),
             "shards": len(self.workers),
             "queue_depths": dict(sorted(self.queue_depths().items())),
+            "alerts": {
+                "summary": alerts["summary"],
+                "firing": sorted(
+                    row["rule"]
+                    for row in alerts["alerts"]
+                    if row["state"] == "firing"
+                ),
+            },
         }
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join()
+            self._watch_thread = None
         for worker in self.workers.values():
             worker.close()
 

@@ -86,6 +86,7 @@ class TestRunBench:
             "anytime",
             "parallel",
             "drift",
+            "watch",
         }
 
     def test_drift_section_schema_and_checks(self):
@@ -268,6 +269,42 @@ class TestRunBench:
         text = format_bench(report)
         assert "obs" in text
         assert "disabled tracer" in text
+
+    def test_watch_section_schema_and_checks(self):
+        report = run_bench(quick=True, repeats=1, sections=("watch",))
+        section = report["sections"]["watch"]
+        assert section["tick_us"] > 0
+        assert len(section["tick_us_runs"]) >= 3
+        assert section["series_sampled"] > 0
+        assert section["rules"] == [
+            "queue-saturation",
+            "append-latency-p99",
+            "backpressure-burn",
+        ]
+        saturation = section["saturation"]
+        assert saturation["injection_tick"] == 5
+        assert saturation["fired_at_tick"] == 6
+        assert saturation["false_firings"] == 0
+        checks = report["checks"]
+        assert checks["watch_tick_us"] == section["tick_us"]
+        assert checks["watch_saturation_fires"] is True
+        assert checks["watch_false_firings"] == 0
+        assert isinstance(checks["watch_idle_overhead_ok"], bool)
+        text = format_bench(report)
+        assert "watch" in text
+        assert "saturation scenario" in text
+
+    def test_host_block_attached_to_every_report(self):
+        report = run_bench(
+            quick=True, repeats=1, sections=("kernel",), sizes=(512,), naive_rows=64
+        )
+        host = report["host"]
+        assert host["python"]
+        assert host["platform"]
+        assert host["cpu_count"] >= 1
+        assert isinstance(host["env_overrides"], dict)
+        # repeats >= 2 would calibrate; a single repeat leaves it None
+        assert "timing_noise_pct" in host
 
 
 class TestOutput:

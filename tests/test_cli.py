@@ -644,3 +644,257 @@ class TestTraceFlag:
             if key.startswith("serve_points_ingested")
         )
         assert ingested > 0
+
+
+class TestObsEdgeCases:
+    def write_trace(self, path, spans=(), metrics=None):
+        records = [{"kind": "header", "schema": "repro-trace/1"}]
+        records.extend({"kind": "span", **span} for span in spans)
+        if metrics is not None:
+            records.append({"kind": "metrics", **metrics})
+        path.write_text(
+            "\n".join(json.dumps(record) for record in records) + "\n"
+        )
+        return str(path)
+
+    def test_empty_trace_file_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "dump", str(empty)]) == 1
+        assert "missing repro-trace header" in capsys.readouterr().err
+
+    def test_max_spans_zero_keeps_only_the_elision_summary(
+        self, tmp_path, capsys
+    ):
+        trace = self.write_trace(
+            tmp_path / "t.jsonl",
+            spans=[
+                {"id": 1, "parent": None, "name": "root", "duration_us": 10},
+                {"id": 2, "parent": 1, "name": "child", "duration_us": 5},
+            ],
+        )
+        assert main(["obs", "dump", trace, "--max-spans", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "showing 0" in out
+        assert "root" not in out
+
+    def test_negative_max_spans_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["obs", "dump", "t.jsonl", "--max-spans", "-1"]
+            )
+
+    def test_rollup_with_zero_sample_histogram(self, tmp_path, capsys):
+        # a histogram family that was registered but never observed
+        # must survive the round trip, not crash the formatter
+        trace = self.write_trace(
+            tmp_path / "t.jsonl",
+            spans=[
+                {"id": 1, "parent": None, "name": "root", "duration_us": 10},
+            ],
+            metrics={
+                "counters": {"events_total": 0},
+                "gauges": {},
+                "histograms": {
+                    "latency_seconds": {
+                        "count": 0,
+                        "p50": None,
+                        "p95": None,
+                        "p99": None,
+                        "min": None,
+                        "max": None,
+                    }
+                },
+            },
+        )
+        assert main(["obs", "rollup", trace, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        digest = payload["metrics"]["histograms"]["latency_seconds"]
+        assert digest["count"] == 0
+        assert digest["min"] is None
+        assert main(["obs", "rollup", trace]) == 0  # text path too
+
+
+class TestObsWatch:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["obs", "watch", "http://x:1"])
+        assert args.interval == 2.0
+        assert args.iterations is None
+        assert args.max_spans == 200
+        assert args.format == "text"
+
+    def test_interval_zero_exits_2(self, capsys):
+        assert main(
+            ["obs", "watch", "http://127.0.0.1:1", "--interval", "0"]
+        ) == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_unreachable_endpoint_exits_1(self, capsys):
+        assert main(
+            ["obs", "watch", "http://127.0.0.1:1",
+             "--interval", "0.01", "--iterations", "1"]
+        ) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    @pytest.fixture()
+    def server(self):
+        from repro.serve import ServeServer, StreamCluster
+
+        server = ServeServer(
+            StreamCluster(num_shards=1, queue_size=16)
+        ).start()
+        try:
+            yield server
+        finally:
+            server.close()
+
+    def test_watch_polls_a_live_server(self, server, capsys):
+        assert main(
+            ["obs", "watch", server.address,
+             "--interval", "0.01", "--iterations", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok=3") == 2
+
+    def test_watch_json_format_emits_alert_payloads(self, server, capsys):
+        assert main(
+            ["obs", "watch", server.address,
+             "--interval", "0.01", "--iterations", "1",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-alerts/1"
+        assert payload["summary"]["firing"] == 0
+
+
+class TestServeWatchFlag:
+    def test_parser_default(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.watch_interval == 1.0
+
+    def test_negative_watch_interval_exits_2(self, capsys):
+        assert main(["serve", "--watch-interval", "-1"]) == 2
+        assert "--watch-interval" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    HOST = {
+        "python": "3.11.7",
+        "platform": "Linux-test",
+        "cpu_count": 4,
+        "env_overrides": {},
+        "timing_noise_pct": 2.0,
+    }
+
+    def make_report(self, mpx=1.0, *, runs=None, host=None, quick=False):
+        row = {"n": 65536, "mpx_seconds": mpx, "speedup_vs_naive": 8.0 / mpx}
+        if runs is not None:
+            row["mpx_seconds_runs"] = list(runs)
+        return {
+            "schema": "repro-bench/1",
+            "label": "BENCH_T",
+            "quick": quick,
+            "repeats": 3,
+            "env": {},
+            "sections": {"kernel": {"w": 256, "results": [row]}},
+            "checks": {},
+            "host": dict(self.HOST) if host is None else host,
+        }
+
+    def trajectory(self, tmp_path, baseline):
+        directory = tmp_path / "perf"
+        directory.mkdir()
+        (directory / "BENCH_1.json").write_text(json.dumps(baseline))
+        return str(directory)
+
+    def fresh_file(self, tmp_path, report):
+        path = tmp_path / "fresh.json"
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "compare"])
+        assert args.bench_command == "compare"
+        assert args.fresh is None
+        assert args.trajectory == "benchmarks/perf"
+        assert args.noise_pct is None
+        assert args.strict is False
+        assert args.out is None
+        assert args.format == "text"
+        assert args.resamples == 2000
+        assert args.seed == 7
+
+    def test_within_noise_rerun_exits_0(self, tmp_path, capsys):
+        trajectory = self.trajectory(tmp_path, self.make_report(mpx=1.0))
+        fresh = self.fresh_file(tmp_path, self.make_report(mpx=1.02))
+        assert main(["bench", "compare", "--fresh", fresh,
+                     "--trajectory", trajectory, "--strict"]) == 0
+        assert "WITHIN-NOISE" in capsys.readouterr().out
+
+    def test_strict_regression_exits_1(self, tmp_path, capsys):
+        trajectory = self.trajectory(
+            tmp_path, self.make_report(mpx=1.0, runs=[1.0, 1.01, 0.99])
+        )
+        fresh = self.fresh_file(
+            tmp_path, self.make_report(mpx=2.0, runs=[2.0, 2.02, 1.98])
+        )
+        assert main(["bench", "compare", "--fresh", fresh,
+                     "--trajectory", trajectory, "--strict"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_without_strict_regression_is_advisory(self, tmp_path, capsys):
+        trajectory = self.trajectory(tmp_path, self.make_report(mpx=1.0))
+        fresh = self.fresh_file(tmp_path, self.make_report(mpx=2.0))
+        assert main(["bench", "compare", "--fresh", fresh,
+                     "--trajectory", trajectory]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_strict_host_mismatch_exits_2(self, tmp_path, capsys):
+        trajectory = self.trajectory(tmp_path, self.make_report())
+        fresh = self.fresh_file(
+            tmp_path,
+            self.make_report(host={**self.HOST, "cpu_count": 64}),
+        )
+        assert main(["bench", "compare", "--fresh", fresh,
+                     "--trajectory", trajectory, "--strict"]) == 2
+        assert "different" in capsys.readouterr().err
+
+    def test_strict_quick_vs_full_exits_2(self, tmp_path, capsys):
+        trajectory = self.trajectory(tmp_path, self.make_report())
+        fresh = self.fresh_file(tmp_path, self.make_report(quick=True))
+        assert main(["bench", "compare", "--fresh", fresh,
+                     "--trajectory", trajectory, "--strict"]) == 2
+        assert "quick" in capsys.readouterr().err
+
+    def test_out_writes_the_verdict_artifact(self, tmp_path, capsys):
+        trajectory = self.trajectory(tmp_path, self.make_report())
+        fresh = self.fresh_file(tmp_path, self.make_report())
+        out = tmp_path / "nested" / "verdict.json"
+        assert main(["bench", "compare", "--fresh", fresh,
+                     "--trajectory", trajectory,
+                     "--out", str(out), "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == "repro-bench-compare/1"
+        assert artifact["baseline"]["path"].endswith("BENCH_1.json")
+        assert json.loads(captured.out) == artifact
+
+    def test_missing_trajectory_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "compare",
+                     "--trajectory", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unreadable_fresh_exits_2(self, tmp_path, capsys):
+        trajectory = self.trajectory(tmp_path, self.make_report())
+        assert main(["bench", "compare",
+                     "--fresh", str(tmp_path / "nope.json"),
+                     "--trajectory", trajectory]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_fresh_with_wrong_schema_exits_2(self, tmp_path, capsys):
+        trajectory = self.trajectory(tmp_path, self.make_report())
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/1"}))
+        assert main(["bench", "compare", "--fresh", str(bad),
+                     "--trajectory", trajectory]) == 2
+        assert "not a repro-bench/1 report" in capsys.readouterr().err

@@ -89,7 +89,14 @@ class TestSeries:
     def test_histogram_digest_and_lifetime_count(self):
         histogram = MetricsRegistry().histogram("lat", reservoir=4)
         digest = histogram.digest()
-        assert digest == {"count": 0, "p50": None, "p95": None, "p99": None}
+        assert digest == {
+            "count": 0,
+            "p50": None,
+            "p95": None,
+            "p99": None,
+            "min": None,
+            "max": None,
+        }
         histogram.observe(2.0)
         assert histogram.digest()["p99"] == 2.0  # single sample well-defined
         for value in (1.0, 3.0, 4.0, 5.0, 6.0):
@@ -97,6 +104,10 @@ class TestSeries:
         digest = histogram.digest()
         assert digest["count"] == 6  # lifetime, not reservoir
         assert histogram.samples() == [3.0, 4.0, 5.0, 6.0]  # newest 4
+        # extremes are lifetime-exact: 1.0 aged out of the reservoir
+        # but stays the minimum
+        assert digest["min"] == 1.0
+        assert digest["max"] == 6.0
 
     def test_histogram_merge_rejects_impossible_count(self):
         histogram = MetricsRegistry().histogram("lat")

@@ -1,0 +1,225 @@
+"""Tests for repro.obs.series: bounded ring-buffer series sampling.
+
+The sampler's contracts:
+
+* deterministic given a sample schedule (caller-supplied clock, which
+  must never run backwards);
+* keys match the registry snapshot (``name`` / ``name{k=v}``) so alert
+  selectors and ``/metrics`` speak the same language;
+* counters stay cumulative in the buffers and rates are derived at
+  read time from window endpoints;
+* memory stays bounded at ``capacity`` points per series forever;
+* the JSONL export is byte-deterministic under a synthetic clock.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SeriesSampler
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", tenant="a").inc(10)
+    registry.counter("requests_total", tenant="b").inc(4)
+    registry.gauge("queue_depth").set(3)
+    histogram = registry.histogram("latency_seconds")
+    for value in (0.1, 0.2, 0.3):
+        histogram.observe(value)
+    return registry
+
+
+class TestSampling:
+    def test_sample_returns_the_timestamp_used(self):
+        sampler = SeriesSampler(make_registry())
+        assert sampler.sample(now=12.5) == 12.5
+
+    def test_keys_match_snapshot_format(self):
+        sampler = SeriesSampler(make_registry())
+        sampler.sample(now=0.0)
+        assert sampler.keys() == [
+            "latency_seconds",
+            "queue_depth",
+            "requests_total{tenant=a}",
+            "requests_total{tenant=b}",
+        ]
+
+    def test_kind_per_series(self):
+        sampler = SeriesSampler(make_registry())
+        sampler.sample(now=0.0)
+        assert sampler.kind("latency_seconds") == "histogram"
+        assert sampler.kind("queue_depth") == "gauge"
+        assert sampler.kind("requests_total{tenant=a}") == "counter"
+        assert sampler.kind("nope") is None
+
+    def test_counters_stored_cumulative(self):
+        registry = make_registry()
+        sampler = SeriesSampler(registry)
+        sampler.sample(now=0.0)
+        registry.counter("requests_total", tenant="a").inc(5)
+        sampler.sample(now=1.0)
+        assert sampler.values("requests_total{tenant=a}") == [10.0, 15.0]
+
+    def test_histograms_store_digests(self):
+        sampler = SeriesSampler(make_registry())
+        sampler.sample(now=0.0)
+        digest = sampler.latest("latency_seconds").value
+        assert digest["count"] == 3
+        assert digest["min"] == pytest.approx(0.1)
+        assert digest["max"] == pytest.approx(0.3)
+        assert "p99" in digest
+
+    def test_ticks_count(self):
+        sampler = SeriesSampler(make_registry())
+        assert sampler.ticks == 0
+        sampler.sample(now=0.0)
+        sampler.sample(now=1.0)
+        assert sampler.ticks == 2
+
+    def test_backwards_clock_raises(self):
+        sampler = SeriesSampler(make_registry())
+        sampler.sample(now=5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            sampler.sample(now=4.0)
+
+    def test_equal_timestamps_are_allowed(self):
+        # a coarse clock may repeat; only strictly backwards is corrupt
+        sampler = SeriesSampler(make_registry())
+        sampler.sample(now=5.0)
+        sampler.sample(now=5.0)
+        assert sampler.ticks == 2
+
+    def test_wall_clock_used_when_now_omitted(self):
+        sampler = SeriesSampler(make_registry())
+        at = sampler.sample()
+        assert at > 0
+
+    def test_capacity_bounds_memory(self):
+        registry = make_registry()
+        sampler = SeriesSampler(registry, capacity=4)
+        for tick in range(20):
+            sampler.sample(now=float(tick))
+        window = sampler.window("queue_depth")
+        assert len(window) == 4
+        assert [point.at for point in window] == [16.0, 17.0, 18.0, 19.0]
+
+    def test_capacity_below_two_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SeriesSampler(make_registry(), capacity=1)
+
+    def test_series_created_after_start_are_picked_up(self):
+        registry = make_registry()
+        sampler = SeriesSampler(registry)
+        sampler.sample(now=0.0)
+        registry.counter("late_total").inc()
+        sampler.sample(now=1.0)
+        assert "late_total" in sampler.keys()
+        assert len(sampler.window("late_total")) == 1
+
+
+class TestWindowsAndRates:
+    def test_window_points_slices_the_newest(self):
+        registry = make_registry()
+        sampler = SeriesSampler(registry)
+        for tick in range(5):
+            registry.gauge("queue_depth").set(tick)
+            sampler.sample(now=float(tick))
+        assert sampler.values("queue_depth", points=2) == [3.0, 4.0]
+        assert sampler.values("queue_depth") == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_window_points_below_one_raises(self):
+        sampler = SeriesSampler(make_registry())
+        with pytest.raises(ValueError):
+            sampler.window("queue_depth", points=0)
+
+    def test_unknown_series_window_is_empty(self):
+        sampler = SeriesSampler(make_registry())
+        sampler.sample(now=0.0)
+        assert sampler.window("nope") == []
+        assert sampler.latest("nope") is None
+
+    def test_rate_from_window_endpoints(self):
+        registry = make_registry()
+        sampler = SeriesSampler(registry)
+        sampler.sample(now=0.0)
+        registry.counter("requests_total", tenant="a").inc(20)
+        sampler.sample(now=4.0)
+        assert sampler.rate("requests_total{tenant=a}") == pytest.approx(5.0)
+
+    def test_rate_longer_window_averages(self):
+        registry = make_registry()
+        sampler = SeriesSampler(registry)
+        counter = registry.counter("requests_total", tenant="a")
+        sampler.sample(now=0.0)
+        counter.inc(100)
+        sampler.sample(now=1.0)
+        counter.inc(0)
+        sampler.sample(now=10.0)
+        assert sampler.rate(
+            "requests_total{tenant=a}", points=3
+        ) == pytest.approx(10.0)
+
+    def test_rate_needs_two_samples(self):
+        sampler = SeriesSampler(make_registry())
+        sampler.sample(now=0.0)
+        assert sampler.rate("requests_total{tenant=a}") is None
+
+    def test_rate_zero_elapsed_is_none_not_inf(self):
+        registry = make_registry()
+        sampler = SeriesSampler(registry)
+        sampler.sample(now=1.0)
+        registry.counter("requests_total", tenant="a").inc()
+        sampler.sample(now=1.0)
+        assert sampler.rate("requests_total{tenant=a}") is None
+
+    def test_rate_points_below_two_raises(self):
+        sampler = SeriesSampler(make_registry())
+        with pytest.raises(ValueError):
+            sampler.rate("requests_total{tenant=a}", points=1)
+
+
+class TestExport:
+    def sample_twice(self, tmp_path):
+        registry = make_registry()
+        sampler = SeriesSampler(registry, capacity=8)
+        sampler.sample(now=0.0)
+        registry.counter("requests_total", tenant="a").inc(5)
+        sampler.sample(now=1.0)
+        path = tmp_path / "series.jsonl"
+        written = sampler.export_jsonl(str(path))
+        return written, path.read_text().splitlines()
+
+    def test_header_then_records(self, tmp_path):
+        written, lines = self.sample_twice(tmp_path)
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro-series/1"
+        assert header["capacity"] == 8
+        assert header["ticks"] == 2
+        assert header["series"] == 4
+        assert written == len(lines) - 1 == 8  # 4 series x 2 ticks
+
+    def test_records_carry_kind_and_timestamp(self, tmp_path):
+        _, lines = self.sample_twice(tmp_path)
+        records = [json.loads(line) for line in lines[1:]]
+        by_series = {}
+        for record in records:
+            by_series.setdefault(record["series"], []).append(record)
+        counter = by_series["requests_total{tenant=a}"]
+        assert [r["at"] for r in counter] == [0.0, 1.0]
+        assert [r["value"] for r in counter] == [10.0, 15.0]
+        assert counter[0]["kind"] == "counter"
+        assert by_series["latency_seconds"][0]["kind"] == "histogram"
+
+    def test_synthetic_clock_export_is_byte_deterministic(self, tmp_path):
+        outputs = []
+        for run in range(2):
+            registry = make_registry()
+            sampler = SeriesSampler(registry, capacity=8)
+            for tick in range(3):
+                registry.counter("requests_total", tenant="a").inc(2)
+                sampler.sample(now=float(tick))
+            path = tmp_path / f"run{run}.jsonl"
+            sampler.export_jsonl(str(path))
+            outputs.append(path.read_bytes())
+        assert outputs[0] == outputs[1]
